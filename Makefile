@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures faults claims clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# One benchmark per paper table/figure, run once each.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure of the paper.
+figures:
+	$(GO) run ./cmd/reese-sweep -figure all
+
+faults:
+	$(GO) run ./cmd/reese-faults
+
+claims:
+	$(GO) run ./cmd/reese-sweep -figure claims
+
+clean:
+	$(GO) clean ./...

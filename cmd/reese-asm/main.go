@@ -1,0 +1,71 @@
+// Command reese-asm assembles SS32 assembly and either emits the binary
+// image, disassembles it back, or runs it on the functional emulator.
+//
+// Usage:
+//
+//	reese-asm prog.s                 # assemble, report sizes
+//	reese-asm -d prog.s              # assemble then disassemble
+//	reese-asm -run prog.s            # assemble and run on the emulator
+//	reese-asm -run -max 1000 prog.s  # bound the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reese/internal/asm"
+	"reese/internal/emu"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		disasm  = flag.Bool("d", false, "print the disassembly")
+		execute = flag.Bool("run", false, "run the program on the functional emulator")
+		max     = flag.Uint64("max", 10_000_000, "instruction limit for -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reese-asm [-d] [-run] [-max N] prog.s")
+		return 2
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-asm:", err)
+		return 1
+	}
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-asm:", err)
+		return 1
+	}
+	fmt.Printf("%s: %d instructions, %d data bytes, entry %#x\n",
+		prog.Name, len(prog.Text), len(prog.Data), prog.Entry)
+	if *disasm {
+		for _, line := range prog.Disassemble() {
+			fmt.Println(line)
+		}
+	}
+	if *execute {
+		m, err := emu.New(prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reese-asm:", err)
+			return 1
+		}
+		n, err := m.Run(*max)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reese-asm:", err)
+			return 1
+		}
+		fmt.Printf("executed %d instructions, halted=%v\n", n, m.Halted())
+		if out := m.Output(); len(out) > 0 {
+			fmt.Printf("output (%d bytes): %q\n", len(out), out)
+		}
+	}
+	return 0
+}

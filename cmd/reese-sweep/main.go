@@ -1,0 +1,142 @@
+// Command reese-sweep regenerates the REESE paper's tables and figures.
+//
+// Usage:
+//
+//	reese-sweep -figure all            # everything (Tables 1-2, Figures 2-7)
+//	reese-sweep -figure 2              # one figure
+//	reese-sweep -figure faults         # fault-injection campaign
+//	reese-sweep -figure ablations      # RSQ size + partial re-execution sweeps
+//	reese-sweep -figure idle           # the §4.1 idle-capacity premise
+//	reese-sweep -insts 1000000         # bigger instruction budget per run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reese/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		figure = flag.String("figure", "all", "which figure to regenerate: 2,3,4,5,6,7, table1, table2, faults, ablations, idle, claims, all")
+		insts  = flag.Uint64("insts", 150_000, "committed-instruction budget per simulation")
+		format = flag.String("format", "table", "output format for figures 2-5: table or csv")
+	)
+	flag.Parse()
+	opt := harness.Options{Insts: *insts}
+
+	emit := func(s string, err error) int {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+			return 1
+		}
+		fmt.Println(s)
+		return 0
+	}
+
+	switch *figure {
+	case "table1":
+		return emit(harness.Table1(), nil)
+	case "table2":
+		return emit(harness.Table2(), nil)
+	case "2", "3", "4", "5":
+		f := map[string]func(harness.Options) (*harness.FigureResult, error){
+			"2": harness.Figure2, "3": harness.Figure3, "4": harness.Figure4, "5": harness.Figure5,
+		}[*figure]
+		fig, err := f(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		if *format == "csv" {
+			return emit(harness.FigureCSV(fig), nil)
+		}
+		return emit(fig.Table()+fmt.Sprintf("REESE gap: %.1f%%  with 2 spare ALUs: %.1f%%\n",
+			fig.GapPercent("Baseline", "REESE"), sparedGap(fig)), nil)
+	case "6":
+		rows, err := harness.Figure6(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		return emit(harness.Figure6Table(rows), nil)
+	case "7":
+		points, err := harness.Figure7(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		return emit(harness.Figure7Table(points), nil)
+	case "faults":
+		tbl, _, err := harness.CampaignAll(10_000, opt)
+		return emit(tbl, err)
+	case "ablations":
+		rsq, _, err := harness.RSQSweep([]int{4, 8, 16, 32, 64}, opt)
+		if err != nil {
+			return emit("", err)
+		}
+		partial, err := harness.PartialReexecSweep([]int{1, 2, 4, 8}, opt)
+		if err != nil {
+			return emit("", err)
+		}
+		hw, _, err := harness.HighWaterSweep([]int{4, 8, 16, 24, 31}, opt)
+		if err != nil {
+			return emit("", err)
+		}
+		pred, _, err := harness.PredictorSweep(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		lat, _, err := harness.DetectionLatencyVsRSQ([]int{8, 16, 32, 64}, opt)
+		if err != nil {
+			return emit("", err)
+		}
+		wp, err := harness.WrongPathSweep(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		schemes, _, err := harness.SchemeComparison(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		perm, err := harness.PermanentFaultCoverage(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		return emit(rsq+"\n"+partial+"\n"+hw+"\n"+pred+"\n"+lat+"\n"+wp+"\n"+schemes+"\n"+perm, nil)
+	case "idle":
+		tbl, err := harness.IdleCapacity(opt)
+		return emit(tbl, err)
+	case "claims":
+		claims, err := harness.CheckClaims(opt)
+		if err != nil {
+			return emit("", err)
+		}
+		out := harness.ClaimsReport(claims)
+		for _, c := range claims {
+			if !c.Pass {
+				fmt.Println(out)
+				return 3
+			}
+		}
+		return emit(out, nil)
+	case "all":
+		report, err := harness.AllFigures(opt)
+		return emit(report, err)
+	default:
+		fmt.Fprintf(os.Stderr, "reese-sweep: unknown figure %q\n", *figure)
+		return 2
+	}
+}
+
+func sparedGap(fig *harness.FigureResult) float64 {
+	for _, v := range fig.Variants {
+		if v == "R+2ALU" {
+			return fig.GapPercent("Baseline", v)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+// Quickstart: run one benchmark on the baseline machine and on REESE,
+// and see the cost of full time-redundant execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reese"
+)
+
+func main() {
+	// The paper's Table 1 starting configuration (the baseline).
+	base := reese.StartingConfig()
+
+	// The same machine with REESE enabled: every instruction is
+	// re-executed through the R-stream Queue and compared before commit.
+	protected := reese.StartingConfig().WithReese()
+
+	// And REESE with two spare integer ALUs — the paper's proposed fix
+	// for the slowdown.
+	spared := reese.StartingConfig().WithReese().WithSpares(2, 0)
+
+	prog, err := reese.Workload("gcc", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []reese.Config{base, protected, spared} {
+		// A fresh program per run: a CPU consumes its oracle.
+		prog, err = reese.Workload("gcc", 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := reese.Run(cfg, prog, nil, 200_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s IPC %.3f  (%d cycles for %d instructions)\n",
+			res.Config, res.IPC, res.Cycles, res.Committed)
+		if res.Reese != nil {
+			fmt.Printf("%-34s every instruction executed twice: %d re-executions, %d verified\n",
+				"", res.Reese.Reexecuted, res.Reese.Verified)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+; demo.s — a small SS32 program for the reese-asm tool.
+; Computes the sum of the first 16 Fibonacci numbers into r5,
+; stores the sequence to memory, and emits the low byte.
+main:
+	li r1, 0            ; fib(i-2)
+	li r2, 1            ; fib(i-1)
+	li r3, 16           ; count
+	li r5, 0            ; sum
+	la r6, fibs
+loop:
+	add r4, r1, r2      ; fib(i)
+	sw r4, 0(r6)
+	add r5, r5, r4
+	add r1, r2, r0
+	add r2, r4, r0
+	addi r6, r6, 4
+	addi r3, r3, -1
+	bne r3, r0, loop
+	out r5
+	halt
+.data
+fibs:
+	.space 64

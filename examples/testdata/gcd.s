@@ -1,0 +1,33 @@
+; gcd.s — Euclid's algorithm via subtraction and via remainder,
+; cross-checked. Emits the gcd if both agree, 0 otherwise.
+main:
+	li r1, 1071
+	li r2, 462
+	; remainder version
+	add r3, r1, r0
+	add r4, r2, r0
+rem_loop:
+	beq r4, r0, rem_done
+	remu r5, r3, r4
+	add r3, r4, r0
+	add r4, r5, r0
+	j rem_loop
+rem_done:
+	; subtraction version
+	add r6, r1, r0
+	add r7, r2, r0
+sub_loop:
+	beq r6, r7, sub_done
+	bltu r6, r7, swap
+	sub r6, r6, r7
+	j sub_loop
+swap:
+	sub r7, r7, r6
+	j sub_loop
+sub_done:
+	bne r3, r6, mismatch
+	out r3
+	halt
+mismatch:
+	out r0
+	halt

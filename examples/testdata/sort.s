@@ -1,0 +1,49 @@
+; sort.s — insertion sort over a word array, then a verification pass.
+; Emits 1 if sorted correctly, 0 otherwise.
+.equ N, 24
+main:
+	la r1, arr
+	li r2, 1              ; i
+outer:
+	slli r3, r2, 2
+	add r3, r3, r1
+	lw r4, 0(r3)          ; key = arr[i]
+	addi r5, r2, -1       ; j
+inner:
+	slti r6, r5, 0
+	bne r6, r0, place
+	slli r7, r5, 2
+	add r7, r7, r1
+	lw r8, 0(r7)
+	ble r8, r4, place     ; arr[j] <= key: stop shifting
+	sw r8, 4(r7)          ; arr[j+1] = arr[j]
+	addi r5, r5, -1
+	j inner
+place:
+	addi r7, r5, 1
+	slli r7, r7, 2
+	add r7, r7, r1
+	sw r4, 0(r7)          ; arr[j+1] = key
+	addi r2, r2, 1
+	slti r6, r2, N
+	bne r6, r0, outer
+	; verify ascending order
+	li r2, 1
+	li r9, 1              ; result
+verify:
+	slli r3, r2, 2
+	add r3, r3, r1
+	lw r4, 0(r3)
+	lw r5, -4(r3)
+	ble r5, r4, vok
+	li r9, 0
+vok:
+	addi r2, r2, 1
+	slti r6, r2, N
+	bne r6, r0, verify
+	out r9
+	halt
+.data
+arr:
+	.word 170, 45, 75, 90, 802, 24, 2, 66, 15, 1, 999, 3
+	.word 501, 33, 7, 88, 250, 12, 640, 5, 77, 31, 414, 100

@@ -1,0 +1,3 @@
+module reese
+
+go 1.22

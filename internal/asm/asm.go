@@ -1,0 +1,627 @@
+// Package asm implements a two-pass assembler for the SS32 ISA. The
+// benchmark workloads in internal/workload are written in this assembly
+// language and assembled at runtime, which keeps the whole toolchain
+// self-contained (no external binaries, as the paper's SPEC95/PISA
+// toolchain would have required).
+//
+// Syntax overview:
+//
+//	; line comment (also # and //)
+//	.text / .data        switch segments (text is the default)
+//	label:               define a label in the current segment
+//	add r1, r2, r3       register instruction
+//	addi r1, r2, -5      immediate instruction
+//	lw r1, 8(r2)         load; sw r1, 8(r2) store
+//	beq r1, r2, label    branch to label (or numeric word offset)
+//	j label / jal label  jumps
+//	li r1, 0x12345678    pseudo: load 32-bit constant (1-2 instructions)
+//	la r1, label         pseudo: load address of label (2 instructions)
+//	move r1, r2          pseudo: addi r1, r2, 0
+//	nop                  pseudo: addi r0, r0, 0
+//	.word 1, 2, label    32-bit data (labels allowed)
+//	.half 1, 2           16-bit data
+//	.byte 1, 2           8-bit data
+//	.space 64            zeroed bytes
+//	.asciiz "text"       NUL-terminated string
+//	.align 4             pad to a multiple of N bytes
+//	.equ NAME, 42        named constant, usable wherever a number is
+//
+// Registers are r0..r31 with aliases zero (r0), gp (r28), sp (r29) and
+// ra (r31).
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"reese/internal/isa"
+	"reese/internal/program"
+)
+
+// Error is an assembly error tagged with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble translates SS32 assembly source into a loadable program.
+func Assemble(name, source string) (*program.Program, error) {
+	a := &assembler{
+		prog:   program.New(name),
+		labels: make(map[string]labelDef),
+		consts: make(map[string]int64),
+	}
+	if err := a.run(source); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble panicking on error, for statically known-good
+// embedded sources (the workload library).
+func MustAssemble(name, source string) *program.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type segment uint8
+
+const (
+	segText segment = iota
+	segData
+)
+
+type labelDef struct {
+	addr uint32
+	line int
+}
+
+// item is one parsed source statement retained for pass 2.
+type item struct {
+	line   int
+	seg    segment
+	addr   uint32 // assigned address of first byte
+	mnem   string
+	args   []string
+	direct bool // directive (.word etc.) rather than instruction
+}
+
+type assembler struct {
+	prog   *program.Program
+	labels map[string]labelDef
+	consts map[string]int64 // .equ definitions
+	items  []item
+
+	textPC  uint32 // next text address
+	dataOff uint32 // next data offset from DataBase
+}
+
+// resolveConst substitutes a .equ constant for arg, if one is defined.
+func (a *assembler) resolveConst(arg string) string {
+	if v, ok := a.consts[strings.TrimSpace(arg)]; ok {
+		return fmt.Sprint(v)
+	}
+	return arg
+}
+
+func (a *assembler) run(source string) error {
+	if err := a.pass1(source); err != nil {
+		return err
+	}
+	return a.pass2()
+}
+
+// pass1 tokenises, assigns addresses, and records label definitions.
+func (a *assembler) pass1(source string) error {
+	a.textPC = program.TextBase
+	seg := segText
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		// Peel off any leading "label:" prefixes.
+		for {
+			trimmed := strings.TrimSpace(line)
+			idx := strings.Index(trimmed, ":")
+			if idx <= 0 || strings.ContainsAny(trimmed[:idx], " \t\",()") {
+				line = trimmed
+				break
+			}
+			label := trimmed[:idx]
+			if prev, dup := a.labels[label]; dup {
+				return errf(lineNo+1, "label %q already defined at line %d", label, prev.line)
+			}
+			a.labels[label] = labelDef{addr: a.here(seg), line: lineNo + 1}
+			line = trimmed[idx+1:]
+		}
+		if line == "" {
+			continue
+		}
+		mnem, args := splitStatement(line)
+		switch mnem {
+		case ".text":
+			seg = segText
+			continue
+		case ".data":
+			seg = segData
+			continue
+		case ".equ":
+			if len(args) != 2 {
+				return errf(lineNo+1, ".equ wants NAME, value")
+			}
+			name := strings.TrimSpace(args[0])
+			if name == "" || strings.ContainsAny(name, " \t(),") {
+				return errf(lineNo+1, ".equ: bad name %q", name)
+			}
+			if _, dup := a.consts[name]; dup {
+				return errf(lineNo+1, ".equ: %q already defined", name)
+			}
+			v, err := parseInt64(a.resolveConst(args[1]))
+			if err != nil {
+				return errf(lineNo+1, ".equ: %v", err)
+			}
+			a.consts[name] = v
+			continue
+		}
+		// Substitute .equ constants in the operands (memory operands
+		// like "OFF(r2)" are handled by substituting the offset part).
+		for i := range args {
+			if idx := strings.Index(args[i], "("); idx > 0 {
+				args[i] = a.resolveConst(args[i][:idx]) + args[i][idx:]
+				continue
+			}
+			args[i] = a.resolveConst(args[i])
+		}
+		it := item{line: lineNo + 1, seg: seg, addr: a.here(seg), mnem: mnem, args: args}
+		size, direct, err := a.sizeOf(&it)
+		if err != nil {
+			return err
+		}
+		it.direct = direct
+		a.items = append(a.items, it)
+		if seg == segText {
+			a.textPC += size
+		} else {
+			a.dataOff += size
+		}
+	}
+	return nil
+}
+
+func (a *assembler) here(seg segment) uint32 {
+	if seg == segText {
+		return a.textPC
+	}
+	return program.DataBase + a.dataOff
+}
+
+// sizeOf returns the byte size the statement occupies and whether it is a
+// directive. For .align the current offset matters, so it is computed
+// against it.addr.
+func (a *assembler) sizeOf(it *item) (uint32, bool, error) {
+	if strings.HasPrefix(it.mnem, ".") {
+		switch it.mnem {
+		case ".word":
+			return 4 * uint32(len(it.args)), true, nil
+		case ".half":
+			return 2 * uint32(len(it.args)), true, nil
+		case ".byte":
+			return uint32(len(it.args)), true, nil
+		case ".space":
+			if len(it.args) != 1 {
+				return 0, true, errf(it.line, ".space wants one argument")
+			}
+			n, err := parseUint(it.args[0])
+			if err != nil {
+				return 0, true, errf(it.line, ".space: %v", err)
+			}
+			return n, true, nil
+		case ".asciiz":
+			s, err := parseString(strings.Join(it.args, ", "))
+			if err != nil {
+				return 0, true, errf(it.line, ".asciiz: %v", err)
+			}
+			return uint32(len(s)) + 1, true, nil
+		case ".align":
+			if len(it.args) != 1 {
+				return 0, true, errf(it.line, ".align wants one argument")
+			}
+			n, err := parseUint(it.args[0])
+			if err != nil || n == 0 || n&(n-1) != 0 {
+				return 0, true, errf(it.line, ".align wants a power of two")
+			}
+			pad := (n - it.addr%n) % n
+			return pad, true, nil
+		default:
+			return 0, true, errf(it.line, "unknown directive %q", it.mnem)
+		}
+	}
+	if it.seg != segText {
+		return 0, false, errf(it.line, "instruction %q in .data segment", it.mnem)
+	}
+	// Pseudo-instructions may expand to more than one word.
+	switch it.mnem {
+	case "li":
+		if len(it.args) != 2 {
+			return 0, false, errf(it.line, "li wants rd, imm")
+		}
+		v, err := parseInt32(it.args[1])
+		if err != nil {
+			return 0, false, errf(it.line, "li: %v", err)
+		}
+		if v >= isa.MinImm16 && v <= isa.MaxImm16 {
+			return 4, false, nil
+		}
+		return 8, false, nil
+	case "la":
+		return 8, false, nil
+	case "move", "nop", "not", "neg", "ble", "bgt", "bleu", "bgtu", "beqz", "bnez", "call", "ret":
+		return 4, false, nil
+	}
+	if _, ok := isa.OpByName(it.mnem); !ok {
+		return 0, false, errf(it.line, "unknown instruction %q", it.mnem)
+	}
+	return 4, false, nil
+}
+
+// pass2 emits code and data with all labels resolved.
+func (a *assembler) pass2() error {
+	data := make([]byte, a.dataOff)
+	for i := range a.items {
+		it := &a.items[i]
+		if it.direct {
+			if it.seg == segText {
+				return errf(it.line, "data directive %q in .text segment", it.mnem)
+			}
+			if err := a.emitData(it, data); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.emitCode(it); err != nil {
+			return err
+		}
+	}
+	a.prog.Data = data
+	for name, def := range a.labels {
+		a.prog.Symbols[name] = def.addr
+	}
+	if main, ok := a.labels["main"]; ok {
+		a.prog.Entry = main.addr
+	}
+	return nil
+}
+
+func (a *assembler) emitData(it *item, data []byte) error {
+	off := it.addr - program.DataBase
+	put := func(width uint32, v uint32) {
+		for i := uint32(0); i < width; i++ {
+			data[off] = byte(v >> (8 * i))
+			off++
+		}
+	}
+	switch it.mnem {
+	case ".word", ".half", ".byte":
+		width := map[string]uint32{".word": 4, ".half": 2, ".byte": 1}[it.mnem]
+		for _, arg := range it.args {
+			v, err := a.constOrLabel(arg, it.line)
+			if err != nil {
+				return err
+			}
+			put(width, v)
+		}
+	case ".space", ".align":
+		// already zeroed
+	case ".asciiz":
+		s, err := parseString(strings.Join(it.args, ", "))
+		if err != nil {
+			return errf(it.line, ".asciiz: %v", err)
+		}
+		copy(data[off:], s)
+	}
+	return nil
+}
+
+// constOrLabel resolves an argument that may be a numeric constant or a
+// label reference.
+func (a *assembler) constOrLabel(arg string, line int) (uint32, error) {
+	if def, ok := a.labels[arg]; ok {
+		return def.addr, nil
+	}
+	v, err := parseInt64(arg)
+	if err != nil {
+		return 0, errf(line, "expected constant or label, got %q", arg)
+	}
+	return uint32(v), nil
+}
+
+func (a *assembler) emitCode(it *item) error {
+	emit := func(in isa.Instruction) error {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return errf(it.line, "%v", err)
+		}
+		a.prog.Text = append(a.prog.Text, w)
+		return nil
+	}
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(it.args) {
+			return 0, errf(it.line, "%s: missing operand %d", it.mnem, i+1)
+		}
+		return parseReg(it.args[i], it.line)
+	}
+	regIn := func(i int, file isa.RegFile) (isa.Reg, error) {
+		if i >= len(it.args) {
+			return 0, errf(it.line, "%s: missing operand %d", it.mnem, i+1)
+		}
+		return parseRegIn(it.args[i], file, it.line)
+	}
+	imm := func(i int) (int32, error) {
+		if i >= len(it.args) {
+			return 0, errf(it.line, "%s: missing operand %d", it.mnem, i+1)
+		}
+		v, err := parseInt32(it.args[i])
+		if err != nil {
+			return 0, errf(it.line, "%s: %v", it.mnem, err)
+		}
+		return v, nil
+	}
+	// branchOff resolves a label or literal to a PC-relative word offset
+	// for an instruction at address pc.
+	branchOff := func(i int, pc uint32) (int32, error) {
+		if i >= len(it.args) {
+			return 0, errf(it.line, "%s: missing target", it.mnem)
+		}
+		arg := it.args[i]
+		if def, ok := a.labels[arg]; ok {
+			delta := int64(def.addr) - int64(pc) - isa.WordBytes
+			if delta%isa.WordBytes != 0 {
+				return 0, errf(it.line, "misaligned branch target %q", arg)
+			}
+			return int32(delta / isa.WordBytes), nil
+		}
+		v, err := parseInt32(arg)
+		if err != nil {
+			return 0, errf(it.line, "%s: bad target %q", it.mnem, arg)
+		}
+		return v, nil
+	}
+
+	// Pseudo-instructions first.
+	switch it.mnem {
+	case "nop":
+		return emit(isa.Nop)
+	case "move":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: isa.OpAddi, Rd: rd, Rs1: rs})
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: isa.OpNor, Rd: rd, Rs1: rs, Rs2: isa.RegZero})
+	case "neg":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: isa.OpSub, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+	case "li":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		if v >= isa.MinImm16 && v <= isa.MaxImm16 {
+			return emit(isa.Instruction{Op: isa.OpAddi, Rd: rd, Rs1: isa.RegZero, Imm: v})
+		}
+		if err := emit(isa.Instruction{Op: isa.OpLui, Rd: rd, Imm: int32(uint32(v) >> 16)}); err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: isa.OpOri, Rd: rd, Rs1: rd, Imm: int32(uint32(v) & 0xffff)})
+	case "la":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(it.args) < 2 {
+			return errf(it.line, "la wants rd, label")
+		}
+		addr, err := a.constOrLabel(it.args[1], it.line)
+		if err != nil {
+			return err
+		}
+		if err := emit(isa.Instruction{Op: isa.OpLui, Rd: rd, Imm: int32(addr >> 16)}); err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: isa.OpOri, Rd: rd, Rs1: rd, Imm: int32(addr & 0xffff)})
+	case "beqz", "bnez":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, err := branchOff(1, it.addr)
+		if err != nil {
+			return err
+		}
+		op := isa.OpBeq
+		if it.mnem == "bnez" {
+			op = isa.OpBne
+		}
+		return emit(isa.Instruction{Op: op, Rs1: rs, Rs2: isa.RegZero, Imm: off})
+	case "ble", "bgt", "bleu", "bgtu":
+		// Swap operands: ble a,b == bge b,a.
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		off, err := branchOff(2, it.addr)
+		if err != nil {
+			return err
+		}
+		op := map[string]isa.Op{"ble": isa.OpBge, "bgt": isa.OpBlt, "bleu": isa.OpBgeu, "bgtu": isa.OpBltu}[it.mnem]
+		return emit(isa.Instruction{Op: op, Rs1: rs2, Rs2: rs1, Imm: off})
+	case "call":
+		off, err := branchOff(0, it.addr)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: isa.OpJal, Imm: off})
+	case "ret":
+		return emit(isa.Instruction{Op: isa.OpJr, Rs1: isa.RegRA})
+	}
+
+	op, ok := isa.OpByName(it.mnem)
+	if !ok {
+		return errf(it.line, "unknown instruction %q", it.mnem)
+	}
+	switch op.Format() {
+	case isa.FormatR:
+		switch op {
+		case isa.OpJr:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			return emit(isa.Instruction{Op: op, Rs1: rs})
+		case isa.OpJalr:
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			return emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs})
+		case isa.OpOut:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			return emit(isa.Instruction{Op: op, Rs1: rs})
+		}
+		rs1File, rs2File := op.SourceFiles()
+		rd, err := regIn(0, op.DestFile())
+		if err != nil {
+			return err
+		}
+		if !op.ReadsRs2() {
+			// Two-operand FP forms: fneg fd, fs1 / mtf fd, rs1 / ...
+			rs1, err := regIn(1, rs1File)
+			if err != nil {
+				return err
+			}
+			return emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1})
+		}
+		rs1, err := regIn(1, rs1File)
+		if err != nil {
+			return err
+		}
+		rs2, err := regIn(2, rs2File)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case isa.FormatI:
+		if op == isa.OpLui {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			v, err := imm(1)
+			if err != nil {
+				return err
+			}
+			return emit(isa.Instruction{Op: op, Rd: rd, Imm: v})
+		}
+		if op.IsLoad() {
+			rd, err := regIn(0, op.DestFile())
+			if err != nil {
+				return err
+			}
+			off, base, err := parseMemOperand(it.args, 1, it.line)
+			if err != nil {
+				return err
+			}
+			return emit(isa.Instruction{Op: op, Rd: rd, Rs1: base, Imm: off})
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: v})
+	case isa.FormatS:
+		_, rs2File := op.SourceFiles()
+		rs2, err := regIn(0, rs2File)
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMemOperand(it.args, 1, it.line)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: op, Rs1: base, Rs2: rs2, Imm: off})
+	case isa.FormatB:
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		off, err := branchOff(2, it.addr)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	case isa.FormatJ:
+		off, err := branchOff(0, it.addr)
+		if err != nil {
+			return err
+		}
+		return emit(isa.Instruction{Op: op, Imm: off})
+	case isa.FormatX:
+		return emit(isa.Instruction{Op: op})
+	}
+	return errf(it.line, "cannot assemble %q", it.mnem)
+}

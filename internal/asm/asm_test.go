@@ -1,0 +1,449 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"reese/internal/isa"
+	"reese/internal/program"
+)
+
+func assemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(t *testing.T, p *program.Program) []isa.Instruction {
+	t.Helper()
+	out := make([]isa.Instruction, len(p.Text))
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("decode word %d: %v", i, err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+		add r1, r2, r3
+		addi r4, r5, -7
+		lw r6, 12(r7)
+		sw r6, -4(r7)
+		lui r8, 0x1234
+		halt
+	`)
+	ins := decodeAll(t, p)
+	want := []isa.Instruction{
+		{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.OpAddi, Rd: 4, Rs1: 5, Imm: -7},
+		{Op: isa.OpLw, Rd: 6, Rs1: 7, Imm: 12},
+		{Op: isa.OpSw, Rs1: 7, Rs2: 6, Imm: -4},
+		{Op: isa.OpLui, Rd: 8, Imm: 0x1234},
+		{Op: isa.OpHalt},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instruction %d: got %v, want %v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := assemble(t, `
+	main:
+		addi r1, r0, 10
+	loop:
+		addi r1, r1, -1
+		bne r1, r0, loop
+		beq r0, r0, done
+		add r2, r2, r2
+	done:
+		halt
+	`)
+	ins := decodeAll(t, p)
+	// bne at index 2; target "loop" at index 1 -> offset 1-(2+1) = -2.
+	if ins[2].Imm != -2 {
+		t.Errorf("backward branch offset = %d, want -2", ins[2].Imm)
+	}
+	// beq at index 3; target "done" at index 5 -> offset 5-(3+1) = +1.
+	if ins[3].Imm != 1 {
+		t.Errorf("forward branch offset = %d, want 1", ins[3].Imm)
+	}
+	if p.Entry != program.TextBase {
+		t.Errorf("entry = %#x, want text base (main is first)", p.Entry)
+	}
+	if got := p.Symbols["done"]; got != program.TextBase+5*4 {
+		t.Errorf("symbol done = %#x", got)
+	}
+}
+
+func TestJumpsAndPseudo(t *testing.T) {
+	p := assemble(t, `
+		j end
+		jal sub
+		nop
+	sub:
+		ret
+	end:
+		halt
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpJ || ins[0].Imm != 3 {
+		t.Errorf("j: %v, want offset 3", ins[0])
+	}
+	if ins[1].Op != isa.OpJal || ins[1].Imm != 1 {
+		t.Errorf("jal: %v, want offset 1", ins[1])
+	}
+	if ins[2] != isa.Nop {
+		t.Errorf("nop: %v", ins[2])
+	}
+	if ins[3].Op != isa.OpJr || ins[3].Rs1 != isa.RegRA {
+		t.Errorf("ret: %v", ins[3])
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	p := assemble(t, `
+		li r1, 100
+		li r2, -100
+		li r3, 0x12345678
+	`)
+	ins := decodeAll(t, p)
+	if len(ins) != 4 {
+		t.Fatalf("got %d instructions, want 4 (small li = 1, big li = 2)", len(ins))
+	}
+	if ins[0].Op != isa.OpAddi || ins[0].Imm != 100 {
+		t.Errorf("small li: %v", ins[0])
+	}
+	if ins[1].Op != isa.OpAddi || ins[1].Imm != -100 {
+		t.Errorf("negative li: %v", ins[1])
+	}
+	if ins[2].Op != isa.OpLui || ins[2].Imm != 0x1234 {
+		t.Errorf("big li hi: %v", ins[2])
+	}
+	if ins[3].Op != isa.OpOri || ins[3].Imm != 0x5678 {
+		t.Errorf("big li lo: %v", ins[3])
+	}
+}
+
+func TestLaResolvesDataLabel(t *testing.T) {
+	p := assemble(t, `
+		la r1, table
+		lw r2, 0(r1)
+		halt
+	.data
+	table:
+		.word 42, 43
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpLui || uint32(ins[0].Imm) != program.DataBase>>16 {
+		t.Errorf("la hi: %v", ins[0])
+	}
+	if ins[1].Op != isa.OpOri || uint32(ins[1].Imm) != program.DataBase&0xffff {
+		t.Errorf("la lo: %v", ins[1])
+	}
+	if len(p.Data) != 8 {
+		t.Fatalf("data length = %d, want 8", len(p.Data))
+	}
+	if p.Data[0] != 42 || p.Data[4] != 43 {
+		t.Errorf("data contents wrong: % x", p.Data)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := assemble(t, `
+		halt
+	.data
+	bytes:
+		.byte 1, 2, 3
+	.align 4
+	words:
+		.word 0xdeadbeef
+	str:
+		.asciiz "hi\n"
+	gap:
+		.space 5
+	end:
+		.byte 0xff
+	`)
+	if got := p.Symbols["bytes"]; got != program.DataBase {
+		t.Errorf("bytes at %#x", got)
+	}
+	if got := p.Symbols["words"]; got != program.DataBase+4 {
+		t.Errorf("words at %#x, want aligned to 4", got)
+	}
+	if got := p.Symbols["str"]; got != program.DataBase+8 {
+		t.Errorf("str at %#x", got)
+	}
+	if got := p.Symbols["gap"]; got != program.DataBase+12 {
+		t.Errorf("gap at %#x", got)
+	}
+	if got := p.Symbols["end"]; got != program.DataBase+17 {
+		t.Errorf("end at %#x", got)
+	}
+	if p.Data[4] != 0xef || p.Data[7] != 0xde {
+		t.Errorf("word bytes: % x", p.Data[4:8])
+	}
+	if string(p.Data[8:11]) != "hi\n" || p.Data[11] != 0 {
+		t.Errorf("asciiz bytes: % x", p.Data[8:12])
+	}
+	if p.Data[17] != 0xff {
+		t.Errorf("trailing byte: %x", p.Data[17])
+	}
+}
+
+func TestWordWithLabelReference(t *testing.T) {
+	p := assemble(t, `
+		halt
+	.data
+	ptr:
+		.word target
+	target:
+		.word 7
+	`)
+	got := uint32(p.Data[0]) | uint32(p.Data[1])<<8 | uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24
+	if got != program.DataBase+4 {
+		t.Errorf("pointer word = %#x, want %#x", got, program.DataBase+4)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := assemble(t, `
+		add r1, sp, zero
+		addi sp, sp, -16
+		jr ra
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Rs1 != isa.RegSP || ins[0].Rs2 != isa.RegZero {
+		t.Errorf("aliases: %v", ins[0])
+	}
+	if ins[2].Rs1 != isa.RegRA {
+		t.Errorf("ra alias: %v", ins[2])
+	}
+}
+
+func TestSwappedBranchPseudo(t *testing.T) {
+	p := assemble(t, `
+	top:
+		ble r1, r2, top
+		bgt r3, r4, top
+		beqz r5, top
+		bnez r6, top
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpBge || ins[0].Rs1 != 2 || ins[0].Rs2 != 1 {
+		t.Errorf("ble: %v", ins[0])
+	}
+	if ins[1].Op != isa.OpBlt || ins[1].Rs1 != 4 || ins[1].Rs2 != 3 {
+		t.Errorf("bgt: %v", ins[1])
+	}
+	if ins[2].Op != isa.OpBeq || ins[2].Rs1 != 5 || ins[2].Rs2 != isa.RegZero {
+		t.Errorf("beqz: %v", ins[2])
+	}
+	if ins[3].Op != isa.OpBne || ins[3].Rs1 != 6 {
+		t.Errorf("bnez: %v", ins[3])
+	}
+}
+
+func TestMainEntryPoint(t *testing.T) {
+	p := assemble(t, `
+	helper:
+		ret
+	main:
+		halt
+	`)
+	if p.Entry != program.TextBase+4 {
+		t.Errorf("entry = %#x, want %#x", p.Entry, program.TextBase+4)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := assemble(t, `
+		add r1, r2, r3  ; semicolon comment
+		add r1, r2, r3  # hash comment
+		add r1, r2, r3  // slash comment
+	`)
+	if len(p.Text) != 3 {
+		t.Errorf("got %d instructions, want 3", len(p.Text))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown op", "frobnicate r1, r2", "unknown instruction"},
+		{"bad register", "add r1, r2, r99", "bad register"},
+		{"duplicate label", "x:\nnop\nx:\nnop", "already defined"},
+		{"missing operand", "add r1, r2", "missing operand"},
+		{"imm range", "addi r1, r0, 40000", "out of 16-bit range"},
+		{"bad mem operand", "lw r1, r2", "bad memory operand"},
+		{"code in data", ".data\nadd r1, r2, r3", "in .data segment"},
+		{"data in text", ".word 5", "in .text segment"},
+		{"bad directive", ".bogus 5", "unknown directive"},
+		{"undefined branch target", "beq r1, r2, nowhere", "bad target"},
+		{"bad string", `.data
+.asciiz hi`, "expected quoted string"},
+		{"bad align", ".data\n.align 3", "power of two"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble("t", tt.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("t", "nop\nnop\nbogus r1\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var ae *Error
+	if !asError(err, &ae) {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "frobnicate")
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	p := assemble(t, `
+	start: addi r1, r0, 1
+		j start
+	`)
+	ins := decodeAll(t, p)
+	if len(ins) != 2 || ins[1].Imm != -2 {
+		t.Errorf("label-on-line: %v", ins)
+	}
+}
+
+func TestFPInstructions(t *testing.T) {
+	p := assemble(t, `
+		fadd f1, f2, f3
+		fneg f4, f5
+		feq r6, f7, f8
+		fcvtsw f9, r10
+		fcvtws r11, f12
+		lwf f1, 8(r2)
+		swf f3, -4(r4)
+		mtf f5, r6
+		mff r7, f8
+	`)
+	ins := decodeAll(t, p)
+	want := []isa.Instruction{
+		{Op: isa.OpFadd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.OpFneg, Rd: 4, Rs1: 5},
+		{Op: isa.OpFeq, Rd: 6, Rs1: 7, Rs2: 8},
+		{Op: isa.OpFcvtSW, Rd: 9, Rs1: 10},
+		{Op: isa.OpFcvtWS, Rd: 11, Rs1: 12},
+		{Op: isa.OpLwf, Rd: 1, Rs1: 2, Imm: 8},
+		{Op: isa.OpSwf, Rs2: 3, Rs1: 4, Imm: -4},
+		{Op: isa.OpMtf, Rd: 5, Rs1: 6},
+		{Op: isa.OpMff, Rd: 7, Rs1: 8},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instruction %d: got %v, want %v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestFPRegisterFileErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"int reg where fp wanted", "fadd r1, f2, f3"},
+		{"fp reg where int wanted", "add f1, r2, r3"},
+		{"fp reg in feq dest", "feq f1, f2, f3"},
+		{"int source on fcvtws", "fcvtws r1, r2"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Assemble("t", tt.src); err == nil {
+				t.Errorf("%q should fail to assemble", tt.src)
+			}
+		})
+	}
+}
+
+func TestEquConstants(t *testing.T) {
+	p := assemble(t, `
+	.equ N, 10
+	.equ BIG, 0x12340000
+	.equ OFF, 8
+	.equ ALIAS, N
+		li r1, N
+		li r2, BIG
+		lw r3, OFF(r4)
+		addi r5, r0, ALIAS
+		halt
+	.data
+	tbl:
+		.word N, BIG
+		.space N
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpAddi || ins[0].Imm != 10 {
+		t.Errorf("li with .equ: %v", ins[0])
+	}
+	if ins[1].Op != isa.OpLui || ins[1].Imm != 0x1234 {
+		t.Errorf("big li with .equ: %v", ins[1])
+	}
+	if ins[3].Op != isa.OpLw || ins[3].Imm != 8 {
+		t.Errorf("memory offset with .equ: %v", ins[3])
+	}
+	if ins[4].Imm != 10 {
+		t.Errorf("chained .equ: %v", ins[4])
+	}
+	if p.Data[0] != 10 {
+		t.Errorf(".word with .equ: % x", p.Data[:4])
+	}
+	if len(p.Data) != 8+10 {
+		t.Errorf(".space with .equ: %d bytes", len(p.Data))
+	}
+}
+
+func TestEquErrors(t *testing.T) {
+	for _, src := range []string{
+		".equ", ".equ X", ".equ X, Y", ".equ X, 1\n.equ X, 2", ".equ bad name, 1",
+	} {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}

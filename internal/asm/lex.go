@@ -1,0 +1,213 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"reese/internal/isa"
+)
+
+// stripComment removes ;, # and // comments, respecting string literals.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			if c == '\\' {
+				i++
+			}
+			continue
+		}
+		if c == ';' || c == '#' {
+			return strings.TrimSpace(line[:i])
+		}
+		if c == '/' && i+1 < len(line) && line[i+1] == '/' {
+			return strings.TrimSpace(line[:i])
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// splitStatement splits "mnem a, b, c" into the mnemonic and its
+// comma-separated arguments, respecting string literals.
+func splitStatement(line string) (string, []string) {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	if rest == "" {
+		return mnem, nil
+	}
+	var args []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case c == '"':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case inStr && c == '\\' && i+1 < len(rest):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(rest[i])
+		case !inStr && c == ',':
+			args = append(args, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		args = append(args, s)
+	}
+	return mnem, args
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.RegZero,
+	"gp":   isa.RegGP,
+	"sp":   isa.RegSP,
+	"ra":   isa.RegRA,
+}
+
+func parseReg(s string, line int) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, errf(line, "bad register %q", s)
+}
+
+// parseFReg parses an FP register name ("f0".."f31").
+func parseFReg(s string, line int) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) >= 2 && s[0] == 'f' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, errf(line, "bad FP register %q (want f0..f31)", s)
+}
+
+// parseRegIn parses a register name in the given file.
+func parseRegIn(s string, file isa.RegFile, line int) (isa.Reg, error) {
+	if file == isa.FileFP {
+		return parseFReg(s, line)
+	}
+	return parseReg(s, line)
+}
+
+// parseMemOperand parses "offset(base)" starting at args[i]. The offset
+// may be omitted ("(r2)" means 0).
+func parseMemOperand(args []string, i, line int) (int32, isa.Reg, error) {
+	if i >= len(args) {
+		return 0, 0, errf(line, "missing memory operand")
+	}
+	s := strings.TrimSpace(args[i])
+	open := strings.Index(s, "(")
+	close_ := strings.LastIndex(s, ")")
+	if open < 0 || close_ < open {
+		return 0, 0, errf(line, "bad memory operand %q (want off(reg))", s)
+	}
+	var off int32
+	if offStr := strings.TrimSpace(s[:open]); offStr != "" {
+		v, err := parseInt32(offStr)
+		if err != nil {
+			return 0, 0, errf(line, "bad memory offset %q", offStr)
+		}
+		off = v
+	}
+	base, err := parseReg(s[open+1:close_], line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func parseInt64(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func parseInt32(s string) (int32, error) {
+	v, err := parseInt64(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("constant %s out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+func parseUint(s string) (uint32, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}
+
+// parseString decodes a double-quoted string literal with \n, \t, \0, \\
+// and \" escapes.
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in string")
+		}
+		switch body[i] {
+		case 'n':
+			out.WriteByte('\n')
+		case 't':
+			out.WriteByte('\t')
+		case '0':
+			out.WriteByte(0)
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,311 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter underflow: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter overflow: %d", c)
+	}
+	if !c.taken() || counter(1).taken() {
+		t.Error("taken threshold wrong")
+	}
+}
+
+func TestGshareLearnsAlwaysTaken(t *testing.T) {
+	g, err := NewGshare(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint32(0x1000)
+	for i := 0; i < 20; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Error("gshare failed to learn always-taken")
+	}
+}
+
+func TestGshareLearnsAlternatingViaHistory(t *testing.T) {
+	// A strictly alternating branch is perfectly predictable with global
+	// history: after warmup gshare should exceed 90% accuracy.
+	g, err := NewGshare(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint32(0x2000)
+	taken := false
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		p := g.Predict(pc)
+		if i > 500 {
+			total++
+			if p == taken {
+				correct++
+			}
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("gshare accuracy on alternating = %.2f, want > 0.9", acc)
+	}
+}
+
+func TestGshareBeatsBimodalOnCorrelated(t *testing.T) {
+	// Branch B's outcome equals branch A's previous outcome: global
+	// history captures this, a bimodal table cannot.
+	g, _ := NewGshare(12)
+	b, _ := NewBimodal(12)
+	r := rand.New(rand.NewSource(7))
+	pcA, pcB := uint32(0x100), uint32(0x200)
+	var gCorrect, bCorrect, total int
+	for i := 0; i < 5000; i++ {
+		outA := r.Intn(2) == 0
+		g.Update(pcA, outA)
+		b.Update(pcA, outA)
+		// B repeats A deterministically.
+		outB := outA
+		if i > 1000 {
+			total++
+			if g.Predict(pcB) == outB {
+				gCorrect++
+			}
+			if b.Predict(pcB) == outB {
+				bCorrect++
+			}
+		}
+		g.Update(pcB, outB)
+		b.Update(pcB, outB)
+	}
+	gAcc := float64(gCorrect) / float64(total)
+	bAcc := float64(bCorrect) / float64(total)
+	if gAcc < 0.95 {
+		t.Errorf("gshare accuracy on correlated = %.2f, want > 0.95", gAcc)
+	}
+	if gAcc <= bAcc {
+		t.Errorf("gshare (%.2f) should beat bimodal (%.2f) on correlated branches", gAcc, bAcc)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b, err := NewBimodal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint32(0x400)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal failed to learn not-taken bias")
+	}
+	// Different PC maps to a different counter: still default.
+	if !b.Predict(pc + 4) {
+		t.Error("unrelated PC affected")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	st := &Static{Taken: true}
+	if !st.Predict(0) {
+		t.Error("static taken")
+	}
+	st.Update(0, false) // no-op
+	if !st.Predict(0) {
+		t.Error("static must not learn")
+	}
+	snt := &Static{}
+	if snt.Predict(0) {
+		t.Error("static not-taken")
+	}
+	if st.Name() == snt.Name() {
+		t.Error("names must differ")
+	}
+}
+
+func TestCombiningPrefersBetterComponent(t *testing.T) {
+	// Component 1 = always right (oracle-ish static taken on always-taken
+	// stream), component 2 = always wrong.
+	c, err := NewCombining(&Static{Taken: true}, &Static{Taken: false}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint32(0x10)
+	for i := 0; i < 20; i++ {
+		c.Update(pc, true)
+	}
+	if !c.Predict(pc) {
+		t.Error("combining should have learned to trust the taken component")
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := NewGshare(0); err == nil {
+		t.Error("gshare bits 0 should fail")
+	}
+	if _, err := NewGshare(30); err == nil {
+		t.Error("gshare bits 30 should fail")
+	}
+	if _, err := NewBimodal(0); err == nil {
+		t.Error("bimodal bits 0 should fail")
+	}
+	if _, err := NewCombining(&Static{}, &Static{}, 0); err == nil {
+		t.Error("combining bits 0 should fail")
+	}
+	if _, err := NewBTB(3, 2); err == nil {
+		t.Error("btb sets 3 should fail")
+	}
+	if _, err := NewBTB(4, 0); err == nil {
+		t.Error("btb assoc 0 should fail")
+	}
+	if _, err := NewRAS(0); err == nil {
+		t.Error("ras size 0 should fail")
+	}
+}
+
+func TestBTBBasic(t *testing.T) {
+	btb, err := NewBTB(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := btb.Lookup(0x100); ok {
+		t.Error("empty BTB should miss")
+	}
+	btb.Insert(0x100, 0x500)
+	tgt, ok := btb.Lookup(0x100)
+	if !ok || tgt != 0x500 {
+		t.Errorf("lookup = %#x,%v", tgt, ok)
+	}
+	// Re-insert updates the target in place.
+	btb.Insert(0x100, 0x600)
+	if tgt, _ := btb.Lookup(0x100); tgt != 0x600 {
+		t.Errorf("updated target = %#x", tgt)
+	}
+}
+
+func TestBTBReplacement(t *testing.T) {
+	btb, err := NewBTB(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three PCs in the same set (stride sets*4 = 16 bytes).
+	a, b, c := uint32(0x00), uint32(0x10), uint32(0x20)
+	btb.Insert(a, 1)
+	btb.Insert(b, 2)
+	btb.Lookup(a) // a becomes MRU
+	btb.Insert(c, 3)
+	if _, ok := btb.Lookup(a); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := btb.Lookup(b); ok {
+		t.Error("LRU entry should have been evicted")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r, err := NewRAS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS should fail to pop")
+	}
+	r.Push(10)
+	r.Push(20)
+	if r.Depth() != 2 {
+		t.Errorf("depth = %d", r.Depth())
+	}
+	if v, _ := r.Pop(); v != 20 {
+		t.Errorf("pop = %d, want 20", v)
+	}
+	if v, _ := r.Pop(); v != 10 {
+		t.Errorf("pop = %d, want 10", v)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r, _ := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d, want 2", v)
+	}
+	// Third pop returns the overwritten slot (now 3's old position).
+	if v, ok := r.Pop(); !ok || v != 3 {
+		t.Errorf("wrapped pop = %d,%v", v, ok)
+	}
+}
+
+func TestStatsAccuracy(t *testing.T) {
+	s := Stats{}
+	if s.Accuracy() != 0 {
+		t.Error("empty accuracy")
+	}
+	s = Stats{Lookups: 4, Hits: 3}
+	if s.Accuracy() != 0.75 {
+		t.Errorf("accuracy = %v", s.Accuracy())
+	}
+}
+
+func TestGshareSnapshotTrainAt(t *testing.T) {
+	g, _ := NewGshare(8)
+	snap := g.Snapshot()
+	pred := g.Predict(0x40)
+	// History moves on (speculative shifts for later branches).
+	g.ShiftHistory(true)
+	g.ShiftHistory(false)
+	g.ShiftHistory(true)
+	// Training with the snapshot must adjust the entry the prediction
+	// used: repeat until the prediction under the ORIGINAL history
+	// flips.
+	for i := 0; i < 4; i++ {
+		g.TrainAt(0x40, snap, !pred)
+	}
+	g.Restore(snap)
+	if g.Predict(0x40) == pred {
+		t.Error("TrainAt did not reach the predicted entry")
+	}
+}
+
+func TestGshareRestore(t *testing.T) {
+	g, _ := NewGshare(10)
+	g.ShiftHistory(true)
+	g.ShiftHistory(true)
+	snap := g.Snapshot()
+	g.ShiftHistory(false)
+	g.ShiftHistory(true)
+	g.Restore(snap)
+	if g.Snapshot() != snap {
+		t.Errorf("restore: %#x != %#x", g.Snapshot(), snap)
+	}
+}
+
+func TestHistoryFreeSnapshotRestore(t *testing.T) {
+	b, _ := NewBimodal(8)
+	if b.Snapshot() != 0 {
+		t.Error("bimodal snapshot")
+	}
+	b.Restore(5) // no-op, must not panic
+	s := &Static{}
+	if s.Snapshot() != 0 {
+		t.Error("static snapshot")
+	}
+	s.Restore(1)
+}

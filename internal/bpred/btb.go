@@ -1,0 +1,114 @@
+package bpred
+
+import "fmt"
+
+// BTB is a set-associative branch target buffer: it caches the targets of
+// taken control transfers so fetch can redirect without decoding.
+type BTB struct {
+	sets  uint32
+	assoc uint32
+	tags  []uint32
+	tgt   []uint32
+	valid []bool
+	lru   []uint64
+	clock uint64
+}
+
+// NewBTB builds a BTB with the given number of sets and associativity.
+func NewBTB(sets, assoc uint32) (*BTB, error) {
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("bpred: btb sets %d not a power of two", sets)
+	}
+	if assoc == 0 {
+		return nil, fmt.Errorf("bpred: btb assoc 0")
+	}
+	n := sets * assoc
+	return &BTB{
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint32, n),
+		tgt:   make([]uint32, n),
+		valid: make([]bool, n),
+		lru:   make([]uint64, n),
+	}, nil
+}
+
+func (b *BTB) set(pc uint32) uint32 { return (pc >> 2) & (b.sets - 1) }
+func (b *BTB) tag(pc uint32) uint32 { return (pc >> 2) / b.sets }
+
+// Lookup returns the cached target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint32) (uint32, bool) {
+	b.clock++
+	base := b.set(pc) * b.assoc
+	tag := b.tag(pc)
+	for i := uint32(0); i < b.assoc; i++ {
+		j := base + i
+		if b.valid[j] && b.tags[j] == tag {
+			b.lru[j] = b.clock
+			return b.tgt[j], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the target of a taken transfer at pc.
+func (b *BTB) Insert(pc, target uint32) {
+	b.clock++
+	base := b.set(pc) * b.assoc
+	tag := b.tag(pc)
+	victim := base
+	for i := uint32(0); i < b.assoc; i++ {
+		j := base + i
+		if b.valid[j] && b.tags[j] == tag {
+			victim = j
+			break
+		}
+		if !b.valid[j] {
+			if b.valid[victim] {
+				victim = j
+			}
+			continue
+		}
+		if b.valid[victim] && b.lru[j] < b.lru[victim] {
+			victim = j
+		}
+	}
+	b.tags[victim] = tag
+	b.tgt[victim] = target
+	b.valid[victim] = true
+	b.lru[victim] = b.clock
+}
+
+// RAS is a return-address stack predicting jr-via-ra returns. Pushes on
+// call (jal/jalr), pops on return.
+type RAS struct {
+	stack []uint32
+	top   int
+	size  int
+}
+
+// NewRAS builds a return-address stack with the given depth.
+func NewRAS(size int) (*RAS, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("bpred: ras size %d", size)
+	}
+	return &RAS{stack: make([]uint32, size), size: size}, nil
+}
+
+// Push records a return address (circularly; deep recursion overwrites).
+func (r *RAS) Push(addr uint32) {
+	r.stack[r.top%r.size] = addr
+	r.top++
+}
+
+// Pop predicts the next return address.
+func (r *RAS) Pop() (uint32, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.top--
+	return r.stack[r.top%r.size], true
+}
+
+// Depth returns the current logical stack depth.
+func (r *RAS) Depth() int { return r.top }

@@ -1,0 +1,137 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"reese/internal/fu"
+)
+
+// TestStartingMatchesTable1 pins the starting configuration to the
+// paper's Table 1.
+func TestStartingMatchesTable1(t *testing.T) {
+	m := Starting()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("starting config invalid: %v", err)
+	}
+	if m.FetchQueueSize != 16 {
+		t.Errorf("fetch queue = %d, want 16", m.FetchQueueSize)
+	}
+	if m.Width != 8 {
+		t.Errorf("width = %d, want 8 (max IPC for other stages)", m.Width)
+	}
+	if m.RUUSize != 16 || m.LSQSize != 8 {
+		t.Errorf("RUU/LSQ = %d/%d, want 16/8", m.RUUSize, m.LSQSize)
+	}
+	if m.FU.IntALU != 4 || m.FU.IntMult != 1 || m.FU.MemPort != 2 {
+		t.Errorf("FUs = %+v, want 4 IntALU / 1 IntMult / 2 ports", m.FU)
+	}
+	if m.Memory.L1D.SizeBytes != 32*1024 || m.Memory.L1D.Assoc != 2 || m.Memory.L1D.HitLatency != 2 {
+		t.Errorf("L1D = %+v, want 32 KB 2-way 2-cycle", m.Memory.L1D)
+	}
+	if m.Memory.L1I.SizeBytes != 32*1024 || m.Memory.L1I.Assoc != 2 || m.Memory.L1I.HitLatency != 2 {
+		t.Errorf("L1I = %+v, want 32 KB 2-way 2-cycle", m.Memory.L1I)
+	}
+	if m.Memory.L2.SizeBytes != 512*1024 || m.Memory.L2.Assoc != 4 || m.Memory.L2.HitLatency != 12 {
+		t.Errorf("L2 = %+v, want 512 KB 4-way 12-cycle", m.Memory.L2)
+	}
+	if m.Reese.Enabled {
+		t.Error("starting config must be the baseline")
+	}
+	if m.Reese.RSQSize != 32 {
+		t.Errorf("RSQ = %d, want the paper's initial 32", m.Reese.RSQSize)
+	}
+}
+
+func TestWithReese(t *testing.T) {
+	m := Starting().WithReese()
+	if !m.Reese.Enabled {
+		t.Error("not enabled")
+	}
+	if !strings.Contains(m.Name, "reese") {
+		t.Errorf("name = %q", m.Name)
+	}
+	if Starting().Reese.Enabled {
+		t.Error("WithReese must not mutate the base")
+	}
+}
+
+func TestWithSpares(t *testing.T) {
+	m := Starting().WithSpares(2, 1)
+	if m.FU.IntALU != 6 || m.FU.IntMult != 2 {
+		t.Errorf("FUs = %+v", m.FU)
+	}
+	if !strings.Contains(m.Name, "2ALU") || !strings.Contains(m.Name, "1Mult") {
+		t.Errorf("name = %q", m.Name)
+	}
+}
+
+func TestWithRUUHalvesLSQ(t *testing.T) {
+	m := Starting().WithRUU(64)
+	if m.RUUSize != 64 || m.LSQSize != 32 {
+		t.Errorf("RUU/LSQ = %d/%d", m.RUUSize, m.LSQSize)
+	}
+}
+
+func TestWithWidthScalesIssue(t *testing.T) {
+	m := Starting().WithWidth(16)
+	if m.Width != 16 || m.IssueWidth != 16 {
+		t.Errorf("width/issue = %d/%d", m.Width, m.IssueWidth)
+	}
+}
+
+func TestWithMemPorts(t *testing.T) {
+	m := Starting().WithMemPorts(4)
+	if m.FU.MemPort != 4 {
+		t.Errorf("ports = %d", m.FU.MemPort)
+	}
+}
+
+func TestWithFUs(t *testing.T) {
+	m := Starting().WithFUs(fu.Config{IntALU: 8, IntMult: 2, MemPort: 4})
+	if m.FU.IntALU != 8 || m.FU.IntMult != 2 || m.FU.MemPort != 4 {
+		t.Errorf("FUs = %+v", m.FU)
+	}
+}
+
+func TestWithRSQAndPartial(t *testing.T) {
+	m := Starting().WithReese().WithRSQ(64).WithPartialReexec(2)
+	if m.Reese.RSQSize != 64 || m.Reese.ReexecuteEvery != 2 {
+		t.Errorf("reese cfg = %+v", m.Reese)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(Machine) Machine{
+		func(m Machine) Machine { m.FetchQueueSize = 0; return m },
+		func(m Machine) Machine { m.Width = 0; return m },
+		func(m Machine) Machine { m.IssueWidth = 0; return m },
+		func(m Machine) Machine { m.RUUSize = 1; return m },
+		func(m Machine) Machine { m.LSQSize = 0; return m },
+		func(m Machine) Machine { m.FU.IntALU = 0; return m },
+		func(m Machine) Machine { m.GshareBits = 0; return m },
+		func(m Machine) Machine { m.Reese.Enabled = true; m.Reese.RSQSize = 0; return m },
+	}
+	for i, mod := range cases {
+		if err := mod(Starting()).Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestWithNameAndImmutability(t *testing.T) {
+	base := Starting()
+	named := base.WithName("custom")
+	if named.Name != "custom" {
+		t.Error("rename failed")
+	}
+	if base.Name == "custom" {
+		t.Error("mutated receiver")
+	}
+	// Chain of With* calls never aliases FU state.
+	a := base.WithSpares(2, 0)
+	if base.FU.IntALU != 4 {
+		t.Error("spares mutated base")
+	}
+	_ = a
+}

@@ -1,0 +1,349 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"reese/internal/asm"
+	"reese/internal/isa"
+	"reese/internal/program"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt within 1M instructions")
+	}
+	return m
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	m := run(t, `
+		addi r1, r0, 6
+		addi r2, r0, 7
+		mul r3, r1, r2
+		halt
+	`)
+	if got := m.Reg(3); got != 42 {
+		t.Errorf("r3 = %d, want 42", got)
+	}
+	if m.InstCount() != 4 {
+		t.Errorf("icount = %d, want 4", m.InstCount())
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum 1..10 = 55.
+	m := run(t, `
+		addi r1, r0, 10   ; i
+		addi r2, r0, 0    ; sum
+	loop:
+		add r2, r2, r1
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`)
+	if got := m.Reg(2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := run(t, `
+		la r1, buf
+		li r2, 0x11223344
+		sw r2, 0(r1)
+		lw r3, 0(r1)
+		lh r4, 0(r1)
+		lhu r5, 2(r1)
+		lb r6, 3(r1)
+		lbu r7, 0(r1)
+		sb r2, 8(r1)
+		lbu r8, 8(r1)
+		sh r2, 12(r1)
+		lhu r9, 12(r1)
+		halt
+	.data
+	buf:
+		.space 16
+	`)
+	checks := map[isa.Reg]uint32{
+		3: 0x11223344,
+		4: 0x3344,
+		5: 0x1122,
+		6: 0x11,
+		7: 0x44,
+		8: 0x44,
+		9: 0x3344,
+	}
+	for r, want := range checks {
+		if got := m.Reg(r); got != want {
+			t.Errorf("r%d = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestSignExtendingLoads(t *testing.T) {
+	m := run(t, `
+		la r1, buf
+		lb r2, 0(r1)
+		lh r3, 0(r1)
+		halt
+	.data
+	buf:
+		.word 0xffffffff
+	`)
+	if m.Reg(2) != 0xffffffff || m.Reg(3) != 0xffffffff {
+		t.Errorf("sign extension: r2=%#x r3=%#x", m.Reg(2), m.Reg(3))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+	main:
+		addi r4, r0, 5
+		jal double
+		add r6, r5, r0
+		jal double2
+		halt
+	double:
+		add r5, r4, r4
+		jr ra
+	double2:
+		add r6, r6, r6
+		jr ra
+	`)
+	if got := m.Reg(5); got != 10 {
+		t.Errorf("r5 = %d, want 10", got)
+	}
+	if got := m.Reg(6); got != 20 {
+		t.Errorf("r6 = %d, want 20", got)
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	m := run(t, `
+		la r1, target
+		jalr r2, r1
+		halt
+	target:
+		addi r3, r0, 99
+		jr r2
+	`)
+	if got := m.Reg(3); got != 99 {
+		t.Errorf("r3 = %d, want 99", got)
+	}
+}
+
+func TestR0AlwaysZero(t *testing.T) {
+	m := run(t, `
+		addi r0, r0, 55
+		add r1, r0, r0
+		halt
+	`)
+	if m.Reg(0) != 0 || m.Reg(1) != 0 {
+		t.Errorf("r0 = %d, r1 = %d; r0 must stay 0", m.Reg(0), m.Reg(1))
+	}
+}
+
+func TestOutput(t *testing.T) {
+	m := run(t, `
+		addi r1, r0, 72   ; 'H'
+		out r1
+		addi r1, r0, 105  ; 'i'
+		out r1
+		halt
+	`)
+	if string(m.Output()) != "Hi" {
+		t.Errorf("output = %q, want Hi", m.Output())
+	}
+}
+
+func TestStackConvention(t *testing.T) {
+	m := run(t, `
+		addi sp, sp, -8
+		li r1, 123
+		sw r1, 0(sp)
+		sw ra, 4(sp)
+		lw r2, 0(sp)
+		addi sp, sp, 8
+		halt
+	`)
+	if got := m.Reg(2); got != 123 {
+		t.Errorf("stack round trip: r2 = %d", got)
+	}
+	if got := m.Reg(isa.RegSP); got != program.StackTop {
+		t.Errorf("sp = %#x, want %#x", got, program.StackTop)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	m := run(t, "halt")
+	if _, err := m.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Step after halt: err = %v, want ErrHalted", err)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	p := asm.MustAssemble("spin", "loop: j loop")
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("executed %d, want 100", n)
+	}
+	if m.Halted() {
+		t.Error("spin loop should not halt")
+	}
+}
+
+func TestTraceFields(t *testing.T) {
+	p := asm.MustAssemble("t", `
+		addi r1, r0, 3
+		addi r2, r0, 3
+		beq r1, r2, skip
+		nop
+	skip:
+		la r4, w
+		lw r3, 0(r4)
+		sw r1, 4(r4)
+		halt
+	.data
+	w:
+		.word 77
+		.word 0
+	`)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []Trace
+	for !m.Halted() {
+		tr, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	// Branch trace.
+	br := traces[2]
+	if !br.Taken {
+		t.Error("beq equal should be taken")
+	}
+	if br.NextPC != br.Inst.BranchTarget(br.PC) {
+		t.Errorf("branch NextPC = %#x", br.NextPC)
+	}
+	// Load trace.
+	ld := traces[5]
+	if !ld.Inst.Op.IsLoad() || ld.Addr != program.DataBase || ld.Result != 77 || !ld.HasResult {
+		t.Errorf("load trace: %+v", ld)
+	}
+	// Store trace.
+	st := traces[6]
+	if !st.Inst.Op.IsStore() || st.Addr != program.DataBase+4 || st.StoreValue != 3 {
+		t.Errorf("store trace: %+v", st)
+	}
+	// Halt trace.
+	if !traces[len(traces)-1].Halt {
+		t.Error("last trace should be halt")
+	}
+}
+
+func TestFetchOutsideTextFails(t *testing.T) {
+	// Program without halt falls off the end of text.
+	p := asm.MustAssemble("t", "nop")
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Error("running off end of text should fail")
+	}
+}
+
+func TestUnalignedAccessFails(t *testing.T) {
+	p := asm.MustAssemble("t", `
+		la r1, buf
+		lw r2, 1(r1)
+		halt
+	.data
+	buf:
+		.space 8
+	`)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Error("unaligned lw should fail")
+	}
+}
+
+func TestMemoryCloneAndEqual(t *testing.T) {
+	p := asm.MustAssemble("t", "halt")
+	m1, err := program.LoadMemory(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m1.Clone()
+	if !m1.Equal(m2) {
+		t.Fatal("clone should be equal")
+	}
+	if err := m2.WriteWord(program.DataBase, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Equal(m2) {
+		t.Fatal("write to clone must not affect original")
+	}
+}
+
+// Recursive fibonacci via the stack exercises call/return and memory.
+func TestRecursiveFib(t *testing.T) {
+	m := run(t, `
+	main:
+		addi r4, r0, 10
+		jal fib
+		halt
+
+	; fib(n): n in r4, result in r5, clobbers r6
+	fib:
+		slti r6, r4, 2
+		beq r6, r0, recurse
+		add r5, r4, r0
+		jr ra
+	recurse:
+		addi sp, sp, -12
+		sw ra, 0(sp)
+		sw r4, 4(sp)
+		addi r4, r4, -1
+		jal fib
+		sw r5, 8(sp)
+		lw r4, 4(sp)
+		addi r4, r4, -2
+		jal fib
+		lw r6, 8(sp)
+		add r5, r5, r6
+		lw ra, 0(sp)
+		addi sp, sp, 12
+		jr ra
+	`)
+	if got := m.Reg(5); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}

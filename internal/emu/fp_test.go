@@ -1,0 +1,151 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"reese/internal/asm"
+	"reese/internal/isa"
+	"reese/internal/program"
+)
+
+// asmAssemble is a local alias so the FP tests read cleanly.
+func asmAssemble(name, src string) (*program.Program, error) {
+	return asm.Assemble(name, src)
+}
+
+func TestFPProgram(t *testing.T) {
+	m := run(t, `
+		; compute (3.0 + 1.5) * 2.0 / 4.0 - 0.25 = 2.0
+		li r1, 3
+		fcvtsw f1, r1         ; 3.0
+		li r1, 2
+		fcvtsw f2, r1         ; 2.0
+		li r1, 4
+		fcvtsw f3, r1         ; 4.0
+		li r1, 1
+		fcvtsw f4, r1
+		fdiv f4, f4, f3       ; 0.25
+		fdiv f5, f2, f3       ; 0.5
+		fmul f5, f5, f1       ; 1.5
+		fadd f6, f1, f5       ; 4.5
+		fmul f6, f6, f2       ; 9.0
+		fdiv f6, f6, f3       ; 2.25
+		fsub f6, f6, f4       ; 2.0
+		fcvtws r2, f6         ; 2
+		; compare path
+		feq r3, f6, f2        ; 2.0 == 2.0 -> 1
+		flt r4, f4, f6        ; 0.25 < 2.0 -> 1
+		halt
+	`)
+	if got := m.Reg(2); got != 2 {
+		t.Errorf("r2 = %d, want 2", got)
+	}
+	if m.Reg(3) != 1 || m.Reg(4) != 1 {
+		t.Errorf("fp compares: r3=%d r4=%d", m.Reg(3), m.Reg(4))
+	}
+	if got := math.Float32frombits(m.FReg(6)); got != 2.0 {
+		t.Errorf("f6 = %v, want 2.0", got)
+	}
+}
+
+func TestFPLoadsAndStores(t *testing.T) {
+	m := run(t, `
+		la r1, vals
+		lwf f1, 0(r1)
+		lwf f2, 4(r1)
+		fadd f3, f1, f2
+		swf f3, 8(r1)
+		lwf f4, 8(r1)
+		fcvtws r2, f4
+		halt
+	.data
+	vals:
+		.word 0x40200000      ; 2.5
+		.word 0x3fc00000      ; 1.5
+		.space 4
+	`)
+	if got := math.Float32frombits(m.FReg(3)); got != 4.0 {
+		t.Errorf("f3 = %v, want 4.0", got)
+	}
+	if got := m.Reg(2); got != 4 {
+		t.Errorf("r2 = %d, want 4", got)
+	}
+	// The stored word is the IEEE pattern for 4.0.
+	w, err := m.Mem().ReadWord(m.prog.Symbols["vals"] + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != math.Float32bits(4.0) {
+		t.Errorf("stored bits %#x", w)
+	}
+}
+
+func TestFPFileSeparation(t *testing.T) {
+	// f5 and r5 are distinct storage; f0 is not hardwired to zero.
+	m := run(t, `
+		li r5, 77
+		li r1, 3
+		mtf f5, r1
+		mff r6, f5
+		li r1, 9
+		mtf f0, r1
+		mff r7, f0
+		halt
+	`)
+	if m.Reg(5) != 77 {
+		t.Error("writing f5 must not clobber r5")
+	}
+	if m.Reg(6) != 3 {
+		t.Errorf("r6 = %d", m.Reg(6))
+	}
+	if m.Reg(7) != 9 {
+		t.Errorf("f0 must be writable (not hardwired): r7 = %d", m.Reg(7))
+	}
+}
+
+func TestFPMovesAreBitExact(t *testing.T) {
+	// mtf/mff transport raw bit patterns, not converted values.
+	m := run(t, `
+		li r1, 0x7fc00001     ; a signalling-ish NaN pattern
+		mtf f1, r1
+		fmov f2, f1
+		mff r2, f2
+		halt
+	`)
+	if m.Reg(2) != 0x7fc00001 {
+		t.Errorf("bit pattern %#x survived as %#x", 0x7fc00001, m.Reg(2))
+	}
+}
+
+func TestFPTraceCarriesBitPatterns(t *testing.T) {
+	p, err := asmAssemble("fp-trace", `
+		li r1, 2
+		fcvtsw f1, r1
+		fadd f2, f1, f1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Trace
+	for !m.Halted() {
+		tr, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Inst.Op == isa.OpFadd {
+			last = tr
+		}
+	}
+	if math.Float32frombits(last.A) != 2.0 || math.Float32frombits(last.Result) != 4.0 {
+		t.Errorf("fadd trace: A=%#x Result=%#x", last.A, last.Result)
+	}
+	if !last.HasResult {
+		t.Error("fadd has a result")
+	}
+}

@@ -1,0 +1,191 @@
+// Package fault injects soft errors into the simulated pipeline: single
+// bit flips in the outcome of a P-stream instruction, the fault model
+// the REESE paper assumes (arbitrary short-lived transients that affect
+// an instruction's result, §2 and §4.2).
+//
+// An Injector is consulted by the pipeline when a P-stream instruction
+// completes execution; if it fires, the latched result (the value that
+// would be written back and carried into the R-stream Queue) has one bit
+// flipped. REESE detects the corruption at the comparator; a baseline
+// machine silently propagates it.
+package fault
+
+import "reese/internal/emu"
+
+// NoBit is the FaultBit value meaning "no fault".
+const NoBit uint8 = 255
+
+// Target selects which latched outcome of an instruction a fault
+// corrupts.
+type Target uint8
+
+// Fault targets.
+const (
+	// TargetResult flips a bit in the destination-register value (or the
+	// next-PC for branches/jumps, the store value for stores).
+	TargetResult Target = iota
+	// TargetAddress flips a bit in a load/store effective address.
+	TargetAddress
+)
+
+// Injection describes one fault to apply.
+type Injection struct {
+	Bit    uint8
+	Target Target
+}
+
+// Injector decides, per completing P-stream instruction, whether to
+// inject a fault.
+type Injector interface {
+	// Decide is called once per P-stream completion with the
+	// instruction's sequence number and oracle trace. Returning ok=false
+	// injects nothing.
+	Decide(seq uint64, tr emu.Trace) (Injection, bool)
+}
+
+// None never injects. The zero value is ready to use.
+type None struct{}
+
+// Decide implements Injector.
+func (None) Decide(uint64, emu.Trace) (Injection, bool) { return Injection{}, false }
+
+// AtSeq injects a single fault into the instruction with the given
+// sequence number. The zero Bit flips bit 0.
+type AtSeq struct {
+	Seq    uint64
+	Bit    uint8
+	Target Target
+
+	fired bool
+}
+
+// Decide implements Injector.
+func (a *AtSeq) Decide(seq uint64, tr emu.Trace) (Injection, bool) {
+	if a.fired || seq != a.Seq {
+		return Injection{}, false
+	}
+	a.fired = true
+	return Injection{Bit: a.Bit % 32, Target: a.Target}, true
+}
+
+// Fired reports whether the fault has been injected.
+func (a *AtSeq) Fired() bool { return a.fired }
+
+// Periodic injects a fault every Interval instructions, cycling through
+// bit positions. It drives fault-injection campaigns.
+type Periodic struct {
+	// Interval is the sequence-number spacing between injections.
+	Interval uint64
+	// Start offsets the first injection.
+	Start uint64
+
+	injected uint64
+}
+
+// Decide implements Injector.
+func (p *Periodic) Decide(seq uint64, tr emu.Trace) (Injection, bool) {
+	if p.Interval == 0 || seq < p.Start || (seq-p.Start)%p.Interval != 0 {
+		return Injection{}, false
+	}
+	p.injected++
+	return Injection{Bit: uint8(p.injected % 32)}, true
+}
+
+// Injected returns how many faults have been injected.
+func (p *Periodic) Injected() uint64 { return p.injected }
+
+// Random injects faults with a fixed per-instruction probability using a
+// deterministic xorshift PRNG, so campaigns are reproducible.
+type Random struct {
+	// PerInst is the injection probability per instruction, expressed as
+	// numerator over 2^32 (e.g. 1<<22 ≈ 1 in 1024).
+	PerInst uint32
+
+	state    uint64
+	injected uint64
+}
+
+// NewRandom builds a Random injector with probability num/2^32 per
+// instruction and the given seed (0 is replaced with a fixed constant).
+func NewRandom(num uint32, seed uint64) *Random {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Random{PerInst: num, state: seed}
+}
+
+func (r *Random) next() uint64 {
+	// xorshift64*.
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Decide implements Injector.
+func (r *Random) Decide(seq uint64, tr emu.Trace) (Injection, bool) {
+	v := r.next()
+	if uint32(v) >= r.PerInst {
+		return Injection{}, false
+	}
+	r.injected++
+	return Injection{Bit: uint8(v>>32) % 32}, true
+}
+
+// Injected returns how many faults have been injected.
+func (r *Random) Injected() uint64 { return r.injected }
+
+// StuckUnit models a permanent fault in one functional unit: every
+// operation executed on unit Unit of kind Kind has bit Bit of its result
+// flipped. Unlike the transient Injector faults, this corrupts BOTH the
+// P-stream and any redundant execution that lands on the same unit —
+// the common-mode case that plain re-execution cannot detect and RESO
+// (recomputation with shifted operands, the paper's §3 reference [15])
+// can.
+type StuckUnit struct {
+	// Kind is the fu.Kind value of the faulty unit's class.
+	Kind uint8
+	// Unit is the index within the class.
+	Unit int
+	// Bit is the flipped result bit.
+	Bit uint8
+}
+
+// Mask returns the XOR mask the fault applies to a result computed on
+// the faulty unit.
+func (s StuckUnit) Mask() uint32 { return 1 << (s.Bit % 32) }
+
+// Hits reports whether an operation executed on (kind, unit) is
+// affected.
+func (s StuckUnit) Hits(kind uint8, unit int) bool {
+	return unit >= 0 && s.Kind == kind && s.Unit == unit
+}
+
+// Apply corrupts the latched P-stream outcomes of tr according to inj,
+// returning the corrupted (result, nextPC, addr, storeValue) tuple. The
+// faulted field depends on the instruction kind, mirroring where a
+// transient in the datapath would land.
+func Apply(inj Injection, tr emu.Trace) (result, nextPC, addr, storeValue uint32) {
+	result = tr.Result
+	nextPC = tr.NextPC
+	addr = tr.Addr
+	storeValue = tr.StoreValue
+	mask := uint32(1) << (inj.Bit % 32)
+	op := tr.Inst.Op
+	switch {
+	case inj.Target == TargetAddress && op.IsMem():
+		addr ^= mask
+	case op.IsStore():
+		storeValue ^= mask
+	case op.IsControl() && !tr.HasResult:
+		nextPC ^= mask
+	case tr.HasResult:
+		result ^= mask
+	default:
+		// halt/out and friends: fault the next PC (control corruption).
+		nextPC ^= mask
+	}
+	return result, nextPC, addr, storeValue
+}

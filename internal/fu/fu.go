@@ -1,0 +1,208 @@
+// Package fu models the pool of functional units the issue stage
+// allocates from: integer ALUs, integer multiplier/dividers, and memory
+// ports. REESE's "spare elements" are extra units added to this pool.
+//
+// Each unit tracks the cycle until which it is occupied (its issue
+// latency); an operation can only issue if a unit of its class is free
+// this cycle. Utilisation counters feed the idle-capacity analysis the
+// paper's argument rests on (§4.1: 30-40% of hardware idle per cycle).
+package fu
+
+import (
+	"fmt"
+
+	"reese/internal/isa"
+)
+
+// Kind is a pool resource type.
+type Kind uint8
+
+// Resource kinds. Loads and stores share memory ports, as in
+// SimpleScalar's machine model.
+const (
+	IntALU Kind = iota
+	IntMult
+	MemPort
+	FPALU
+	FPMult
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case IntALU:
+		return "int-alu"
+	case IntMult:
+		return "int-mult"
+	case MemPort:
+		return "mem-port"
+	case FPALU:
+		return "fp-alu"
+	case FPMult:
+		return "fp-mult"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// KindFor maps an opcode's class to the pool resource it needs.
+func KindFor(class isa.Class) Kind {
+	switch class {
+	case isa.ClassIntMult:
+		return IntMult
+	case isa.ClassMemRead, isa.ClassMemWrite:
+		return MemPort
+	case isa.ClassFPALU:
+		return FPALU
+	case isa.ClassFPMult:
+		return FPMult
+	default:
+		return IntALU
+	}
+}
+
+// Config is the number of units of each kind. The paper's Table 1
+// starting configuration is 4 integer ALUs, 1 integer multiplier/divider
+// and 2 memory ports.
+type Config struct {
+	IntALU  int
+	IntMult int
+	MemPort int
+	// FPALU and FPMult may be zero for a machine without FP datapaths;
+	// running FP code on such a machine deadlocks issue, so configure
+	// them if programs use the FP extension (Table 1: same counts as
+	// the integer complement).
+	FPALU  int
+	FPMult int
+}
+
+// Validate checks the unit counts.
+func (c Config) Validate() error {
+	if c.IntALU < 1 || c.IntMult < 1 || c.MemPort < 1 {
+		return fmt.Errorf("fu: every integer class needs at least one unit: %+v", c)
+	}
+	if c.FPALU < 0 || c.FPMult < 0 {
+		return fmt.Errorf("fu: negative FP unit count: %+v", c)
+	}
+	return nil
+}
+
+// AddSpares returns a configuration with extra units added — the REESE
+// spare elements (paper §4.5).
+func (c Config) AddSpares(alus, mults int) Config {
+	c.IntALU += alus
+	c.IntMult += mults
+	return c
+}
+
+// Stats counts per-kind pool activity.
+type Stats struct {
+	// Acquired is the number of successful unit acquisitions.
+	Acquired [numKinds]uint64
+	// BusyCycles accumulates unit-cycles of occupancy.
+	BusyCycles [numKinds]uint64
+	// Denied counts issue attempts that found no free unit.
+	Denied [numKinds]uint64
+}
+
+// AcquiredFor returns successful acquisitions of kind k.
+func (s *Stats) AcquiredFor(k Kind) uint64 { return s.Acquired[k] }
+
+// DeniedFor returns failed acquisitions of kind k.
+func (s *Stats) DeniedFor(k Kind) uint64 { return s.Denied[k] }
+
+// Pool is the set of functional units.
+type Pool struct {
+	cfg Config
+	// busyUntil[k][i] is the first cycle unit i of kind k is free.
+	busyUntil [numKinds][]uint64
+	stats     Stats
+}
+
+// NewPool builds a functional-unit pool.
+func NewPool(cfg Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{cfg: cfg}
+	p.busyUntil[IntALU] = make([]uint64, cfg.IntALU)
+	p.busyUntil[IntMult] = make([]uint64, cfg.IntMult)
+	p.busyUntil[MemPort] = make([]uint64, cfg.MemPort)
+	p.busyUntil[FPALU] = make([]uint64, cfg.FPALU)
+	p.busyUntil[FPMult] = make([]uint64, cfg.FPMult)
+	return p, nil
+}
+
+// Config returns the pool's unit counts.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Count returns the number of units of kind k.
+func (p *Pool) Count(k Kind) int { return len(p.busyUntil[k]) }
+
+// Free returns how many units of kind k are free at cycle now.
+func (p *Pool) Free(k Kind, now uint64) int {
+	n := 0
+	for _, bu := range p.busyUntil[k] {
+		if bu <= now {
+			n++
+		}
+	}
+	return n
+}
+
+// Acquire tries to claim a unit of kind k at cycle now for issueLat
+// cycles. It returns false (and counts a denial) if none is free.
+func (p *Pool) Acquire(k Kind, now uint64, issueLat int) bool {
+	_, ok := p.AcquireUnit(k, now, issueLat)
+	return ok
+}
+
+// AcquireUnit is Acquire returning which unit was claimed — needed by
+// unit-level fault modelling (a stuck functional unit corrupts exactly
+// the operations that execute on it).
+func (p *Pool) AcquireUnit(k Kind, now uint64, issueLat int) (int, bool) {
+	units := p.busyUntil[k]
+	for i := range units {
+		if units[i] <= now {
+			units[i] = now + uint64(issueLat)
+			p.stats.Acquired[k]++
+			p.stats.BusyCycles[k] += uint64(issueLat)
+			return i, true
+		}
+	}
+	p.stats.Denied[k]++
+	return -1, false
+}
+
+// AcquireFor is Acquire keyed by an opcode (class and issue latency come
+// from the ISA metadata).
+func (p *Pool) AcquireFor(op isa.Op, now uint64) bool {
+	return p.Acquire(KindFor(op.Class()), now, op.IssueLatency())
+}
+
+// Reset clears all occupancy (used on pipeline flush; in-flight
+// operations are squashed).
+func (p *Pool) Reset() {
+	for k := range p.busyUntil {
+		for i := range p.busyUntil[k] {
+			p.busyUntil[k][i] = 0
+		}
+	}
+}
+
+// Stats returns a copy of the pool's counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Utilization returns the mean fraction of kind-k units busy over
+// elapsed cycles.
+func (p *Pool) Utilization(k Kind, elapsed uint64) float64 {
+	n := uint64(len(p.busyUntil[k]))
+	if n == 0 || elapsed == 0 {
+		return 0
+	}
+	u := float64(p.stats.BusyCycles[k]) / float64(n*elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

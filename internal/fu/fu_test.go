@@ -1,0 +1,180 @@
+package fu
+
+import (
+	"testing"
+
+	"reese/internal/isa"
+)
+
+func pool(t *testing.T, alu, mult, mem int) *Pool {
+	t.Helper()
+	p, err := NewPool(Config{IntALU: alu, IntMult: mult, MemPort: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKindFor(t *testing.T) {
+	if KindFor(isa.ClassIntALU) != IntALU {
+		t.Error("alu mapping")
+	}
+	if KindFor(isa.ClassIntMult) != IntMult {
+		t.Error("mult mapping")
+	}
+	if KindFor(isa.ClassMemRead) != MemPort || KindFor(isa.ClassMemWrite) != MemPort {
+		t.Error("loads and stores must share memory ports")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{IntALU: 0, IntMult: 1, MemPort: 1}).Validate(); err == nil {
+		t.Error("zero ALUs should be invalid")
+	}
+	if err := (Config{IntALU: 4, IntMult: 1, MemPort: 2}).Validate(); err != nil {
+		t.Errorf("table-1 config rejected: %v", err)
+	}
+}
+
+func TestAddSpares(t *testing.T) {
+	base := Config{IntALU: 4, IntMult: 1, MemPort: 2}
+	s := base.AddSpares(2, 1)
+	if s.IntALU != 6 || s.IntMult != 2 || s.MemPort != 2 {
+		t.Errorf("spares: %+v", s)
+	}
+	if base.IntALU != 4 {
+		t.Error("AddSpares must not mutate the receiver")
+	}
+}
+
+func TestAcquireExhaustion(t *testing.T) {
+	p := pool(t, 2, 1, 1)
+	if !p.Acquire(IntALU, 10, 1) || !p.Acquire(IntALU, 10, 1) {
+		t.Fatal("two ALUs should be free")
+	}
+	if p.Acquire(IntALU, 10, 1) {
+		t.Fatal("third acquire in same cycle should fail")
+	}
+	// Next cycle both are free again.
+	if p.Free(IntALU, 11) != 2 {
+		t.Errorf("free at 11 = %d", p.Free(IntALU, 11))
+	}
+	s := p.Stats()
+	if s.AcquiredFor(IntALU) != 2 || s.DeniedFor(IntALU) != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestOccupancyBlocksReuse(t *testing.T) {
+	p := pool(t, 1, 1, 1)
+	// Divide occupies its unit for 19 cycles.
+	if !p.Acquire(IntMult, 100, 19) {
+		t.Fatal("acquire")
+	}
+	if p.Acquire(IntMult, 110, 1) {
+		t.Error("unit should still be busy at 110")
+	}
+	if !p.Acquire(IntMult, 119, 1) {
+		t.Error("unit should be free at 119")
+	}
+}
+
+func TestAcquireForUsesISALatency(t *testing.T) {
+	p := pool(t, 1, 1, 1)
+	if !p.AcquireFor(isa.OpDiv, 0) {
+		t.Fatal("acquire div")
+	}
+	// Divide's issue latency is 19: a multiply cannot issue until then.
+	if p.AcquireFor(isa.OpMul, 5) {
+		t.Error("mult unit should be occupied by divide")
+	}
+	if !p.AcquireFor(isa.OpMul, uint64(isa.OpDiv.IssueLatency())) {
+		t.Error("mult should issue after divide occupancy ends")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := pool(t, 1, 1, 1)
+	p.Acquire(IntMult, 0, 100)
+	p.Reset()
+	if !p.Acquire(IntMult, 1, 1) {
+		t.Error("reset should free all units")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := pool(t, 2, 1, 1)
+	p.Acquire(IntALU, 0, 1)
+	p.Acquire(IntALU, 1, 1)
+	// 2 busy unit-cycles over 2 units × 2 cycles = 0.5.
+	if got := p.Utilization(IntALU, 2); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if got := p.Utilization(IntMult, 0); got != 0 {
+		t.Errorf("zero-elapsed utilization = %v", got)
+	}
+}
+
+func TestFreeCount(t *testing.T) {
+	p := pool(t, 4, 1, 2)
+	if p.Free(IntALU, 0) != 4 || p.Free(MemPort, 0) != 2 {
+		t.Error("initial free counts")
+	}
+	p.Acquire(MemPort, 0, 1)
+	if p.Free(MemPort, 0) != 1 {
+		t.Error("free after acquire")
+	}
+}
+
+func TestCount(t *testing.T) {
+	p := pool(t, 4, 1, 2)
+	if p.Count(IntALU) != 4 || p.Count(IntMult) != 1 || p.Count(MemPort) != 2 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestFPKinds(t *testing.T) {
+	if KindFor(isa.ClassFPALU) != FPALU || KindFor(isa.ClassFPMult) != FPMult {
+		t.Error("FP class mapping")
+	}
+	p, err := NewPool(Config{IntALU: 1, IntMult: 1, MemPort: 1, FPALU: 2, FPMult: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count(FPALU) != 2 || p.Count(FPMult) != 1 {
+		t.Error("FP unit counts")
+	}
+	if !p.AcquireFor(isa.OpFadd, 0) || !p.AcquireFor(isa.OpFadd, 0) {
+		t.Error("two FP ALUs should acquire")
+	}
+	if p.AcquireFor(isa.OpFsub, 0) {
+		t.Error("third FP ALU acquire should fail")
+	}
+	// Zero FP units is a legal config (integer-only machine).
+	z, err := NewPool(Config{IntALU: 1, IntMult: 1, MemPort: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.AcquireFor(isa.OpFadd, 0) {
+		t.Error("no FP units: acquire must fail")
+	}
+	if (Config{IntALU: 1, IntMult: 1, MemPort: 1, FPALU: -1}).Validate() == nil {
+		t.Error("negative FP count should be invalid")
+	}
+}
+
+func TestFdivOccupancy(t *testing.T) {
+	p, err := NewPool(Config{IntALU: 1, IntMult: 1, MemPort: 1, FPALU: 1, FPMult: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AcquireFor(isa.OpFdiv, 0) {
+		t.Fatal("fdiv acquire")
+	}
+	if p.AcquireFor(isa.OpFmul, 5) {
+		t.Error("FP mult unit should be occupied by the divide")
+	}
+	if !p.AcquireFor(isa.OpFmul, uint64(isa.OpFdiv.IssueLatency())) {
+		t.Error("FP mult should issue after divide occupancy")
+	}
+}

@@ -1,0 +1,326 @@
+package harness
+
+import (
+	"fmt"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+	"reese/internal/pipeline"
+	"reese/internal/stats"
+	"reese/internal/workload"
+)
+
+// CampaignResult summarises a fault-injection campaign on one workload.
+type CampaignResult struct {
+	Workload string
+	Config   string
+
+	Injected  uint64
+	Detected  uint64
+	Silent    uint64
+	Recovered uint64
+
+	// Coverage is detected/injected.
+	Coverage float64
+	// DetectionLatencyMean/P95/Max summarise cycles from fault injection
+	// (P-stream writeback) to comparator detection. This is the paper's
+	// Δt argument (§2): the RSQ transit time separates the two
+	// executions.
+	DetectionLatencyMean float64
+	DetectionLatencyP95  uint64
+	DetectionLatencyMax  uint64
+
+	// CleanIPC and FaultyIPC show the performance cost of recoveries.
+	CleanIPC  float64
+	FaultyIPC float64
+}
+
+// Campaign injects a fault every interval committed instructions into
+// workloadName running on cfg, and reports coverage and detection
+// latency. A REESE machine should detect every result fault; a baseline
+// machine detects none.
+func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Options) (CampaignResult, error) {
+	opt = opt.normalize()
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return CampaignResult{}, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	prog, err := spec.Build(spec.DefaultIters * 2)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	clean, err := pipeline.New(cfg, prog, fault.None{})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	cleanRes, err := clean.Run(opt.Insts)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	prog2, err := spec.Build(spec.DefaultIters * 2)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	inj := &fault.Periodic{Interval: interval, Start: interval / 2}
+	cpu, err := pipeline.New(cfg, prog2, inj)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	res, err := cpu.Run(opt.Insts)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	out := CampaignResult{
+		Workload:             workloadName,
+		Config:               cfg.Name,
+		Injected:             res.FaultsInjected,
+		Detected:             res.FaultsDetected,
+		Silent:               res.FaultsSilent,
+		Recovered:            res.Recoveries,
+		DetectionLatencyMean: res.DetectionLatencyMean,
+		DetectionLatencyMax:  res.DetectionLatencyMax,
+		CleanIPC:             cleanRes.IPC,
+		FaultyIPC:            res.IPC,
+	}
+	if h := cpu.DetectionLatencies(); h.Count() > 0 {
+		out.DetectionLatencyP95 = h.Percentile(95)
+	}
+	if res.FaultsInjected > 0 {
+		out.Coverage = float64(res.FaultsDetected) / float64(res.FaultsInjected)
+	}
+	return out, nil
+}
+
+// CampaignAll runs the fault campaign on every workload for both the
+// REESE machine and the baseline, and renders the comparison.
+func CampaignAll(interval uint64, opt Options) (string, []CampaignResult, error) {
+	t := stats.NewTable("Fault injection: coverage and detection latency (REESE vs baseline)",
+		"bench", "machine", "injected", "detected", "silent", "coverage", "lat-mean", "lat-p95", "IPC clean", "IPC faulty")
+	var all []CampaignResult
+	for _, name := range workload.Names() {
+		for _, cfg := range []config.Machine{
+			config.Starting().WithReese(),
+			config.Starting(),
+		} {
+			r, err := Campaign(cfg, name, 10_000, opt)
+			if err != nil {
+				return "", nil, err
+			}
+			machine := "baseline"
+			if cfg.Reese.Enabled {
+				machine = "REESE"
+			}
+			t.AddRow(name, machine,
+				fmt.Sprint(r.Injected), fmt.Sprint(r.Detected), fmt.Sprint(r.Silent),
+				fmt.Sprintf("%.0f%%", r.Coverage*100),
+				fmt.Sprintf("%.1f", r.DetectionLatencyMean),
+				fmt.Sprint(r.DetectionLatencyP95),
+				fmt.Sprintf("%.3f", r.CleanIPC), fmt.Sprintf("%.3f", r.FaultyIPC))
+			all = append(all, r)
+		}
+	}
+	return t.String(), all, nil
+}
+
+// SpareSearch answers the paper's central question directly: how many
+// spare integer ALUs does a given configuration need before the REESE
+// machine's average IPC comes within tolerance (a fraction, e.g. 0.02)
+// of the baseline's? It returns the spare count and the gap at each
+// step.
+func SpareSearch(base config.Machine, maxSpares int, tolerance float64, opt Options) (int, []float64, error) {
+	opt = opt.normalize()
+	baseAvg, err := averageIPC(base, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	var gaps []float64
+	for n := 0; n <= maxSpares; n++ {
+		cfg := base.WithReese()
+		if n > 0 {
+			cfg = cfg.WithSpares(n, 0)
+		}
+		avg, err := averageIPC(cfg, opt)
+		if err != nil {
+			return 0, nil, err
+		}
+		gap := (baseAvg - avg) / baseAvg
+		gaps = append(gaps, gap*100)
+		if gap <= tolerance {
+			return n, gaps, nil
+		}
+	}
+	return -1, gaps, nil
+}
+
+func averageIPC(cfg config.Machine, opt Options) (float64, error) {
+	var sum float64
+	for _, name := range workload.Names() {
+		res, err := runOne(cfg, name, opt)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.IPC
+	}
+	return sum / float64(len(workload.Names())), nil
+}
+
+// RSQSweep is the DESIGN.md §7 ablation: REESE average IPC as a function
+// of R-stream Queue size, exposing the paper's "appropriate length"
+// sensitivity (§4.3).
+func RSQSweep(sizes []int, opt Options) (string, map[int]float64, error) {
+	opt = opt.normalize()
+	out := make(map[int]float64, len(sizes))
+	t := stats.NewTable("Ablation: R-stream Queue size vs average IPC (starting config)",
+		"rsq size", "avg IPC", "gap vs baseline %")
+	baseAvg, err := averageIPC(config.Starting(), opt)
+	if err != nil {
+		return "", nil, err
+	}
+	for _, size := range sizes {
+		avg, err := averageIPC(config.Starting().WithReese().WithRSQ(size), opt)
+		if err != nil {
+			return "", nil, err
+		}
+		out[size] = avg
+		t.AddRow(fmt.Sprint(size), fmt.Sprintf("%.3f", avg),
+			fmt.Sprintf("%.1f", stats.PercentDelta(baseAvg, avg)))
+	}
+	return t.String(), out, nil
+}
+
+// PartialReexecSweep is the paper's §7 future-work experiment:
+// re-execute only one in every n instructions, trading coverage for
+// speed. Coverage is measured with randomly-placed faults (a periodic
+// injector would alias with the deterministic skip pattern and report
+// all-or-nothing coverage).
+func PartialReexecSweep(everies []int, opt Options) (string, error) {
+	opt = opt.normalize()
+	t := stats.NewTable("Ablation: partial re-execution (paper §7 future work)",
+		"re-execute 1/N", "avg IPC", "gap vs baseline %", "coverage of injected faults")
+	baseAvg, err := averageIPC(config.Starting(), opt)
+	if err != nil {
+		return "", err
+	}
+	for _, n := range everies {
+		cfg := config.Starting().WithReese().WithPartialReexec(n)
+		avg, err := averageIPC(cfg, opt)
+		if err != nil {
+			return "", err
+		}
+		coverage, err := randomFaultCoverage(cfg, "gcc", opt)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(fmt.Sprintf("1/%d", n), fmt.Sprintf("%.3f", avg),
+			fmt.Sprintf("%.1f", stats.PercentDelta(baseAvg, avg)),
+			fmt.Sprintf("%.0f%%", coverage*100))
+	}
+	return t.String(), nil
+}
+
+// randomFaultCoverage injects randomly-placed faults (roughly one per
+// 2000 instructions) and returns the detected fraction.
+func randomFaultCoverage(cfg config.Machine, workloadName string, opt Options) (float64, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return 0, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	prog, err := spec.Build(spec.DefaultIters * 2)
+	if err != nil {
+		return 0, err
+	}
+	inj := fault.NewRandom(1<<32/2000, 0xFEED)
+	cpu, err := pipeline.New(cfg, prog, inj)
+	if err != nil {
+		return 0, err
+	}
+	res, err := cpu.Run(opt.Insts)
+	if err != nil {
+		return 0, err
+	}
+	if res.FaultsInjected == 0 {
+		return 0, nil
+	}
+	return float64(res.FaultsDetected) / float64(res.FaultsInjected), nil
+}
+
+// IdleCapacity measures the §4.1 premise: the fraction of issue slots
+// and functional units a baseline machine leaves idle.
+func IdleCapacity(opt Options) (string, error) {
+	opt = opt.normalize()
+	t := stats.NewTable("Idle capacity on the baseline (paper §4.1 premise)",
+		"bench", "IPC", "of width", "ALU util", "Mult util", "MemPort util")
+	for _, name := range workload.Names() {
+		res, err := runOne(config.Starting(), name, opt)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", res.IPC),
+			fmt.Sprintf("%.0f%%", res.IPC/float64(config.Starting().Width)*100),
+			fmt.Sprintf("%.0f%%", res.ALUUtil*100),
+			fmt.Sprintf("%.0f%%", res.MultUtil*100),
+			fmt.Sprintf("%.0f%%", res.MemPortUtil*100))
+	}
+	return t.String(), nil
+}
+
+// BitGridResult is one cell of a bit-position injection grid.
+type BitGridResult struct {
+	Bit      uint8
+	Detected bool
+	Latency  uint64
+}
+
+// BitGrid injects one fault per bit position (0-31) at a fixed point in
+// the workload and reports detection per position — demonstrating the
+// comparator's single-bit completeness on real pipeline timing rather
+// than in unit isolation.
+func BitGrid(cfg config.Machine, workloadName string, atSeq uint64, opt Options) ([]BitGridResult, error) {
+	opt = opt.normalize()
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	out := make([]BitGridResult, 0, 32)
+	for bit := uint8(0); bit < 32; bit++ {
+		prog, err := spec.Build(spec.DefaultIters)
+		if err != nil {
+			return nil, err
+		}
+		inj := &fault.AtSeq{Seq: atSeq, Bit: bit}
+		cpu, err := pipeline.New(cfg, prog, inj)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cpu.Run(atSeq + 20_000)
+		if err != nil {
+			return nil, err
+		}
+		cell := BitGridResult{Bit: bit, Detected: res.FaultsDetected == 1}
+		if cell.Detected {
+			cell.Latency = uint64(res.DetectionLatencyMean)
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// BitGridTable renders the grid.
+func BitGridTable(grid []BitGridResult) string {
+	t := stats.NewTable("Fault grid: one bit flip per position (detection + latency)",
+		"bit", "detected", "latency (cycles)")
+	for _, c := range grid {
+		det := "no"
+		lat := "-"
+		if c.Detected {
+			det = "yes"
+			lat = fmt.Sprint(c.Latency)
+		}
+		t.AddRow(fmt.Sprint(c.Bit), det, lat)
+	}
+	return t.String()
+}

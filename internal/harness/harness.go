@@ -1,0 +1,429 @@
+// Package harness regenerates the REESE paper's evaluation: one
+// experiment per table and figure (Tables 1-2, Figures 2-7), plus the
+// paper's §6.1 claims, the fault-injection behaviour of §4.2-4.3, and
+// the ablations DESIGN.md §7 calls out.
+//
+// Each experiment runs the six Table 2 workloads on a set of machine
+// variants and renders the same rows/series the paper reports. Runs are
+// deterministic; variants of one experiment run concurrently.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+	"reese/internal/fu"
+	"reese/internal/pipeline"
+	"reese/internal/stats"
+	"reese/internal/workload"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Insts is the committed-instruction budget per run. The paper ran
+	// 100 M; the default 150k keeps a full figure under a second while
+	// past the point where the IPC statistics stabilise for these
+	// workloads.
+	Insts uint64
+	// Iters overrides the workloads' outer iteration count (0 = enough
+	// for Insts).
+	Iters int
+	// Parallel bounds concurrent simulations (0 = number of variants).
+	Parallel int
+}
+
+// DefaultOptions returns the scale used by the test suite and benches.
+func DefaultOptions() Options { return Options{Insts: 150_000} }
+
+func (o Options) normalize() Options {
+	if o.Insts == 0 {
+		o.Insts = 150_000
+	}
+	return o
+}
+
+// Cell is one bar of a figure: a (workload, variant) IPC measurement.
+type Cell struct {
+	Workload string
+	Variant  string
+	Result   pipeline.Result
+}
+
+// FigureResult is a regenerated figure: a grid of IPC values, one row
+// per workload plus the average row the paper's analysis leans on.
+type FigureResult struct {
+	ID       string
+	Title    string
+	Variants []string
+	// IPC[workload][variant] in the order of Workloads()/Variants.
+	IPC       map[string]map[string]float64
+	Workloads []string
+	Cells     []Cell
+}
+
+// Average returns the across-workload mean IPC for the given variant.
+func (f *FigureResult) Average(variant string) float64 {
+	var xs []float64
+	for _, w := range f.Workloads {
+		xs = append(xs, f.IPC[w][variant])
+	}
+	return stats.Mean(xs)
+}
+
+// GapPercent returns how far variant's average IPC falls below the
+// baseline variant's, in percent.
+func (f *FigureResult) GapPercent(baseline, variant string) float64 {
+	return stats.PercentDelta(f.Average(baseline), f.Average(variant))
+}
+
+// Table renders the figure as an aligned text table with the AV row.
+func (f *FigureResult) Table() string {
+	headers := append([]string{"bench"}, f.Variants...)
+	t := stats.NewTable(fmt.Sprintf("%s: %s (committed IPC)", f.ID, f.Title), headers...)
+	for _, w := range f.Workloads {
+		row := []string{w}
+		for _, v := range f.Variants {
+			row = append(row, fmt.Sprintf("%.3f", f.IPC[w][v]))
+		}
+		t.AddRow(row...)
+	}
+	avRow := []string{"AV"}
+	for _, v := range f.Variants {
+		avRow = append(avRow, fmt.Sprintf("%.3f", f.Average(v)))
+	}
+	t.AddRow(avRow...)
+	return t.String()
+}
+
+// variant pairs a display label with a machine configuration.
+type variant struct {
+	label string
+	cfg   config.Machine
+}
+
+// spareSet returns the five bar groups the paper's Figures 2-4 plot:
+// baseline, REESE, and REESE with 1 ALU / 2 ALUs / 2 ALUs + 1 multiplier
+// of spare capacity.
+func spareSet(base config.Machine) []variant {
+	return []variant{
+		{"Baseline", base},
+		{"REESE", base.WithReese()},
+		{"R+1ALU", base.WithReese().WithSpares(1, 0)},
+		{"R+2ALU", base.WithReese().WithSpares(2, 0)},
+		{"R+2ALU+1Mult", base.WithReese().WithSpares(2, 1)},
+	}
+}
+
+// runGrid simulates every (workload, variant) pair, in parallel across
+// cells, and assembles a FigureResult.
+func runGrid(id, title string, variants []variant, opt Options) (*FigureResult, error) {
+	opt = opt.normalize()
+	names := workload.Names()
+	fig := &FigureResult{
+		ID:        id,
+		Title:     title,
+		Workloads: names,
+		IPC:       make(map[string]map[string]float64, len(names)),
+	}
+	for _, v := range variants {
+		fig.Variants = append(fig.Variants, v.label)
+	}
+	for _, w := range names {
+		fig.IPC[w] = make(map[string]float64, len(variants))
+	}
+
+	type job struct {
+		w string
+		v variant
+	}
+	var jobs []job
+	for _, w := range names {
+		for _, v := range variants {
+			jobs = append(jobs, job{w, v})
+		}
+	}
+	par := opt.Parallel
+	if par <= 0 {
+		par = len(variants)
+	}
+	sem := make(chan struct{}, par)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runOne(j.v.cfg, j.w, opt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", j.w, j.v.label, err)
+				}
+				return
+			}
+			fig.IPC[j.w][j.v.label] = res.IPC
+			fig.Cells = append(fig.Cells, Cell{Workload: j.w, Variant: j.v.label, Result: res})
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(fig.Cells, func(i, k int) bool {
+		if fig.Cells[i].Workload != fig.Cells[k].Workload {
+			return fig.Cells[i].Workload < fig.Cells[k].Workload
+		}
+		return fig.Cells[i].Variant < fig.Cells[k].Variant
+	})
+	return fig, nil
+}
+
+func runOne(cfg config.Machine, workloadName string, opt Options) (pipeline.Result, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return pipeline.Result{}, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	iters := opt.Iters
+	if iters == 0 {
+		// Size the program comfortably past the instruction budget
+		// (DefaultIters yields roughly 150-400k dynamic instructions).
+		scale := int(opt.Insts/150_000) + 2
+		iters = spec.DefaultIters * scale
+	}
+	prog, err := spec.Build(iters)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	cpu, err := pipeline.New(cfg, prog, fault.None{})
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	return cpu.Run(opt.Insts)
+}
+
+// Figure2 regenerates the paper's Figure 2: REESE versus baseline on the
+// Table 1 starting configuration, with the spare-element bar groups.
+func Figure2(opt Options) (*FigureResult, error) {
+	return runGrid("Figure 2", "initial comparison, Table 1 starting configuration",
+		spareSet(config.Starting()), opt)
+}
+
+// Figure3 regenerates Figure 3: RUU doubled to 32, LSQ to 16.
+func Figure3(opt Options) (*FigureResult, error) {
+	return runGrid("Figure 3", "RUU size = 32 and LSQ size = 16",
+		spareSet(config.Starting().WithRUU(32)), opt)
+}
+
+// Figure4 regenerates Figure 4: the 16-wide datapath (on top of the
+// doubled RUU/LSQ, as in the paper's sequence).
+func Figure4(opt Options) (*FigureResult, error) {
+	return runGrid("Figure 4", "16-wide datapath (RUU 32, LSQ 16)",
+		spareSet(config.Starting().WithRUU(32).WithWidth(16)), opt)
+}
+
+// Figure5 regenerates Figure 5: additional memory ports (4 instead of
+// 2). As in the paper, the 2ALU+1Mult bar is dropped — the extra
+// multiplier makes no difference at this point.
+func Figure5(opt Options) (*FigureResult, error) {
+	base := config.Starting().WithRUU(32).WithWidth(16).WithMemPorts(4)
+	variants := []variant{
+		{"Baseline", base},
+		{"REESE", base.WithReese()},
+		{"R+1ALU", base.WithReese().WithSpares(1, 0)},
+		{"R+2ALU", base.WithReese().WithSpares(2, 0)},
+	}
+	return runGrid("Figure 5", "additional memory ports (4)", variants, opt)
+}
+
+// SummaryRow is one point of Figure 6: the average REESE-vs-baseline
+// picture for one hardware configuration.
+type SummaryRow struct {
+	Config       string
+	BaselineIPC  float64
+	ReeseIPC     float64
+	Spared2IPC   float64 // REESE + 2 spare ALUs
+	GapPercent   float64 // baseline -> REESE
+	SparedGapPct float64 // baseline -> REESE+2ALU
+}
+
+// Figure6 regenerates Figure 6, the summary over the four hardware
+// configurations of Figures 2-5.
+func Figure6(opt Options) ([]SummaryRow, error) {
+	figs := []struct {
+		name string
+		f    func(Options) (*FigureResult, error)
+	}{
+		{"None", Figure2},
+		{"RUU,LSQ 2X", Figure3},
+		{"Ex. Q 2X", Figure4},
+		{"MemPorts", Figure5},
+	}
+	rows := make([]SummaryRow, 0, len(figs))
+	for _, fg := range figs {
+		fig, err := fg.f(opt)
+		if err != nil {
+			return nil, err
+		}
+		row := SummaryRow{
+			Config:       fg.name,
+			BaselineIPC:  fig.Average("Baseline"),
+			ReeseIPC:     fig.Average("REESE"),
+			Spared2IPC:   fig.Average("R+2ALU"),
+			GapPercent:   fig.GapPercent("Baseline", "REESE"),
+			SparedGapPct: fig.GapPercent("Baseline", "R+2ALU"),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure6Table renders the summary rows.
+func Figure6Table(rows []SummaryRow) string {
+	t := stats.NewTable("Figure 6: summary of results (average IPC and REESE gap)",
+		"config", "baseline", "REESE", "R+2ALU", "gap%", "gap%+2ALU")
+	for _, r := range rows {
+		t.AddRowf(r.Config, r.BaselineIPC, r.ReeseIPC, r.Spared2IPC, r.GapPercent, r.SparedGapPct)
+	}
+	return t.String()
+}
+
+// Figure7Point is one x-position of Figure 7.
+type Figure7Point struct {
+	Label       string
+	BaselineIPC float64
+	ReeseIPC    float64
+	Reese2AIPC  float64
+	GapPercent  float64
+	Gap2APct    float64
+}
+
+// Figure7 regenerates Figure 7: baseline vs REESE vs REESE+2ALU for
+// RUU = 64 and 256, each with and without a doubled functional-unit
+// complement. The R-stream Queue grows to 64 on these machines, per the
+// paper's §4.3 note that the buffer must be set to an appropriate
+// length for the machine (32 entries throttle a 256-entry-RUU REESE by
+// themselves).
+func Figure7(opt Options) ([]Figure7Point, error) {
+	doubled := fu.Config{IntALU: 8, IntMult: 2, MemPort: 4, FPALU: 8, FPMult: 2}
+	points := []struct {
+		label string
+		cfg   config.Machine
+	}{
+		{"RUU=64", config.Starting().WithRUU(64)},
+		{"RUU=64+FUs", config.Starting().WithRUU(64).WithFUs(doubled)},
+		{"RUU=256", config.Starting().WithRUU(256)},
+		{"RUU=256+FUs", config.Starting().WithRUU(256).WithFUs(doubled)},
+	}
+	out := make([]Figure7Point, 0, len(points))
+	for _, p := range points {
+		variants := []variant{
+			{"Baseline", p.cfg},
+			{"REESE", p.cfg.WithReese().WithRSQ(64)},
+			{"R+2ALU", p.cfg.WithReese().WithRSQ(64).WithSpares(2, 0)},
+		}
+		fig, err := runGrid("Figure 7", p.label, variants, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure7Point{
+			Label:       p.label,
+			BaselineIPC: fig.Average("Baseline"),
+			ReeseIPC:    fig.Average("REESE"),
+			Reese2AIPC:  fig.Average("R+2ALU"),
+			GapPercent:  fig.GapPercent("Baseline", "REESE"),
+			Gap2APct:    fig.GapPercent("Baseline", "R+2ALU"),
+		})
+	}
+	return out, nil
+}
+
+// Figure7Table renders the Figure 7 series.
+func Figure7Table(points []Figure7Point) string {
+	t := stats.NewTable("Figure 7: REESE vs baseline for even more hardware (average IPC)",
+		"config", "baseline", "REESE", "R+2ALU", "gap%", "gap%+2ALU")
+	for _, p := range points {
+		t.AddRowf(p.Label, p.BaselineIPC, p.ReeseIPC, p.Reese2AIPC, p.GapPercent, p.Gap2APct)
+	}
+	return t.String()
+}
+
+// Table1 renders the starting configuration as the paper's Table 1.
+func Table1() string {
+	m := config.Starting()
+	t := stats.NewTable("Table 1: simulator options (starting configuration)", "parameter", "value")
+	t.AddRow("Fetch Queue Size", fmt.Sprint(m.FetchQueueSize))
+	t.AddRow("Max IPC for Other Pipeline Stages", fmt.Sprint(m.Width))
+	t.AddRow("Issue Width", fmt.Sprint(m.IssueWidth))
+	t.AddRow("RUU Size", fmt.Sprint(m.RUUSize))
+	t.AddRow("LSQ Size", fmt.Sprint(m.LSQSize))
+	t.AddRow("Functional Units", fmt.Sprintf("%d IntALU, %d IntMult/Div, %d MemPorts",
+		m.FU.IntALU, m.FU.IntMult, m.FU.MemPort))
+	t.AddRow("L1 Data Cache", describeCache(m, "dl1"))
+	t.AddRow("L1 Inst. Cache", describeCache(m, "il1"))
+	t.AddRow("L2 Cache", describeCache(m, "ul2"))
+	t.AddRow("Branch Predictor", fmt.Sprintf("gshare, %d-bit history", m.GshareBits))
+	t.AddRow("R-stream Queue", fmt.Sprint(m.Reese.RSQSize))
+	return t.String()
+}
+
+func describeCache(m config.Machine, name string) string {
+	switch name {
+	case "dl1":
+		c := m.Memory.L1D
+		return fmt.Sprintf("%d KB, %d-way, %d-cycle hit", c.SizeBytes/1024, c.Assoc, c.HitLatency)
+	case "il1":
+		c := m.Memory.L1I
+		return fmt.Sprintf("%d KB, %d-way, %d-cycle hit", c.SizeBytes/1024, c.Assoc, c.HitLatency)
+	default:
+		c := m.Memory.L2
+		return fmt.Sprintf("%d KB, %d-way, %d-cycle hit", c.SizeBytes/1024, c.Assoc, c.HitLatency)
+	}
+}
+
+// Table2 renders the benchmark roster as the paper's Table 2.
+func Table2() string {
+	t := stats.NewTable("Table 2: benchmark programs and inputs", "benchmark", "input", "signature")
+	for _, s := range workload.All() {
+		t.AddRow(s.Name, s.Input, s.Signature)
+	}
+	return t.String()
+}
+
+// AllFigures runs every figure and returns the rendered report.
+func AllFigures(opt Options) (string, error) {
+	var b strings.Builder
+	b.WriteString(Table1())
+	b.WriteByte('\n')
+	b.WriteString(Table2())
+	b.WriteByte('\n')
+	for _, f := range []func(Options) (*FigureResult, error){Figure2, Figure3, Figure4, Figure5} {
+		fig, err := f(opt)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(fig.Table())
+		b.WriteByte('\n')
+	}
+	rows, err := Figure6(opt)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(Figure6Table(rows))
+	b.WriteByte('\n')
+	points, err := Figure7(opt)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(Figure7Table(points))
+	return b.String(), nil
+}

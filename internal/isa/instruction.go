@@ -1,0 +1,118 @@
+package isa
+
+import "fmt"
+
+// Reg is a general-purpose register number in [0, 32). Register 0 is
+// hardwired to zero: writes to it are discarded.
+type Reg uint8
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 32
+
+// LinkReg is the register implicitly written by jal (the return address).
+const LinkReg Reg = 31
+
+// Conventional register aliases used by the assembler and workloads.
+const (
+	RegZero Reg = 0  // always zero
+	RegSP   Reg = 29 // stack pointer (convention only)
+	RegGP   Reg = 28 // global pointer (convention only)
+	RegRA   Reg = 31 // return address (written by jal/jalr convention)
+)
+
+// Valid reports whether r is a legal register number.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the assembler name of r ("r0".."r31").
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// WordBytes is the size of a machine word and of an instruction, in bytes.
+const WordBytes = 4
+
+// Instruction is a decoded SS32 instruction.
+//
+// Imm holds the sign-extended immediate. For branches and jumps it is the
+// PC-relative offset in *instruction words* (the hardware target is
+// PC + 4 + 4*Imm). For shifts-by-immediate only the low 5 bits are used.
+type Instruction struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// Nop is the canonical no-operation instruction (addi r0, r0, 0).
+var Nop = Instruction{Op: OpAddi}
+
+// Dest returns the register written by the instruction and whether one is
+// written at all. jal's implicit link register is reported as the
+// destination.
+func (in Instruction) Dest() (Reg, bool) {
+	if !in.Op.WritesRd() {
+		return 0, false
+	}
+	if in.Op == OpJal {
+		return LinkReg, true
+	}
+	return in.Rd, true
+}
+
+// Sources returns the registers read by the instruction. The second
+// return value of each pair reports whether the source is used.
+func (in Instruction) Sources() (rs1 Reg, uses1 bool, rs2 Reg, uses2 bool) {
+	return in.Rs1, in.Op.ReadsRs1(), in.Rs2, in.Op.ReadsRs2()
+}
+
+// BranchTarget returns the target address of a PC-relative control
+// transfer located at pc. It is meaningless for indirect jumps.
+func (in Instruction) BranchTarget(pc uint32) uint32 {
+	return pc + WordBytes + uint32(in.Imm)*WordBytes
+}
+
+// regName renders a register in the given file's assembler syntax.
+func regName(r Reg, f RegFile) string {
+	if f == FileFP {
+		return FPRegName(r)
+	}
+	return r.String()
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	rs1File, rs2File := in.Op.SourceFiles()
+	rdName := regName(in.Rd, in.Op.DestFile())
+	rs1Name := regName(in.Rs1, rs1File)
+	rs2Name := regName(in.Rs2, rs2File)
+	switch in.Op.Format() {
+	case FormatR:
+		switch in.Op {
+		case OpJr:
+			return fmt.Sprintf("jr %s", rs1Name)
+		case OpJalr:
+			return fmt.Sprintf("jalr %s, %s", rdName, rs1Name)
+		case OpOut:
+			return fmt.Sprintf("out %s", rs1Name)
+		}
+		if !in.Op.ReadsRs2() && in.Op.WritesRd() {
+			return fmt.Sprintf("%s %s, %s", in.Op, rdName, rs1Name)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, rdName, rs1Name, rs2Name)
+	case FormatI:
+		switch {
+		case in.Op == OpLui:
+			return fmt.Sprintf("lui %s, %d", rdName, in.Imm)
+		case in.Op.IsLoad():
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, rdName, in.Imm, rs1Name)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, rdName, rs1Name, in.Imm)
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, rs2Name, in.Imm, rs1Name)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, rs1Name, rs2Name, in.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,390 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for _, op := range Ops() {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if op.Class() == ClassNone {
+			t.Errorf("op %s has no functional-unit class", op)
+		}
+		if op.OpLatency() < 1 {
+			t.Errorf("op %s has latency %d < 1", op, op.OpLatency())
+		}
+		if op.IssueLatency() < 1 {
+			t.Errorf("op %s has issue latency %d < 1", op, op.IssueLatency())
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for _, op := range Ops() {
+		got, ok := OpByName(op.String())
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", op.String())
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted unknown mnemonic")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	tests := []struct {
+		op                              Op
+		load, store, branch, jump, ctrl bool
+	}{
+		{OpAdd, false, false, false, false, false},
+		{OpLw, true, false, false, false, false},
+		{OpSb, false, true, false, false, false},
+		{OpBeq, false, false, true, false, true},
+		{OpJ, false, false, false, true, true},
+		{OpJalr, false, false, false, true, true},
+		{OpHalt, false, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsLoad(); got != tt.load {
+			t.Errorf("%s.IsLoad() = %v", tt.op, got)
+		}
+		if got := tt.op.IsStore(); got != tt.store {
+			t.Errorf("%s.IsStore() = %v", tt.op, got)
+		}
+		if got := tt.op.IsBranch(); got != tt.branch {
+			t.Errorf("%s.IsBranch() = %v", tt.op, got)
+		}
+		if got := tt.op.IsJump(); got != tt.jump {
+			t.Errorf("%s.IsJump() = %v", tt.op, got)
+		}
+		if got := tt.op.IsControl(); got != tt.ctrl {
+			t.Errorf("%s.IsControl() = %v", tt.op, got)
+		}
+	}
+}
+
+func TestMultClassLatencies(t *testing.T) {
+	if OpMul.Class() != ClassIntMult || OpDiv.Class() != ClassIntMult {
+		t.Fatal("mul/div must use the IntMult class")
+	}
+	if OpMul.OpLatency() >= OpDiv.OpLatency() {
+		t.Errorf("divide (%d) should be slower than multiply (%d)", OpDiv.OpLatency(), OpMul.OpLatency())
+	}
+	if OpDiv.IssueLatency() <= 1 {
+		t.Error("divide should not be fully pipelined")
+	}
+}
+
+// randomInstruction builds a random but encodable instruction.
+func randomInstruction(r *rand.Rand) Instruction {
+	ops := Ops()
+	in := Instruction{
+		Op:  ops[r.Intn(len(ops))],
+		Rd:  Reg(r.Intn(NumRegs)),
+		Rs1: Reg(r.Intn(NumRegs)),
+		Rs2: Reg(r.Intn(NumRegs)),
+	}
+	switch in.Op.Format() {
+	case FormatI, FormatS, FormatB:
+		if logicalImm(in.Op) {
+			in.Imm = int32(r.Intn(MaxUimm16 + 1))
+		} else {
+			in.Imm = int32(r.Intn(MaxImm16-MinImm16+1)) + MinImm16
+		}
+	case FormatJ:
+		in.Imm = int32(r.Intn(MaxImm26-MinImm26+1)) + MinImm26
+	}
+	return in
+}
+
+// normalize zeroes the fields a format does not encode, so round-trip
+// comparison is meaningful.
+func normalize(in Instruction) Instruction {
+	out := Instruction{Op: in.Op}
+	switch in.Op.Format() {
+	case FormatR:
+		out.Rd, out.Rs1, out.Rs2 = in.Rd, in.Rs1, in.Rs2
+	case FormatI:
+		out.Rd, out.Rs1, out.Imm = in.Rd, in.Rs1, in.Imm
+	case FormatS, FormatB:
+		out.Rs1, out.Rs2, out.Imm = in.Rs1, in.Rs2, in.Imm
+	case FormatJ:
+		out.Imm = in.Imm
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := normalize(randomInstruction(r))
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != in {
+			t.Fatalf("round trip: encoded %+v, decoded %+v (word %#08x)", in, got, w)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	// Opcode 0 is the only invalid encoding: the FP extension filled
+	// the 6-bit opcode space exactly (the compile-time guard in
+	// opcodes.go keeps it that way).
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) should fail: opcode 0 is invalid")
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpInvalid},
+		{Op: OpAddi, Imm: MaxImm16 + 1},
+		{Op: OpAddi, Imm: MinImm16 - 1},
+		{Op: OpSw, Imm: MaxImm16 + 1},
+		{Op: OpJ, Imm: MaxImm26 + 1},
+		{Op: OpJ, Imm: MinImm26 - 1},
+		{Op: OpAdd, Rd: NumRegs},
+		{Op: OpAdd, Rs1: 200},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) should fail", in)
+		}
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	w := MustEncode(Instruction{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -1})
+	in, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != -1 {
+		t.Errorf("imm16 sign extension: got %d, want -1", in.Imm)
+	}
+	w = MustEncode(Instruction{Op: OpJ, Imm: -100})
+	in, err = Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != -100 {
+		t.Errorf("imm26 sign extension: got %d, want -100", in.Imm)
+	}
+}
+
+func TestDest(t *testing.T) {
+	if d, ok := (Instruction{Op: OpJal}).Dest(); !ok || d != LinkReg {
+		t.Errorf("jal dest = %v,%v; want r31,true", d, ok)
+	}
+	if _, ok := (Instruction{Op: OpSw}).Dest(); ok {
+		t.Error("store should have no destination")
+	}
+	if d, ok := (Instruction{Op: OpAdd, Rd: 5}).Dest(); !ok || d != 5 {
+		t.Errorf("add dest = %v,%v; want r5,true", d, ok)
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Instruction{Op: OpBeq, Imm: 3}
+	if got := in.BranchTarget(100); got != 100+4+12 {
+		t.Errorf("BranchTarget = %d, want %d", got, 116)
+	}
+	in.Imm = -1
+	if got := in.BranchTarget(100); got != 100 {
+		t.Errorf("backward BranchTarget = %d, want 100", got)
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	var (
+		neg1 = ^uint32(0)
+		neg3 = ^uint32(0) - 2
+		neg7 = ^uint32(0) - 6
+	)
+	tests := []struct {
+		op      Op
+		a, b    uint32
+		imm     int32
+		want    uint32
+		comment string
+	}{
+		{OpAdd, 2, 3, 0, 5, "add"},
+		{OpSub, 2, 3, 0, 0xffffffff, "sub wraps"},
+		{OpMul, 7, 6, 0, 42, "mul"},
+		{OpMulh, 0x80000000, 2, 0, 0xffffffff, "mulh signed high"},
+		{OpDiv, 7, 2, 0, 3, "div"},
+		{OpDiv, neg7, 2, 0, neg3, "signed div"},
+		{OpDiv, 5, 0, 0, ^uint32(0), "div by zero"},
+		{OpDiv, 0x80000000, neg1, 0, 0x80000000, "div overflow"},
+		{OpDivu, 7, 2, 0, 3, "divu"},
+		{OpRem, 7, 2, 0, 1, "rem"},
+		{OpRem, 5, 0, 0, 5, "rem by zero"},
+		{OpRem, 0x80000000, neg1, 0, 0, "rem overflow"},
+		{OpRemu, 7, 3, 0, 1, "remu"},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000, "and"},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110, "or"},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110, "xor"},
+		{OpNor, 0, 0, 0, ^uint32(0), "nor"},
+		{OpSll, 1, 4, 0, 16, "sll"},
+		{OpSll, 1, 36, 0, 16, "sll masks shamt"},
+		{OpSrl, 0x80000000, 31, 0, 1, "srl"},
+		{OpSra, 0x80000000, 31, 0, ^uint32(0), "sra"},
+		{OpSlt, neg1, 0, 0, 1, "slt"},
+		{OpSltu, neg1, 0, 0, 0, "sltu"},
+		{OpAddi, 10, 0, -3, 7, "addi"},
+		{OpAndi, 0xff, 0, 0x0f, 0x0f, "andi"},
+		{OpOri, 0xf0, 0, 0x0f, 0xff, "ori"},
+		{OpXori, 0xff, 0, 0x0f, 0xf0, "xori"},
+		{OpSlti, 5, 0, 6, 1, "slti"},
+		{OpSltiu, 5, 0, 4, 0, "sltiu"},
+		{OpSlli, 1, 0, 3, 8, "slli"},
+		{OpSrli, 16, 0, 2, 4, "srli"},
+		{OpSrai, 0x80000000, 0, 1, 0xc0000000, "srai"},
+		{OpLui, 0, 0, 0x1234, 0x12340000, "lui"},
+	}
+	for _, tt := range tests {
+		if got := EvalALU(tt.op, tt.a, tt.b, tt.imm); got != tt.want {
+			t.Errorf("%s: EvalALU(%s, %#x, %#x, %d) = %#x, want %#x", tt.comment, tt.op, tt.a, tt.b, tt.imm, got, tt.want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg1 := ^uint32(0)
+	tests := []struct {
+		op   Op
+		a, b uint32
+		want bool
+	}{
+		{OpBeq, 1, 1, true},
+		{OpBeq, 1, 2, false},
+		{OpBne, 1, 2, true},
+		{OpBlt, neg1, 0, true},
+		{OpBlt, 0, neg1, false},
+		{OpBge, 0, 0, true},
+		{OpBltu, neg1, 0, false},
+		{OpBltu, 0, neg1, true},
+		{OpBgeu, neg1, 0, true},
+	}
+	for _, tt := range tests {
+		if got := BranchTaken(tt.op, tt.a, tt.b); got != tt.want {
+			t.Errorf("BranchTaken(%s, %#x, %#x) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMemWidthAndExtend(t *testing.T) {
+	if MemWidth(OpLw) != 4 || MemWidth(OpLh) != 2 || MemWidth(OpSb) != 1 || MemWidth(OpAdd) != 0 {
+		t.Error("MemWidth wrong")
+	}
+	if got := ExtendLoad(OpLb, 0x80); got != 0xffffff80 {
+		t.Errorf("lb sign extend = %#x", got)
+	}
+	if got := ExtendLoad(OpLbu, 0x80); got != 0x80 {
+		t.Errorf("lbu zero extend = %#x", got)
+	}
+	if got := ExtendLoad(OpLh, 0x8000); got != 0xffff8000 {
+		t.Errorf("lh sign extend = %#x", got)
+	}
+	if got := ExtendLoad(OpLhu, 0x8000); got != 0x8000 {
+		t.Errorf("lhu zero extend = %#x", got)
+	}
+}
+
+// Property: EvalALU is deterministic — re-evaluating the same operation on
+// the same operands always yields the same result. This is the property
+// REESE's comparator depends on: without an injected fault, P and R
+// executions must agree bit-for-bit.
+func TestEvalALUDeterministic(t *testing.T) {
+	ops := Ops()
+	f := func(opIdx uint8, a, b uint32, imm int16) bool {
+		op := ops[int(opIdx)%len(ops)]
+		x := EvalALU(op, a, b, int32(imm))
+		y := EvalALU(op, a, b, int32(imm))
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: add/sub and shift pairs invert each other where defined.
+func TestEvalALUAlgebra(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if EvalALU(OpSub, EvalALU(OpAdd, a, b, 0), b, 0) != a {
+			return false
+		}
+		if EvalALU(OpXor, EvalALU(OpXor, a, b, 0), b, 0) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: div/rem satisfy a = q*b + r for non-zero, non-overflow cases.
+func TestDivRemIdentity(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if b == 0 {
+			return true
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return true
+		}
+		q := EvalALU(OpDiv, a, b, 0)
+		r := EvalALU(OpRem, a, b, 0)
+		return int32(q)*int32(b)+int32(r) == int32(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instruction{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Instruction{Op: OpLw, Rd: 4, Rs1: 29, Imm: 8}, "lw r4, 8(r29)"},
+		{Instruction{Op: OpSw, Rs2: 4, Rs1: 29, Imm: -4}, "sw r4, -4(r29)"},
+		{Instruction{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 10}, "beq r1, r2, 10"},
+		{Instruction{Op: OpJ, Imm: -3}, "j -3"},
+		{Instruction{Op: OpJr, Rs1: 31}, "jr r31"},
+		{Instruction{Op: OpJalr, Rd: 31, Rs1: 5}, "jalr r31, r5"},
+		{Instruction{Op: OpLui, Rd: 7, Imm: 16}, "lui r7, 16"},
+		{Instruction{Op: OpHalt}, "halt"},
+		{Instruction{Op: OpOut, Rs1: 3}, "out r3"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if RegZero.String() != "r0" || LinkReg.String() != "r31" {
+		t.Error("register names wrong")
+	}
+	if !Reg(31).Valid() || Reg(32).Valid() {
+		t.Error("register validity wrong")
+	}
+}

@@ -1,0 +1,369 @@
+// Package isa defines SS32, the 32-bit RISC instruction set architecture
+// simulated by this repository.
+//
+// SS32 stands in for the SimpleScalar PISA instruction set used by the
+// REESE paper (Nickel & Somani, DSN 2001). It is a small load/store ISA
+// with 32 general-purpose registers, fixed 32-bit instruction words, and
+// the operation classes the paper's machine model distinguishes: integer
+// ALU operations, integer multiply/divide, memory reads and writes, and
+// control transfers.
+//
+// The package provides binary encoding and decoding, a disassembler, and
+// per-opcode metadata (instruction format, functional-unit class, and
+// default execution latencies) that the pipeline model consumes.
+package isa
+
+import "fmt"
+
+// Op identifies an SS32 operation. The zero value is OpInvalid.
+type Op uint8
+
+// SS32 opcodes. The numeric values are the 6-bit primary opcode field of
+// the binary encoding; they are part of the ISA and must not be
+// renumbered.
+const (
+	OpInvalid Op = iota
+
+	// Register-register arithmetic and logic (FormatR).
+	OpAdd
+	OpSub
+	OpMul
+	OpMulh
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Register-immediate arithmetic and logic (FormatI).
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpSlli
+	OpSrli
+	OpSrai
+	OpLui
+
+	// Loads (FormatI: rd <- mem[rs1+imm]).
+	OpLw
+	OpLh
+	OpLhu
+	OpLb
+	OpLbu
+
+	// Stores (FormatS: mem[rs1+imm] <- rs2).
+	OpSw
+	OpSh
+	OpSb
+
+	// Conditional branches (FormatB: PC-relative word offset).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+
+	// Unconditional control transfers.
+	OpJ    // FormatJ: PC-relative word offset
+	OpJal  // FormatJ: link in r31
+	OpJr   // FormatR: jump to rs1
+	OpJalr // FormatR: jump to rs1, link in rd
+
+	// System operations.
+	OpHalt // stop the machine
+	OpOut  // append low byte of rs1 to the machine's output buffer
+
+	// Single-precision floating point (FormatR unless noted); see
+	// fp.go. fN register names are used where an operand lives in the
+	// FP file.
+	OpFadd   // fd <- fs1 + fs2
+	OpFsub   // fd <- fs1 - fs2
+	OpFmul   // fd <- fs1 * fs2
+	OpFdiv   // fd <- fs1 / fs2
+	OpFneg   // fd <- -fs1
+	OpFabs   // fd <- |fs1|
+	OpFmov   // fd <- fs1
+	OpFcvtSW // fd <- float(rs1)
+	OpFcvtWS // rd <- int(fs1)
+	OpFeq    // rd <- fs1 == fs2
+	OpFlt    // rd <- fs1 < fs2
+	OpFle    // rd <- fs1 <= fs2
+	OpLwf    // FormatI: fd <- mem[rs1+imm]
+	OpSwf    // FormatS: mem[rs1+imm] <- fs2
+	OpMtf    // fd <- rs1 (move int to FP file)
+	OpMff    // rd <- fs1 (move FP to int file)
+
+	numOps // sentinel; keep last
+)
+
+// NumOps is the number of defined opcodes (excluding OpInvalid).
+const NumOps = int(numOps) - 1
+
+// The primary opcode field is 6 bits; this fails to compile if an
+// opcode is added beyond the encodable range.
+const _opcodeSpaceGuard = uint(63 - (numOps - 1))
+
+// Format describes the operand layout of an instruction word.
+type Format uint8
+
+// Instruction formats.
+const (
+	FormatR Format = iota // rd, rs1, rs2
+	FormatI               // rd, rs1, imm16
+	FormatS               // rs1, rs2, imm16 (stores)
+	FormatB               // rs1, rs2, imm16 (branches, word offset)
+	FormatJ               // imm26 (jumps, word offset)
+	FormatX               // no operands (halt) or special
+)
+
+// Class is the functional-unit class an operation executes on. It is the
+// resource the pipeline's issue stage must acquire.
+type Class uint8
+
+// Functional-unit classes, mirroring SimpleScalar's resource classes.
+const (
+	ClassNone     Class = iota
+	ClassIntALU         // integer add/sub/logic/shift/compare/branch resolve
+	ClassIntMult        // integer multiply/divide
+	ClassMemRead        // load: needs a memory port
+	ClassMemWrite       // store: needs a memory port
+	ClassFPALU          // FP add/sub/convert/compare/move
+	ClassFPMult         // FP multiply/divide
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassIntALU:
+		return "int-alu"
+	case ClassIntMult:
+		return "int-mult"
+	case ClassMemRead:
+		return "mem-read"
+	case ClassMemWrite:
+		return "mem-write"
+	case ClassFPALU:
+		return "fp-alu"
+	case ClassFPMult:
+		return "fp-mult"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// opInfo is the static metadata for one opcode.
+type opInfo struct {
+	name   string
+	format Format
+	class  Class
+
+	// opLat is the execution latency in cycles (result available opLat
+	// cycles after issue). issueLat is the occupancy: cycles before the
+	// functional unit can accept another operation. These follow the
+	// SimpleScalar 2.0 defaults the paper used: ALU 1/1, multiply 3/1,
+	// divide 20/19, loads 1 cycle address generation + cache access.
+	opLat    uint8
+	issueLat uint8
+
+	reads  [2]bool // reads rs1, rs2
+	writes bool    // writes rd
+
+	// Register files of the operands (zero value FileInt).
+	rs1File, rs2File, rdFile RegFile
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {name: "invalid", format: FormatX, class: ClassNone, opLat: 1, issueLat: 1},
+
+	OpAdd:  {name: "add", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpSub:  {name: "sub", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpMul:  {name: "mul", format: FormatR, class: ClassIntMult, opLat: 3, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpMulh: {name: "mulh", format: FormatR, class: ClassIntMult, opLat: 3, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpDiv:  {name: "div", format: FormatR, class: ClassIntMult, opLat: 20, issueLat: 19, reads: [2]bool{true, true}, writes: true},
+	OpDivu: {name: "divu", format: FormatR, class: ClassIntMult, opLat: 20, issueLat: 19, reads: [2]bool{true, true}, writes: true},
+	OpRem:  {name: "rem", format: FormatR, class: ClassIntMult, opLat: 20, issueLat: 19, reads: [2]bool{true, true}, writes: true},
+	OpRemu: {name: "remu", format: FormatR, class: ClassIntMult, opLat: 20, issueLat: 19, reads: [2]bool{true, true}, writes: true},
+	OpAnd:  {name: "and", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpOr:   {name: "or", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpXor:  {name: "xor", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpNor:  {name: "nor", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpSll:  {name: "sll", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpSrl:  {name: "srl", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpSra:  {name: "sra", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpSlt:  {name: "slt", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+	OpSltu: {name: "sltu", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, writes: true},
+
+	OpAddi:  {name: "addi", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpAndi:  {name: "andi", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpOri:   {name: "ori", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpXori:  {name: "xori", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpSlti:  {name: "slti", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpSltiu: {name: "sltiu", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpSlli:  {name: "slli", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpSrli:  {name: "srli", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpSrai:  {name: "srai", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpLui:   {name: "lui", format: FormatI, class: ClassIntALU, opLat: 1, issueLat: 1, writes: true},
+
+	OpLw:  {name: "lw", format: FormatI, class: ClassMemRead, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpLh:  {name: "lh", format: FormatI, class: ClassMemRead, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpLhu: {name: "lhu", format: FormatI, class: ClassMemRead, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpLb:  {name: "lb", format: FormatI, class: ClassMemRead, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+	OpLbu: {name: "lbu", format: FormatI, class: ClassMemRead, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+
+	OpSw: {name: "sw", format: FormatS, class: ClassMemWrite, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpSh: {name: "sh", format: FormatS, class: ClassMemWrite, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpSb: {name: "sb", format: FormatS, class: ClassMemWrite, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+
+	OpBeq:  {name: "beq", format: FormatB, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpBne:  {name: "bne", format: FormatB, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpBlt:  {name: "blt", format: FormatB, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpBge:  {name: "bge", format: FormatB, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpBltu: {name: "bltu", format: FormatB, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+	OpBgeu: {name: "bgeu", format: FormatB, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, true}},
+
+	OpJ:    {name: "j", format: FormatJ, class: ClassIntALU, opLat: 1, issueLat: 1},
+	OpJal:  {name: "jal", format: FormatJ, class: ClassIntALU, opLat: 1, issueLat: 1, writes: true},
+	OpJr:   {name: "jr", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}},
+	OpJalr: {name: "jalr", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true},
+
+	OpHalt: {name: "halt", format: FormatX, class: ClassIntALU, opLat: 1, issueLat: 1},
+	OpOut:  {name: "out", format: FormatR, class: ClassIntALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}},
+
+	// FP latencies follow SimpleScalar 2.0: FP add 2 (pipelined),
+	// multiply 4 (pipelined), divide 12 (non-pipelined).
+	OpFadd:   {name: "fadd", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP, rdFile: FileFP},
+	OpFsub:   {name: "fsub", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP, rdFile: FileFP},
+	OpFmul:   {name: "fmul", format: FormatR, class: ClassFPMult, opLat: 4, issueLat: 1, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP, rdFile: FileFP},
+	OpFdiv:   {name: "fdiv", format: FormatR, class: ClassFPMult, opLat: 12, issueLat: 11, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP, rdFile: FileFP},
+	OpFneg:   {name: "fneg", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, false}, writes: true, rs1File: FileFP, rdFile: FileFP},
+	OpFabs:   {name: "fabs", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, false}, writes: true, rs1File: FileFP, rdFile: FileFP},
+	OpFmov:   {name: "fmov", format: FormatR, class: ClassFPALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true, rs1File: FileFP, rdFile: FileFP},
+	OpFcvtSW: {name: "fcvtsw", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, false}, writes: true, rdFile: FileFP},
+	OpFcvtWS: {name: "fcvtws", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, false}, writes: true, rs1File: FileFP},
+	OpFeq:    {name: "feq", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP},
+	OpFlt:    {name: "flt", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP},
+	OpFle:    {name: "fle", format: FormatR, class: ClassFPALU, opLat: 2, issueLat: 1, reads: [2]bool{true, true}, writes: true, rs1File: FileFP, rs2File: FileFP},
+	OpLwf:    {name: "lwf", format: FormatI, class: ClassMemRead, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true, rdFile: FileFP},
+	OpSwf:    {name: "swf", format: FormatS, class: ClassMemWrite, opLat: 1, issueLat: 1, reads: [2]bool{true, true}, rs2File: FileFP},
+	OpMtf:    {name: "mtf", format: FormatR, class: ClassFPALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true, rdFile: FileFP},
+	OpMff:    {name: "mff", format: FormatR, class: ClassFPALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true, rs1File: FileFP},
+}
+
+// Valid reports whether op is a defined SS32 opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the operand layout of op.
+func (op Op) Format() Format {
+	if op >= numOps {
+		return FormatX
+	}
+	return opTable[op].format
+}
+
+// Class returns the functional-unit class op executes on.
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassNone
+	}
+	return opTable[op].class
+}
+
+// OpLatency returns the execution latency in cycles: the number of cycles
+// after issue before the result is available for forwarding.
+func (op Op) OpLatency() int {
+	if op >= numOps {
+		return 1
+	}
+	return int(opTable[op].opLat)
+}
+
+// IssueLatency returns the functional-unit occupancy in cycles: how long
+// the unit is busy before it can accept another operation.
+func (op Op) IssueLatency() int {
+	if op >= numOps {
+		return 1
+	}
+	return int(opTable[op].issueLat)
+}
+
+// ReadsRs1 reports whether op reads its first source register.
+func (op Op) ReadsRs1() bool { return op < numOps && opTable[op].reads[0] }
+
+// ReadsRs2 reports whether op reads its second source register.
+func (op Op) ReadsRs2() bool { return op < numOps && opTable[op].reads[1] }
+
+// WritesRd reports whether op writes a destination register.
+func (op Op) WritesRd() bool { return op < numOps && opTable[op].writes }
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassMemRead }
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool { return op.Class() == ClassMemWrite }
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Format() == FormatB }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Op) IsJump() bool {
+	switch op {
+	case OpJ, OpJal, OpJr, OpJalr:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether op can redirect the program counter.
+func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
+// IsIndirect reports whether op's target comes from a register, so the
+// target is unknown until the operand is read.
+func (op Op) IsIndirect() bool { return op == OpJr || op == OpJalr }
+
+// opsByName maps mnemonics to opcodes for the assembler.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// OpByName returns the opcode with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+// Ops returns all defined opcodes in numeric order.
+func Ops() []Op {
+	ops := make([]Op, 0, NumOps)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}

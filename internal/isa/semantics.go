@@ -1,0 +1,163 @@
+package isa
+
+// Pure (memory-free) operation semantics, shared by the functional
+// emulator, the pipeline's execution stage, and REESE's R-stream
+// re-execution. Keeping one implementation guarantees that a redundant
+// execution computes exactly what the primary execution computed, so a
+// P/R mismatch can only come from an injected (or real) fault.
+
+// EvalALU computes the result of a non-memory, non-control operation.
+// a and b are the values of rs1 and rs2; imm is the decoded immediate.
+// It returns the value written to the destination register.
+//
+// Division by zero follows the convention of returning all-ones for
+// quotients and the dividend for remainders (as RISC-V does), so the
+// machine never traps.
+func EvalALU(op Op, a, b uint32, imm int32) uint32 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpMulh:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case OpDiv:
+		if b == 0 {
+			return ^uint32(0)
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return a // overflow: quotient = dividend
+		}
+		return uint32(int32(a) / int32(b))
+	case OpDivu:
+		if b == 0 {
+			return ^uint32(0)
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case OpRemu:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNor:
+		return ^(a | b)
+	case OpSll:
+		return a << (b & 31)
+	case OpSrl:
+		return a >> (b & 31)
+	case OpSra:
+		return uint32(int32(a) >> (b & 31))
+	case OpSlt:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+
+	case OpAddi:
+		return a + uint32(imm)
+	case OpAndi:
+		return a & uint32(imm)
+	case OpOri:
+		return a | uint32(imm)
+	case OpXori:
+		return a ^ uint32(imm)
+	case OpSlti:
+		if int32(a) < imm {
+			return 1
+		}
+		return 0
+	case OpSltiu:
+		if a < uint32(imm) {
+			return 1
+		}
+		return 0
+	case OpSlli:
+		return a << (uint32(imm) & 31)
+	case OpSrli:
+		return a >> (uint32(imm) & 31)
+	case OpSrai:
+		return uint32(int32(a) >> (uint32(imm) & 31))
+	case OpLui:
+		return uint32(imm) << 16
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch's direction from its two
+// source operands.
+func BranchTaken(op Op, a, b uint32) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int32(a) < int32(b)
+	case OpBge:
+		return int32(a) >= int32(b)
+	case OpBltu:
+		return a < b
+	case OpBgeu:
+		return a >= b
+	}
+	return false
+}
+
+// EffectiveAddress computes a load/store's memory address.
+func EffectiveAddress(base uint32, imm int32) uint32 {
+	return base + uint32(imm)
+}
+
+// MemWidth returns the access size in bytes of a load or store opcode,
+// or 0 if op does not access memory.
+func MemWidth(op Op) uint32 {
+	switch op {
+	case OpLw, OpSw, OpLwf, OpSwf:
+		return 4
+	case OpLh, OpLhu, OpSh:
+		return 2
+	case OpLb, OpLbu, OpSb:
+		return 1
+	}
+	return 0
+}
+
+// ExtendLoad applies the sign/zero extension a load opcode performs on
+// the raw little-endian bytes read from memory (already assembled into
+// the low bits of raw).
+func ExtendLoad(op Op, raw uint32) uint32 {
+	switch op {
+	case OpLw, OpLwf:
+		return raw
+	case OpLh:
+		return uint32(int32(int16(raw)))
+	case OpLhu:
+		return raw & 0xffff
+	case OpLb:
+		return uint32(int32(int8(raw)))
+	case OpLbu:
+		return raw & 0xff
+	}
+	return raw
+}

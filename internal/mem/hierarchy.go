@@ -1,0 +1,57 @@
+package mem
+
+import "fmt"
+
+// HierarchyConfig assembles the full memory system the paper's Table 1
+// describes: split L1 instruction/data caches in front of a shared L2,
+// instruction and data TLBs, and main memory.
+type HierarchyConfig struct {
+	L1I, L1D, L2 CacheConfig
+	ITLB, DTLB   TLBConfig
+	// MemLatency is main-memory access time in cycles.
+	MemLatency int
+}
+
+// Hierarchy is an instantiated memory system.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	ITLB, DTLB   *TLB
+	Mem          *MainMemory
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.MemLatency < 1 {
+		return nil, fmt.Errorf("mem: main-memory latency %d < 1", cfg.MemLatency)
+	}
+	h := &Hierarchy{Mem: NewMainMemory(cfg.MemLatency)}
+	var err error
+	if h.L2, err = NewCache(cfg.L2, h.Mem); err != nil {
+		return nil, err
+	}
+	if h.L1I, err = NewCache(cfg.L1I, h.L2); err != nil {
+		return nil, err
+	}
+	if h.L1D, err = NewCache(cfg.L1D, h.L2); err != nil {
+		return nil, err
+	}
+	if h.ITLB, err = NewTLB(cfg.ITLB); err != nil {
+		return nil, err
+	}
+	if h.DTLB, err = NewTLB(cfg.DTLB); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// FetchLatency returns the cycles to fetch the instruction block at addr
+// (I-TLB plus I-cache).
+func (h *Hierarchy) FetchLatency(addr uint32) int {
+	return h.ITLB.Translate(addr) + h.L1I.Access(addr, false)
+}
+
+// DataLatency returns the cycles for a data access at addr (D-TLB plus
+// D-cache).
+func (h *Hierarchy) DataLatency(addr uint32, isWrite bool) int {
+	return h.DTLB.Translate(addr) + h.L1D.Access(addr, isWrite)
+}

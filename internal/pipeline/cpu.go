@@ -1,0 +1,450 @@
+// Package pipeline is the cycle-level out-of-order superscalar timing
+// simulator — the equivalent of SimpleScalar 2.0's sim-outorder, which
+// the REESE paper modified. It models fetch (with gshare branch
+// prediction, BTB and return-address stack), dispatch into a Register
+// Update Unit and Load/Store Queue, operand-ready issue to a
+// functional-unit pool, writeback, and in-order commit. With REESE
+// enabled, completed instructions pass through the R-stream Queue and a
+// result comparator before retiring (internal/reese).
+//
+// The simulator is execution-driven: a functional emulator (the oracle)
+// runs ahead at fetch time and supplies true values and branch outcomes;
+// the pipeline decides *when* everything happens. Branch mispredictions
+// stall fetch until the branch resolves — the standard approximation
+// that charges the full misprediction penalty without simulating
+// wrong-path instructions.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"reese/internal/bpred"
+	"reese/internal/config"
+	"reese/internal/emu"
+	"reese/internal/fault"
+	"reese/internal/fu"
+	"reese/internal/mem"
+	"reese/internal/program"
+	"reese/internal/reese"
+	"reese/internal/ruu"
+	"reese/internal/stats"
+)
+
+// redirectPenalty is the extra front-end refill charged after a branch
+// misprediction resolves (on top of waiting for resolution itself).
+const redirectPenalty = 2
+
+// recoveryPenalty is the pipeline-drain cost charged when a detected
+// fault flushes the machine.
+const recoveryPenalty = 4
+
+// fetchEntry is one instruction waiting in the fetch queue.
+type fetchEntry struct {
+	tr           emu.Trace
+	mispredicted bool
+	// histSnap is the predictor history this branch's prediction used,
+	// carried to resolution so training hits the same table entry.
+	histSnap uint32
+	// bogus marks wrong-path instructions.
+	bogus bool
+}
+
+// CPU is one simulated processor instance. Create with New, run with
+// Run; a CPU is single-use.
+type CPU struct {
+	cfg    config.Machine
+	oracle *emu.Machine
+	prog   *program.Program
+
+	hier *mem.Hierarchy
+	pool *fu.Pool
+	pred bpred.Predictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+
+	ruu *ruu.RUU
+	lsq *ruu.LSQ
+	rsq *reese.Queue // nil unless REESE enabled in RSQ mode
+	// dupMode selects the duplicate-at-the-scheduler comparison scheme
+	// (config.ModeDupDispatch): every instruction dispatches as an
+	// adjacent (original, duplicate) pair compared at commit.
+	dupMode bool
+	// rLive counts dispatched R copies whose comparison has not
+	// completed; they occupy window slots (see windowFree).
+	rLive int
+
+	injector fault.Injector
+	// stuck, when non-nil, is a permanent single-unit fault (see
+	// fault.StuckUnit and SetStuckUnit).
+	stuck *fault.StuckUnit
+
+	fetchQ  []fetchEntry
+	replayQ []emu.Trace // traces to re-fetch after fault recovery
+	pending *emu.Trace  // real-path trace pushed back by an I-cache miss
+	// wpPending is the wrong-path equivalent of pending; kept separate
+	// so a wrong-path I-cache miss can never leak a bogus trace into
+	// the real stream (it is dropped at squash).
+	wpPending *emu.Trace
+	traceW    io.Writer // pipeline event trace sink (nil = off)
+
+	cycle        uint64
+	fetchReadyAt uint64 // I-cache miss / redirect gate
+	fetchStalled bool   // waiting on a mispredicted branch to resolve
+
+	// Wrong-path state (config.ModelWrongPath): after a misprediction,
+	// fetch decodes down the predicted (wrong) path until the branch
+	// resolves and the tail is squashed.
+	wrongPath  bool
+	wpPC       uint32 // next wrong-path fetch address
+	wpLsqMark  uint64 // LSQ position at wrong-path entry (squash point)
+	wpHistSnap uint32 // predictor history to restore at squash
+	wpMarked   bool   // wpLsqMark captured for the current wrong path
+	wpFetched  uint64 // wrong-path instructions fetched (stat)
+	wpSquashed uint64 // wrong-path instructions squashed from the window
+	oracleDone bool   // oracle reached halt
+	done       bool   // halt retired
+	permError  bool   // persistent fault: machine stopped
+
+	committed     uint64
+	instLimit     uint64
+	fastForwarded uint64
+
+	// Fault bookkeeping.
+	injected    uint64
+	detected    uint64
+	silent      uint64 // faults committed without detection (baseline)
+	detectLat   *stats.Histogram
+	recoveries  uint64
+	lastBadPC   uint32
+	lastBadLive bool
+
+	// Stall accounting.
+	fetchICacheStallCycles uint64
+	fetchBranchStallCycles uint64
+	dispatchRUUFull        uint64
+	dispatchLSQFull        uint64
+
+	// Branch accounting.
+	branches    uint64
+	mispredicts uint64
+
+	// RSQ occupancy sampling (REESE machines).
+	rsqOccSum uint64
+	rsqOccMax uint64
+
+	// classCommits counts retired instructions per functional-unit
+	// class (the dynamic instruction mix).
+	classCommits [8]uint64
+}
+
+// New builds a CPU for prog under machine configuration cfg, with
+// injector supplying soft errors (pass fault.None{} for none).
+func New(cfg config.Machine, prog *program.Program, injector fault.Injector) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	oracle, err := emu.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := fu.NewPool(cfg.FU)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := newPredictor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	btb, err := bpred.NewBTB(cfg.BTBSets, cfg.BTBAssoc)
+	if err != nil {
+		return nil, err
+	}
+	ras, err := bpred.NewRAS(cfg.RASSize)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ruu.New(cfg.RUUSize)
+	if err != nil {
+		return nil, err
+	}
+	lsq, err := ruu.NewLSQ(cfg.LSQSize)
+	if err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		cfg:       cfg,
+		oracle:    oracle,
+		prog:      prog,
+		hier:      hier,
+		pool:      pool,
+		pred:      pred,
+		btb:       btb,
+		ras:       ras,
+		ruu:       r,
+		lsq:       lsq,
+		injector:  injector,
+		detectLat: stats.NewHistogram(1),
+	}
+	if injector == nil {
+		c.injector = fault.None{}
+	}
+	if cfg.Reese.Enabled {
+		if cfg.Reese.Mode == config.ModeDupDispatch {
+			c.dupMode = true
+		} else {
+			c.rsq, err = reese.New(cfg.Reese.RSQSize, cfg.Reese.HighWater, cfg.Reese.ReexecuteEvery)
+			if err != nil {
+				return nil, err
+			}
+			c.rsq.SetRESO(cfg.Reese.RESO)
+		}
+	}
+	return c, nil
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Config    string
+	Workload  string
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+
+	Halted    bool
+	PermError bool
+	// FastForwarded is the number of instructions skipped functionally
+	// before timing began.
+	FastForwarded uint64
+
+	Branches          uint64
+	Mispredicts       uint64
+	BranchAcc         float64
+	FetchICacheStalls uint64
+	FetchBranchStalls uint64
+	DispatchRUUFull   uint64
+	DispatchLSQFull   uint64
+
+	// ALUUtil etc. are mean functional-unit utilizations over the run.
+	ALUUtil, MultUtil, MemPortUtil float64
+
+	// Mix is the committed dynamic instruction mix by class.
+	Mix InstructionMix
+
+	// WrongPathFetched/Squashed count wrong-path activity (only with
+	// config.ModelWrongPath).
+	WrongPathFetched  uint64
+	WrongPathSquashed uint64
+
+	L1I, L1D, L2 mem.CacheStats
+
+	// Reese is non-nil for REESE machines. RSQOccupancyMean/Max sample
+	// the queue's fill level per cycle, which is also the machine's
+	// P-to-R-stream separation in instructions (the paper's Δt, §2).
+	Reese            *reese.Stats
+	RSQOccupancyMean float64
+	RSQOccupancyMax  uint64
+
+	// Fault-injection outcome.
+	FaultsInjected uint64
+	FaultsDetected uint64
+	FaultsSilent   uint64
+	Recoveries     uint64
+	// DetectionLatency summarises cycles from injection to detection.
+	DetectionLatencyMean float64
+	DetectionLatencyMax  uint64
+}
+
+// newPredictor builds the configured branch predictor.
+func newPredictor(cfg config.Machine) (bpred.Predictor, error) {
+	switch cfg.Predictor {
+	case config.PredGshare:
+		return bpred.NewGshare(cfg.GshareBits)
+	case config.PredBimodal:
+		return bpred.NewBimodal(cfg.GshareBits)
+	case config.PredCombining:
+		g, err := bpred.NewGshare(cfg.GshareBits)
+		if err != nil {
+			return nil, err
+		}
+		b, err := bpred.NewBimodal(cfg.GshareBits)
+		if err != nil {
+			return nil, err
+		}
+		return bpred.NewCombining(g, b, cfg.GshareBits)
+	case config.PredStaticTaken:
+		return &bpred.Static{Taken: true}, nil
+	case config.PredStaticNotTaken:
+		return &bpred.Static{}, nil
+	default:
+		return nil, fmt.Errorf("pipeline: unknown predictor kind %d", cfg.Predictor)
+	}
+}
+
+// FastForward functionally executes n instructions on the oracle
+// before timing simulation begins — SimpleScalar's -fastfwd. The
+// skipped instructions update architectural state but cost no cycles
+// and leave caches and predictors cold. It must be called before Run.
+func (c *CPU) FastForward(n uint64) (uint64, error) {
+	if c.cycle != 0 || c.committed != 0 {
+		return 0, fmt.Errorf("pipeline: FastForward after simulation started")
+	}
+	done, err := c.oracle.Run(n)
+	if err != nil {
+		return done, err
+	}
+	if c.oracle.Halted() {
+		// Nothing left to simulate; mark the stream exhausted so Run
+		// terminates immediately.
+		c.oracleDone = true
+		c.done = true
+	}
+	c.fastForwarded = done
+	return done, nil
+}
+
+// Run simulates until the program halts and drains, until maxInsts
+// instructions have committed (0 = no limit), or until the safety cycle
+// cap trips (which returns an error: it indicates a simulator bug).
+func (c *CPU) Run(maxInsts uint64) (Result, error) {
+	c.instLimit = maxInsts
+	// Generous deadlock guard: no real run needs more than ~100 cycles
+	// per instruction plus slack.
+	capCycles := uint64(10_000_000)
+	if maxInsts > 0 {
+		capCycles = 200*maxInsts + 1_000_000
+	}
+	for !c.done && !c.permError {
+		if c.instLimit > 0 && c.committed >= c.instLimit {
+			break
+		}
+		if c.cycle > capCycles {
+			return Result{}, fmt.Errorf("pipeline: cycle cap %d exceeded at %d committed insts (deadlock?)", capCycles, c.committed)
+		}
+		c.step()
+	}
+	return c.result(), nil
+}
+
+// step advances one cycle, running stages in reverse pipeline order so
+// every stage sees the previous cycle's state of its upstream neighbour.
+func (c *CPU) step() {
+	c.commit()
+	c.writeback()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	if c.rsq != nil {
+		occ := uint64(c.rsq.Len())
+		c.rsqOccSum += occ
+		if occ > c.rsqOccMax {
+			c.rsqOccMax = occ
+		}
+	}
+	c.cycle++
+}
+
+// Cycle returns the current cycle number.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// Committed returns the number of architecturally retired instructions.
+func (c *CPU) Committed() uint64 { return c.committed }
+
+// Output returns the bytes the program has emitted via "out"
+// instructions (architectural state, produced by the oracle).
+func (c *CPU) Output() []byte { return c.oracle.Output() }
+
+// SetStuckUnit installs a permanent fault in one functional unit: every
+// result computed on it has one bit flipped, in the P stream and in any
+// redundant execution that lands on the same unit. Call before Run.
+func (c *CPU) SetStuckUnit(s fault.StuckUnit) { c.stuck = &s }
+
+func (c *CPU) result() Result {
+	res := Result{
+		Config:        c.cfg.Name,
+		Workload:      c.prog.Name,
+		Cycles:        c.cycle,
+		Committed:     c.committed,
+		Halted:        c.done,
+		PermError:     c.permError,
+		FastForwarded: c.fastForwarded,
+
+		Branches:    c.branches,
+		Mispredicts: c.mispredicts,
+
+		FetchICacheStalls: c.fetchICacheStallCycles,
+		FetchBranchStalls: c.fetchBranchStallCycles,
+		DispatchRUUFull:   c.dispatchRUUFull,
+		DispatchLSQFull:   c.dispatchLSQFull,
+
+		ALUUtil:     c.pool.Utilization(fu.IntALU, c.cycle),
+		MultUtil:    c.pool.Utilization(fu.IntMult, c.cycle),
+		MemPortUtil: c.pool.Utilization(fu.MemPort, c.cycle),
+
+		L1I: c.hier.L1I.Stats(),
+		L1D: c.hier.L1D.Stats(),
+		L2:  c.hier.L2.Stats(),
+
+		WrongPathFetched:  c.wpFetched,
+		WrongPathSquashed: c.wpSquashed,
+
+		FaultsInjected: c.injected,
+		FaultsDetected: c.detected,
+		FaultsSilent:   c.silent,
+		Recoveries:     c.recoveries,
+	}
+	if c.cycle > 0 {
+		res.IPC = float64(c.committed) / float64(c.cycle)
+	}
+	if c.branches > 0 {
+		res.BranchAcc = 1 - float64(c.mispredicts)/float64(c.branches)
+	}
+	if c.rsq != nil {
+		s := c.rsq.Stats()
+		res.Reese = &s
+		res.RSQOccupancyMax = c.rsqOccMax
+		if c.cycle > 0 {
+			res.RSQOccupancyMean = float64(c.rsqOccSum) / float64(c.cycle)
+		}
+	}
+	if c.detectLat.Count() > 0 {
+		res.DetectionLatencyMean = c.detectLat.Mean()
+		res.DetectionLatencyMax = c.detectLat.Max()
+	}
+	res.Mix = c.mix()
+	return res
+}
+
+// DetectionLatencies exposes the detection-latency histogram for
+// campaign analysis.
+func (c *CPU) DetectionLatencies() *stats.Histogram { return c.detectLat }
+
+// InstructionMix is the dynamic mix of committed instructions, as
+// fractions of the total.
+type InstructionMix struct {
+	IntALU  float64
+	IntMult float64
+	Load    float64
+	Store   float64
+	Control float64
+	FP      float64
+}
+
+func (c *CPU) mix() InstructionMix {
+	if c.committed == 0 {
+		return InstructionMix{}
+	}
+	tot := float64(c.committed)
+	return InstructionMix{
+		IntALU:  float64(c.classCommits[0]) / tot,
+		IntMult: float64(c.classCommits[1]) / tot,
+		Load:    float64(c.classCommits[2]) / tot,
+		Store:   float64(c.classCommits[3]) / tot,
+		Control: float64(c.classCommits[4]) / tot,
+		FP:      float64(c.classCommits[5]) / tot,
+	}
+}

@@ -1,0 +1,73 @@
+package pipeline
+
+// Pipeline event tracing — the equivalent of SimpleScalar's ptrace. When
+// enabled, the CPU writes one line per pipeline event (fetch, dispatch,
+// issue, writeback, RSQ entry, R-dispatch, verify, commit, recovery) to
+// an io.Writer, letting a developer watch instructions move through the
+// machine cycle by cycle.
+
+import (
+	"fmt"
+	"io"
+
+	"reese/internal/emu"
+)
+
+// EventKind labels a pipeline trace event.
+type EventKind uint8
+
+// Pipeline trace events.
+const (
+	EvFetch EventKind = iota
+	EvDispatch
+	EvIssue
+	EvWriteback
+	EvEnterRSQ
+	EvDispatchR
+	EvIssueR
+	EvVerify
+	EvCommit
+	EvMispredict
+	EvFaultInjected
+	EvMismatch
+	EvRecovery
+)
+
+var eventNames = map[EventKind]string{
+	EvFetch:         "FETCH",
+	EvDispatch:      "DISPATCH",
+	EvIssue:         "ISSUE",
+	EvWriteback:     "WRITEBACK",
+	EvEnterRSQ:      "ENTER-RSQ",
+	EvDispatchR:     "DISPATCH-R",
+	EvIssueR:        "ISSUE-R",
+	EvVerify:        "VERIFY",
+	EvCommit:        "COMMIT",
+	EvMispredict:    "MISPREDICT",
+	EvFaultInjected: "FAULT",
+	EvMismatch:      "MISMATCH",
+	EvRecovery:      "RECOVERY",
+}
+
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// SetTrace directs pipeline event lines to w (nil disables tracing).
+// Call before Run; tracing large runs produces a lot of output.
+func (c *CPU) SetTrace(w io.Writer) { c.traceW = w }
+
+// traceEvent emits one event line if tracing is enabled.
+func (c *CPU) traceEvent(kind EventKind, tr *emu.Trace, detail string) {
+	if c.traceW == nil {
+		return
+	}
+	if detail != "" {
+		fmt.Fprintf(c.traceW, "%8d %-10s %#08x %-24s %s\n", c.cycle, kind, tr.PC, tr.Inst.String(), detail)
+		return
+	}
+	fmt.Fprintf(c.traceW, "%8d %-10s %#08x %s\n", c.cycle, kind, tr.PC, tr.Inst.String())
+}

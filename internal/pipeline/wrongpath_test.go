@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+	"reese/internal/workload"
+)
+
+// erraticBranches is a loop whose branch direction follows an LCG bit —
+// plenty of mispredictions for wrong-path machinery to chew on.
+const erraticBranches = `
+	li r9, 3000
+	li r8, 12345
+loop:
+	li r7, 1103515245
+	mul r8, r8, r7
+	addi r8, r8, 12345
+	srli r6, r8, 13
+	andi r6, r6, 1
+	beq r6, r0, skip
+	addi r5, r5, 1
+	xor r4, r5, r8
+skip:
+	addi r9, r9, -1
+	bne r9, r0, loop
+	halt
+`
+
+func TestWrongPathCorrectness(t *testing.T) {
+	want := oracleCount(t, erraticBranches)
+	for _, cfg := range []config.Machine{
+		config.Starting().WithWrongPath(),
+		config.Starting().WithWrongPath().WithReese(),
+	} {
+		res := runOn(t, cfg, erraticBranches, nil)
+		if !res.Halted {
+			t.Fatalf("%s: did not halt", cfg.Name)
+		}
+		if res.Committed != want {
+			t.Errorf("%s: committed %d, want %d — squash must not lose or leak instructions", cfg.Name, res.Committed, want)
+		}
+		if res.Reese != nil && res.Reese.Mismatches != 0 {
+			t.Errorf("%s: clean run mismatched", cfg.Name)
+		}
+	}
+}
+
+func TestWrongPathActivityCounted(t *testing.T) {
+	res := runOn(t, config.Starting().WithWrongPath(), erraticBranches, nil)
+	if res.Mispredicts == 0 {
+		t.Skip("no mispredictions to exercise")
+	}
+	if res.WrongPathFetched == 0 {
+		t.Error("wrong-path instructions should have been fetched")
+	}
+	if res.WrongPathSquashed == 0 {
+		t.Error("wrong-path instructions should have been squashed")
+	}
+	// Everything fetched down the wrong path is eventually squashed or
+	// still in flight at the end; fetched >= squashed.
+	if res.WrongPathSquashed > res.WrongPathFetched {
+		t.Errorf("squashed %d > fetched %d", res.WrongPathSquashed, res.WrongPathFetched)
+	}
+	stall := runOn(t, config.Starting(), erraticBranches, nil)
+	if stall.WrongPathFetched != 0 {
+		t.Error("stall model must not fetch wrong-path instructions")
+	}
+}
+
+func TestWrongPathCostsAtLeastAsMuchAsStall(t *testing.T) {
+	// With the same redirect behaviour, wrong-path execution wastes
+	// real resources the stall model doesn't, but it also overlaps the
+	// refill; allow ±15% but require the same order of magnitude.
+	wp := runOn(t, config.Starting().WithWrongPath(), erraticBranches, nil)
+	st := runOn(t, config.Starting(), erraticBranches, nil)
+	ratio := float64(wp.Cycles) / float64(st.Cycles)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("wrong-path/stall cycle ratio = %.2f; models should broadly agree", ratio)
+	}
+}
+
+func TestWrongPathWithFaultsStillRecovers(t *testing.T) {
+	want := oracleCount(t, erraticBranches)
+	inj := &fault.Periodic{Interval: 3000, Start: 1000}
+	res := runOn(t, config.Starting().WithWrongPath().WithReese(), erraticBranches, inj)
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if res.FaultsDetected != res.FaultsInjected {
+		t.Errorf("detected %d of %d", res.FaultsDetected, res.FaultsInjected)
+	}
+	if res.Committed != want {
+		t.Errorf("committed %d, want %d", res.Committed, want)
+	}
+}
+
+func TestWrongPathAllWorkloads(t *testing.T) {
+	// Every workload must run identically (committed count) under the
+	// wrong-path model.
+	for _, name := range []string{"gcc", "li", "vortex", "m88ksim"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res1, err := runWorkload(t, config.Starting(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := runWorkload(t, config.Starting().WithWrongPath(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res1.Committed != res2.Committed {
+				t.Errorf("committed differ: stall %d vs wrong-path %d", res1.Committed, res2.Committed)
+			}
+		})
+	}
+}
+
+func runWorkload(t *testing.T, cfg config.Machine, name string) (Result, error) {
+	t.Helper()
+	// Import cycle avoidance: build via the workload registry through a
+	// tiny local assembler call is unnecessary — use the registry.
+	return runWorkloadImpl(cfg, name)
+}
+
+func TestWrongPathTraceShowsSquash(t *testing.T) {
+	var buf strings.Builder
+	cpu, err := New(config.Starting().WithWrongPath(), mustProg(t, erraticBranches), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.SetTrace(&buf)
+	if _, err := cpu.Run(2_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SQUASH") {
+		t.Error("trace should record squashes")
+	}
+}
+
+// runWorkloadImpl runs a named workload for a bounded instruction count.
+func runWorkloadImpl(cfg config.Machine, name string) (Result, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown workload %q", name)
+	}
+	prog, err := spec.Build(3)
+	if err != nil {
+		return Result{}, err
+	}
+	cpu, err := New(cfg, prog, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return cpu.Run(0)
+}

@@ -1,0 +1,180 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reese/internal/isa"
+)
+
+func TestAppendAndFetch(t *testing.T) {
+	p := New("t")
+	addr, err := p.Append(isa.Instruction{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != TextBase {
+		t.Errorf("first instruction at %#x", addr)
+	}
+	in, err := p.Fetch(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpAdd || in.Rd != 1 {
+		t.Errorf("fetched %v", in)
+	}
+	if p.TextEnd() != TextBase+4 {
+		t.Errorf("text end %#x", p.TextEnd())
+	}
+}
+
+func TestFetchOutOfRange(t *testing.T) {
+	p := New("t")
+	p.Append(isa.Instruction{Op: isa.OpHalt})
+	cases := []uint32{TextBase - 4, TextBase + 4, TextBase + 1, 0}
+	for _, addr := range cases {
+		if _, err := p.FetchWord(addr); err == nil {
+			t.Errorf("fetch at %#x should fail", addr)
+		}
+	}
+}
+
+func TestInText(t *testing.T) {
+	p := New("t")
+	p.Append(isa.Instruction{Op: isa.OpHalt})
+	if !p.InText(TextBase) {
+		t.Error("first word")
+	}
+	if p.InText(TextBase + 2) {
+		t.Error("unaligned")
+	}
+	if p.InText(p.TextEnd()) {
+		t.Error("past end")
+	}
+}
+
+func TestAppendRejectsBadInstruction(t *testing.T) {
+	p := New("t")
+	if _, err := p.Append(isa.Instruction{Op: isa.OpAddi, Imm: 1 << 20}); err == nil {
+		t.Error("bad immediate should fail")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := New("t")
+	p.Append(isa.Instruction{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3})
+	p.Append(isa.Instruction{Op: isa.OpHalt})
+	lines := p.Disassemble()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if want := "add r1, r2, r3"; !contains(lines[0], want) {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > len(sub) && (s[:len(sub)] == sub || contains(s[1:], sub)))
+}
+
+func TestLoadMemoryLayout(t *testing.T) {
+	p := New("t")
+	p.Append(isa.Instruction{Op: isa.OpHalt})
+	p.Data = []byte{0xaa, 0xbb}
+	m, err := LoadMemory(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ReadWord(TextBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != isa.MustEncode(isa.Instruction{Op: isa.OpHalt}) {
+		t.Error("text not loaded")
+	}
+	b, err := m.Read(DataBase, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xaa {
+		t.Errorf("data byte = %#x", b)
+	}
+}
+
+func TestLoadMemoryOverflowChecks(t *testing.T) {
+	p := New("t")
+	p.Text = make([]uint32, (DataBase-TextBase)/4+1)
+	if _, err := LoadMemory(p); err == nil {
+		t.Error("text overflow should fail")
+	}
+	p2 := New("t")
+	p2.Data = make([]byte, StackTop-DataBase+1)
+	if _, err := LoadMemory(p2); err == nil {
+		t.Error("data overflow should fail")
+	}
+}
+
+func TestMemoryWidthsAndAlignment(t *testing.T) {
+	m, _ := LoadMemory(New("t"))
+	if err := m.Write(DataBase, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		addr, width, want uint32
+	}{
+		{DataBase, 4, 0x11223344},
+		{DataBase, 2, 0x3344},
+		{DataBase + 2, 2, 0x1122},
+		{DataBase, 1, 0x44},
+		{DataBase + 3, 1, 0x11},
+	} {
+		got, err := m.Read(tt.addr, tt.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("read(%#x,%d) = %#x, want %#x", tt.addr, tt.width, got, tt.want)
+		}
+	}
+	if _, err := m.Read(DataBase+1, 4); err == nil {
+		t.Error("unaligned word read should fail")
+	}
+	if err := m.Write(DataBase+1, 2, 0); err == nil {
+		t.Error("unaligned half write should fail")
+	}
+	if _, err := m.Read(DataBase, 3); err == nil {
+		t.Error("bad width should fail")
+	}
+	if _, err := m.Read(m.Size(), 1); err == nil {
+		t.Error("out of range should fail")
+	}
+	if _, err := m.Read(m.Size()-2, 4); err == nil {
+		t.Error("straddling end should fail")
+	}
+}
+
+// Property: write-then-read round trips for every width at any legal
+// aligned address.
+func TestMemoryRoundTrip(t *testing.T) {
+	m, _ := LoadMemory(New("t"))
+	f := func(off uint32, v uint32, w uint8) bool {
+		width := []uint32{1, 2, 4}[w%3]
+		addr := DataBase + off%4096
+		addr -= addr % width
+		if err := m.Write(addr, width, v); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, width)
+		if err != nil {
+			return false
+		}
+		mask := uint32(1)<<(8*width) - 1
+		if width == 4 {
+			mask = ^uint32(0)
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

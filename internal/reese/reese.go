@@ -1,0 +1,355 @@
+// Package reese implements the paper's contribution: the R-stream Queue
+// (RSQ) and the redundant-execution machinery around it.
+//
+// A P-stream instruction that is ready to commit enters the RSQ at the
+// tail carrying its opcode, operand values, and P-stream result. Because
+// the operands are carried along, R-stream instructions have no data
+// dependencies, and because the outcome of every branch is already
+// known, they have no control dependencies either (paper §4.4): any
+// R-stream instruction at or behind the issue pointer may issue to any
+// idle functional unit. When the re-execution finishes, its result is
+// compared against the stored P result; on a match the instruction is
+// verified and may commit architecturally from the head of the queue, in
+// program order. On a mismatch a soft error has been detected.
+//
+// The scheduler normally gives P-stream instructions priority and lets
+// R-stream instructions soak up idle capacity; when RSQ occupancy
+// crosses a high-water mark, R-stream instructions take priority so the
+// queue drains (the paper's counter-based overflow avoidance, §4.3).
+package reese
+
+import (
+	"fmt"
+
+	"reese/internal/emu"
+	"reese/internal/isa"
+)
+
+// Entry is one instruction awaiting or undergoing redundant execution.
+type Entry struct {
+	// Seq is the instruction's program-order sequence number.
+	Seq uint64
+	// Trace is the oracle record of the P-stream execution.
+	Trace emu.Trace
+
+	// ResultP is the result latched from the P-stream datapath. A fault
+	// injector may have corrupted it relative to Trace.
+	ResultP uint32
+	// NextPCP, AddrP and StoreValueP are the latched control/memory
+	// outcomes of the P-stream execution (corruptible likewise).
+	NextPCP     uint32
+	AddrP       uint32
+	StoreValueP uint32
+	// FaultBit/FaultCycle record an injected fault (255 = none).
+	FaultBit   uint8
+	FaultCycle uint64
+
+	// LSQSeq links memory instructions to their load/store queue entry.
+	LSQSeq uint64
+
+	// QSeq is the entry's R-stream-Queue order number (assigned at
+	// enqueue; the slot key).
+	QSeq uint64
+	// EnqueuedAt is the cycle the entry entered the queue.
+	EnqueuedAt uint64
+	// Dispatched is set when the R copy re-enters the pipeline through
+	// the dispatch stage (paper §4.3: the scheduler chooses between a
+	// decoded P instruction and the head of the R-stream Queue). A
+	// dispatched, unfinished copy occupies a window slot.
+	Dispatched bool
+	// Issued/IssuedAt/DoneAt track the re-execution on its functional
+	// unit. Done is set when it has completed and compared. RUnit
+	// records which unit ran it (-1 = none).
+	Issued   bool
+	IssuedAt uint64
+	DoneAt   uint64
+	Done     bool
+	RKind    uint8
+	RUnit    int
+	// Verified means the comparison succeeded; Mismatch means it failed.
+	Verified bool
+	Mismatch bool
+	// Skipped marks instructions exempted by partial re-execution
+	// (paper §7); they verify vacuously.
+	Skipped bool
+
+	// RFaultMask is the corruption a permanent functional-unit fault
+	// applies to the R-stream execution itself (set at R issue when the
+	// copy lands on a stuck unit). Under RESO the recomputation runs on
+	// shifted operands, so the same stuck bit lands one position lower
+	// after unshifting — which is what makes the fault visible.
+	RFaultMask uint32
+}
+
+// HasFault reports whether a fault was injected into this instruction's
+// P-stream outcome.
+func (e *Entry) HasFault() bool { return e.FaultBit != 255 }
+
+// Stats counts R-stream activity.
+type Stats struct {
+	// Enqueued is the number of instructions that entered the RSQ.
+	Enqueued uint64
+	// Reexecuted is the number of R-stream executions issued.
+	Reexecuted uint64
+	// Verified is the number of successful comparisons.
+	Verified uint64
+	// Mismatches is the number of failed comparisons (detected faults).
+	Mismatches uint64
+	// Skipped counts instructions exempted by partial re-execution.
+	Skipped uint64
+	// FullStalls counts cycles in which a completed RUU head could not
+	// move into the RSQ because it was full.
+	FullStalls uint64
+	// PriorityCycles counts cycles the high-water mark gave R-stream
+	// instructions scheduling priority.
+	PriorityCycles uint64
+}
+
+// Queue is the R-stream Queue: a FIFO whose entries issue (possibly out
+// of order with respect to completion) and retire in order once
+// verified.
+type Queue struct {
+	slots   []Entry
+	size    uint64
+	headSeq uint64 // oldest resident (rsq-order sequence)
+	nextSeq uint64 // next rsq-order sequence to allocate
+
+	highWater int
+	every     int // re-execute 1 in every N instructions (1 = all)
+	reso      bool
+	stats     Stats
+}
+
+// New builds an R-stream Queue.
+//
+// size is the queue capacity (the paper starts at 32). highWater is the
+// occupancy at which R-stream instructions get issue priority; 0 selects
+// the default of size-8 (clamped to at least 1). reexecuteEvery enables
+// partial re-execution: only one in every N instructions is re-executed
+// (0 and 1 both mean every instruction).
+func New(size, highWater, reexecuteEvery int) (*Queue, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("reese: rsq size %d", size)
+	}
+	if highWater == 0 {
+		highWater = size - 8
+		if highWater < 1 {
+			highWater = 1
+		}
+	}
+	if highWater < 0 || highWater > size {
+		return nil, fmt.Errorf("reese: high-water %d out of [1,%d]", highWater, size)
+	}
+	if reexecuteEvery < 0 {
+		return nil, fmt.Errorf("reese: re-execute every %d", reexecuteEvery)
+	}
+	if reexecuteEvery == 0 {
+		reexecuteEvery = 1
+	}
+	return &Queue{
+		slots:     make([]Entry, size),
+		size:      uint64(size),
+		highWater: highWater,
+		every:     reexecuteEvery,
+	}, nil
+}
+
+// SetRESO enables recomputation with shifted operands (Patel & Fung,
+// the paper's reference [15]): the R-stream execution is transformed so
+// a permanent fault in a functional unit corrupts the two executions
+// differently, making it detectable even when both land on the same
+// unit. RESO itself is timing-neutral here (the shift stages are folded
+// into the unit's latency).
+func (q *Queue) SetRESO(on bool) { q.reso = on }
+
+// RESO reports whether shifted-operand recomputation is enabled.
+func (q *Queue) RESO() bool { return q.reso }
+
+// Len returns current occupancy.
+func (q *Queue) Len() int { return int(q.nextSeq - q.headSeq) }
+
+// Cap returns the capacity.
+func (q *Queue) Cap() int { return int(q.size) }
+
+// Full reports whether the queue can accept no more entries. A full RSQ
+// blocks the RUU head — the only way REESE inhibits the P stream.
+func (q *Queue) Full() bool { return q.nextSeq-q.headSeq >= q.size }
+
+// Empty reports whether the queue is empty.
+func (q *Queue) Empty() bool { return q.nextSeq == q.headSeq }
+
+// PressureHigh reports whether occupancy has crossed the high-water
+// mark, giving R-stream instructions priority this cycle.
+func (q *Queue) PressureHigh() bool { return q.Len() >= q.highWater }
+
+// NotePriorityCycle records a cycle during which R-stream priority was
+// in force (called once per such cycle by the pipeline).
+func (q *Queue) NotePriorityCycle() { q.stats.PriorityCycles++ }
+
+// NoteFullStall records a cycle in which the RUU head was blocked by a
+// full RSQ.
+func (q *Queue) NoteFullStall() { q.stats.FullStalls++ }
+
+// Enqueue adds an instruction leaving the RUU head. Returns nil if full.
+func (q *Queue) Enqueue(e Entry, now uint64) *Entry {
+	if q.Full() {
+		return nil
+	}
+	slot := &q.slots[q.nextSeq%q.size]
+	*slot = e
+	slot.QSeq = q.nextSeq
+	slot.EnqueuedAt = now
+	if q.every > 1 && e.Seq%uint64(q.every) != 0 {
+		// Partial re-execution: this instruction is not re-executed and
+		// verifies vacuously (coverage is sacrificed, paper §7).
+		slot.Skipped = true
+		slot.Dispatched = true
+		slot.Issued = true
+		slot.Done = true
+		slot.Verified = true
+		q.stats.Skipped++
+	}
+	q.nextSeq++
+	q.stats.Enqueued++
+	return slot
+}
+
+// NextToDispatch returns the oldest entry whose R copy has not yet been
+// dispatched back into the pipeline, or nil. The queue is a FIFO: copies
+// re-enter in order.
+func (q *Queue) NextToDispatch() *Entry {
+	for s := q.headSeq; s < q.nextSeq; s++ {
+		e := &q.slots[s%q.size]
+		if !e.Dispatched {
+			return e
+		}
+	}
+	return nil
+}
+
+// MarkDispatched records that e's R copy entered the pipeline.
+func (q *Queue) MarkDispatched(e *Entry) {
+	e.Dispatched = true
+	q.stats.Reexecuted++
+}
+
+// MarkIssued records that e's re-execution started at cycle now and
+// will finish at done.
+func (q *Queue) MarkIssued(e *Entry, now, done uint64) {
+	e.Issued = true
+	e.IssuedAt = now
+	e.DoneAt = done
+}
+
+// Resident reports whether qseq is still queued.
+func (q *Queue) Resident(qseq uint64) bool {
+	return qseq >= q.headSeq && qseq < q.nextSeq
+}
+
+// Get returns the resident entry with queue sequence qseq.
+func (q *Queue) Get(qseq uint64) *Entry {
+	if !q.Resident(qseq) {
+		panic(fmt.Sprintf("reese: Get(%d) not resident [%d,%d)", qseq, q.headSeq, q.nextSeq))
+	}
+	return &q.slots[qseq%q.size]
+}
+
+// Scan calls fn for each resident entry in queue order, stopping early
+// if fn returns false.
+func (q *Queue) Scan(fn func(*Entry) bool) {
+	for s := q.headSeq; s < q.nextSeq; s++ {
+		if !fn(&q.slots[s%q.size]) {
+			return
+		}
+	}
+}
+
+// Head returns the oldest entry, or nil.
+func (q *Queue) Head() *Entry {
+	if q.Empty() {
+		return nil
+	}
+	return &q.slots[q.headSeq%q.size]
+}
+
+// RetireHead removes the verified head entry.
+func (q *Queue) RetireHead() Entry {
+	if q.Empty() {
+		panic("reese: RetireHead on empty queue")
+	}
+	e := q.slots[q.headSeq%q.size]
+	if !e.Verified {
+		panic("reese: RetireHead on unverified entry")
+	}
+	q.headSeq++
+	return e
+}
+
+// Flush empties the queue (fault recovery clears the RSQ, §4.3).
+func (q *Queue) Flush() { q.headSeq = q.nextSeq }
+
+// Stats returns a copy of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Compare re-executes e's operation from its carried operands and
+// compares every latched P-stream outcome with the recomputed one. It
+// returns true when they all match. This is the comparator between
+// writeback and commit (paper §4.3), and the recomputation uses exactly
+// the same semantic functions as the P stream, so a mismatch implies a
+// fault.
+func (q *Queue) Compare(e *Entry) bool {
+	tr := e.Trace
+	op := tr.Inst.Op
+	// rMask is how a stuck functional unit corrupted the R execution.
+	// Without RESO the stuck bit corrupts the recomputation in the same
+	// position as it corrupted the P execution; with RESO the
+	// recomputation ran on left-shifted operands, so after the final
+	// unshift the corruption lands one bit lower (and bit 0 vanishes).
+	rMask := e.RFaultMask
+	if q.reso {
+		rMask >>= 1
+	}
+	ok := true
+	switch {
+	case op == isa.OpHalt || op == isa.OpOut:
+		// No result to verify.
+	case op.IsLoad():
+		// The R-stream load re-reads the cache; memory is unchanged
+		// between the two executions (stores drain in order), so the
+		// true value is the oracle's. Verify both address and value.
+		ok = e.AddrP == isa.EffectiveAddress(tr.A, tr.Inst.Imm) &&
+			e.ResultP == tr.Result^rMask
+	case op.IsStore():
+		ok = e.AddrP == isa.EffectiveAddress(tr.A, tr.Inst.Imm) &&
+			e.StoreValueP == tr.B^rMask
+	case op.IsBranch():
+		taken := isa.BranchTaken(op, tr.A, tr.B)
+		next := tr.PC + isa.WordBytes
+		if taken {
+			next = tr.Inst.BranchTarget(tr.PC)
+		}
+		ok = e.NextPCP == next
+	case op.IsJump():
+		next := tr.Inst.BranchTarget(tr.PC)
+		if op.IsIndirect() {
+			next = tr.A
+		}
+		ok = e.NextPCP == next
+		if op == isa.OpJal || op == isa.OpJalr {
+			ok = ok && e.ResultP == tr.PC+isa.WordBytes
+		}
+	case op.IsFP():
+		ok = e.ResultP == isa.EvalFP(op, tr.A, tr.B)^rMask
+	default:
+		ok = e.ResultP == isa.EvalALU(op, tr.A, tr.B, tr.Inst.Imm)^rMask
+	}
+	e.Done = true
+	if ok {
+		e.Verified = true
+		q.stats.Verified++
+	} else {
+		e.Mismatch = true
+		q.stats.Mismatches++
+	}
+	return ok
+}

@@ -1,0 +1,199 @@
+// Package stats provides the counters, distributions, and table
+// formatting used to report simulation results in the shape of the
+// paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is an integer-valued distribution with fixed-width buckets.
+type Histogram struct {
+	width   uint64
+	buckets map[uint64]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// NewHistogram builds a histogram with the given bucket width (values v
+// land in bucket v/width).
+func NewHistogram(bucketWidth uint64) *Histogram {
+	if bucketWidth == 0 {
+		bucketWidth = 1
+	}
+	return &Histogram{width: bucketWidth, buckets: make(map[uint64]uint64), min: math.MaxUint64}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v uint64) {
+	h.buckets[v/h.width]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (p in
+// [0,100]), at bucket granularity.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	keys := make([]uint64, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	need := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if need == 0 {
+		need = 1
+	}
+	var seen uint64
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if seen >= need {
+			return (k + 1) * h.width
+		}
+	}
+	return (keys[len(keys)-1] + 1) * h.width
+}
+
+// Table formats aligned text tables, the output format for every
+// regenerated figure.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		cells = cells[:len(t.headers)]
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with %v (floats as %.3f).
+func (t *Table) AddRowf(cells ...any) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			strs[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			strs[i] = fmt.Sprintf("%.3f", v)
+		default:
+			strs[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(strs...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Ratio safely divides, returning 0 for a zero denominator.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// PercentDelta returns how much worse b is than a, in percent
+// ((a-b)/a*100). Positive means b is slower/lower.
+func PercentDelta(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildCompress models compress95 (LZW compression), one of the two
+// SPEC95int programs the paper's evaluation omits. The kernel hashes
+// (prefix-code, next-byte) pairs into a chained dictionary, emits codes,
+// and packs them into an output bit stream — hash probing plus byte
+// loads and shift-heavy bit packing.
+func buildCompress(iters int) (*program.Program, error) {
+	const (
+		textLen  = 768
+		hashSize = 512 // power of two
+	)
+	g := newPRNG(0xC0EC)
+	src := fmt.Sprintf(`
+	; compress95 stand-in: LZW dictionary compression.
+main:
+	li r20, %d            ; outer iterations
+	la r21, text
+	la r22, hashtab       ; hashSize entries: packed (prefix<<9|ch), 0 = empty
+	la r24, codes         ; emitted code stream (bit-packed words)
+	li r23, 0             ; checksum
+outer:
+	; reset dictionary state for this pass
+	li r10, 0             ; position in text
+	li r11, 256           ; next free code
+	lbu r12, 0(r21)       ; current prefix = first byte
+	addi r10, r10, 1
+	li r13, 0             ; bit buffer
+	li r14, 0             ; bits in buffer
+	li r16, 0             ; output word index
+scan:
+	add r1, r10, r21
+	lbu r2, 0(r1)         ; next byte
+	; key = prefix<<9 | ch (prefix codes fit in 21 bits here)
+	slli r3, r12, 9
+	or r3, r3, r2
+	; hash = (key*2654435761) >> 23, masked
+	li r4, 0x9e3779b1
+	mul r5, r3, r4
+	srli r5, r5, 23
+	andi r5, r5, %d
+probe:
+	slli r6, r5, 3        ; 8-byte entries: key, code
+	add r6, r6, r22
+	lw r7, 0(r6)
+	beq r7, r0, miss      ; empty slot: new dictionary entry
+	beq r7, r3, hit       ; found (prefix,ch)
+	addi r5, r5, 1
+	andi r5, r5, %d
+	j probe
+hit:
+	; extend the match: prefix = code of the pair
+	lw r12, 4(r6)
+	j advance
+miss:
+	; emit code for prefix, add (prefix,ch) to dictionary
+	sw r3, 0(r6)
+	sw r11, 4(r6)
+	; bit-pack a 12-bit code into the output stream
+	sll r7, r12, r14
+	or r13, r13, r7
+	addi r14, r14, 12
+	slti r8, r14, 32
+	bne r8, r0, no_flush
+	; flush 32 bits
+	slli r8, r16, 2
+	add r8, r8, r24
+	sw r13, 0(r8)
+	xor r23, r23, r13
+	addi r14, r14, -32
+	li r9, 32
+	sub r9, r9, r14
+	srl r13, r12, r9      ; leftover high bits (approximate repack)
+no_flush:
+	addi r11, r11, 1
+	add r12, r2, r0       ; prefix = ch
+	; wrap the output index so the stream buffer never overflows
+	addi r16, r16, 1
+	andi r16, r16, 127
+advance:
+	addi r10, r10, 1
+	slti r1, r10, %d
+	bne r1, r0, scan
+	; clear the dictionary between passes (so the work repeats)
+	li r10, 0
+clear:
+	slli r1, r10, 3
+	add r1, r1, r22
+	sw r0, 0(r1)
+	addi r10, r10, 1
+	slti r1, r10, %d
+	bne r1, r0, clear
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+text:
+%s
+.align 8
+hashtab:
+	.space %d
+codes:
+	.space 512
+`, iters, hashSize-1, hashSize-1, textLen, hashSize,
+		emitChecksum("r23"), byteList(g, textLen, 97, 105), hashSize*8)
+	return asm.Assemble("compress", src)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildFpmix is the floating-point demonstration workload: a SAXPY pass
+// (y[i] += a*x[i]) followed by Horner polynomial evaluation over the
+// result, with an integer-converted checksum. It is not one of the
+// paper's Table 2 benchmarks (the paper studies integer codes only) but
+// exercises the FP datapaths Table 1 provisions — FP adders, the FP
+// multiplier/divider, and FP loads/stores.
+func buildFpmix(iters int) (*program.Program, error) {
+	const n = 64
+	g := newPRNG(0xF10A7)
+	var x strings.Builder
+	for i := 0; i < n; i++ {
+		if i%8 == 0 {
+			if i > 0 {
+				x.WriteByte('\n')
+			}
+			x.WriteString("\t.word ")
+		} else {
+			x.WriteString(", ")
+		}
+		// Floats in [0.5, 2.5), encoded as IEEE-754 bits.
+		v := 0.5 + float64(g.next()%2048)/1024.0
+		fmt.Fprintf(&x, "%d", math.Float32bits(float32(v)))
+	}
+	x.WriteByte('\n')
+	src := fmt.Sprintf(`
+	; fpmix: SAXPY + Horner evaluation on the FP datapath.
+main:
+	li r20, %d            ; outer iterations
+	la r21, xs
+	la r22, ys
+	li r23, 0             ; integer checksum
+	; a = 1.5 (constant scale factor)
+	li r1, 3
+	mtf f10, r1
+	li r1, 2
+	mtf f11, r1
+	fcvtsw f10, r1        ; f10 = 2.0
+	li r1, 3
+	fcvtsw f11, r1        ; f11 = 3.0
+	fdiv f12, f11, f10    ; f12 = 1.5
+outer:
+	; --- SAXPY: y[i] = y[i] + a*x[i] ---
+	li r10, 0
+saxpy:
+	slli r1, r10, 2
+	add r2, r1, r21
+	add r3, r1, r22
+	lwf f1, 0(r2)
+	lwf f2, 0(r3)
+	fmul f3, f1, f12
+	fadd f2, f2, f3
+	swf f2, 0(r3)
+	addi r10, r10, 1
+	slti r1, r10, %d
+	bne r1, r0, saxpy
+	; --- Horner: p = ((y0*t + y1)*t + y2)... over the first 8 ys ---
+	li r1, 1
+	fcvtsw f4, r1         ; t = 1.0 keeps the sum bounded
+	lwf f5, 0(r22)        ; p = y[0]
+	li r10, 1
+horner:
+	slli r1, r10, 2
+	add r2, r1, r22
+	lwf f6, 0(r2)
+	fmul f5, f5, f4
+	fadd f5, f5, f6
+	addi r10, r10, 1
+	slti r1, r10, 8
+	bne r1, r0, horner
+	; fold int(p) into the checksum and rescale ys to stop growth
+	fcvtws r4, f5
+	add r23, r23, r4
+	li r10, 0
+rescale:
+	slli r1, r10, 2
+	add r3, r1, r22
+	lwf f2, 0(r3)
+	fdiv f2, f2, f10      ; y /= 2
+	swf f2, 0(r3)
+	addi r10, r10, 1
+	slti r1, r10, %d
+	bne r1, r0, rescale
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+xs:
+%s
+ys:
+%s`, iters, n, n, emitChecksum("r23"), x.String(), x.String())
+	return asm.Assemble("fpmix", src)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildGcc models gcc: a tokenizer feeding a hash table. Every token is
+// hashed (djb2 over 8 bytes) and looked up with linear probing; misses
+// insert, hits bump a counter. The probe loop's branches depend on data,
+// giving the irregular, hard-to-predict control flow gcc shows, with a
+// moderate load fraction and almost no multiplies.
+func buildGcc(iters int) (*program.Program, error) {
+	const nNames = 96 // distinct 8-byte tokens
+	g := newPRNG(0xC0FFEE)
+	src := fmt.Sprintf(`
+	; gcc stand-in: token hashing with linear probing.
+main:
+	li r20, %d            ; outer iterations
+	la r21, symtab
+	la r22, names
+	li r23, 0             ; checksum / hit counter
+outer:
+	li r10, 0             ; token index
+token_loop:
+	; hash 8 bytes of token r10 (djb2)
+	slli r1, r10, 3
+	add r1, r1, r22
+	li r2, 5381
+	li r3, 8
+hash_loop:
+	lbu r4, 0(r1)
+	slli r5, r2, 5
+	add r2, r5, r2
+	add r2, r2, r4
+	addi r1, r1, 1
+	addi r3, r3, -1
+	bne r3, r0, hash_loop
+	; never let the hash be zero (zero marks an empty slot)
+	ori r2, r2, 1
+	; linear probe of a 256-entry table
+	andi r5, r2, 255
+probe:
+	slli r6, r5, 2
+	add r6, r6, r21
+	lw r7, 0(r6)
+	beq r7, r0, insert
+	beq r7, r2, found
+	addi r5, r5, 1
+	andi r5, r5, 255
+	j probe
+insert:
+	sw r2, 0(r6)
+	addi r23, r23, 3
+	j next_token
+found:
+	; "semantic action": mix the hash into the checksum, branchily
+	andi r8, r2, 7
+	beq r8, r0, act_a
+	andi r9, r2, 3
+	beq r9, r0, act_b
+	addi r23, r23, 1
+	j next_token
+act_a:
+	xor r23, r23, r2
+	j next_token
+act_b:
+	add r23, r23, r2
+next_token:
+	addi r10, r10, 1
+	slti r11, r10, %d
+	bne r11, r0, token_loop
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+symtab:
+	.space 1024
+names:
+%s`, iters, nNames, emitChecksum("r23"), byteList(g, nNames*8, 33, 126))
+	return asm.Assemble("gcc", src)
+}

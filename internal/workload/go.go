@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildGo models go (the game player): repeated scans of a bordered
+// 19x19 board, counting empty neighbours of every stone and updating an
+// influence map. The work is almost entirely integer ALU operations and
+// dense, moderately predictable conditionals, with byte loads dominating
+// the memory traffic — the profile of board-evaluation code.
+func buildGo(iters int) (*program.Program, error) {
+	const dim = 21 // 19x19 board with a 1-cell border
+	g := newPRNG(0xB0A2D)
+	src := fmt.Sprintf(`
+	; go stand-in: board influence evaluation.
+main:
+	li r20, %d            ; outer iterations
+	la r21, board
+	la r22, influence
+	li r23, 0             ; checksum
+outer:
+	li r10, 1             ; row
+row_loop:
+	; r12 = &board[row*dim+1], r2 = row*dim+1 (index)
+	li r1, %d
+	mul r2, r10, r1
+	addi r2, r2, 1
+	add r12, r2, r21
+	li r11, 1             ; col
+col_loop:
+	; evaluate the cell and its right-hand neighbour in parallel
+	lbu r3, 0(r12)
+	lbu r13, 1(r12)
+	; liberties of cell 0 (r4) and cell 1 (r14), independent chains
+	li r4, 0
+	li r14, 0
+	lbu r5, -1(r12)
+	lbu r16, 0(r12)
+	bne r5, r0, n1
+	addi r4, r4, 1
+n1:
+	bne r16, r0, n1b
+	addi r14, r14, 1
+n1b:
+	lbu r5, 1(r12)
+	lbu r16, 2(r12)
+	bne r5, r0, n2
+	addi r4, r4, 1
+n2:
+	bne r16, r0, n2b
+	addi r14, r14, 1
+n2b:
+	lbu r5, -%[2]d(r12)
+	lbu r16, -%[3]d(r12)
+	bne r5, r0, n3
+	addi r4, r4, 1
+n3:
+	bne r16, r0, n3b
+	addi r14, r14, 1
+n3b:
+	lbu r5, %[2]d(r12)
+	lbu r16, %[4]d(r12)
+	bne r5, r0, n4
+	addi r4, r4, 1
+n4:
+	bne r16, r0, n4b
+	addi r14, r14, 1
+n4b:
+	beq r3, r0, cell1      ; empty point: skip influence update
+	; influence[idx] += liberties * colour sign
+	slli r6, r2, 2
+	add r6, r6, r22
+	lw r7, 0(r6)
+	addi r8, r3, -1
+	beq r8, r0, black
+	sub r7, r7, r4        ; white stone: negative influence
+	j upd
+black:
+	add r7, r7, r4
+upd:
+	sw r7, 0(r6)
+	; stones in atari (1 liberty) get special handling
+	addi r9, r4, -1
+	bne r9, r0, cell1
+	xor r23, r23, r2
+	add r23, r23, r7
+cell1:
+	beq r13, r0, cells_done
+	addi r17, r2, 1
+	slli r6, r17, 2
+	add r6, r6, r22
+	lw r7, 0(r6)
+	addi r8, r13, -1
+	beq r8, r0, black1
+	sub r7, r7, r14
+	j upd1
+black1:
+	add r7, r7, r14
+upd1:
+	sw r7, 0(r6)
+	addi r9, r14, -1
+	bne r9, r0, cells_done
+	xor r23, r23, r17
+	add r23, r23, r7
+cells_done:
+	addi r11, r11, 2
+	addi r12, r12, 2
+	addi r2, r2, 2
+	slti r1, r11, %[5]d
+	bne r1, r0, col_loop
+	addi r10, r10, 1
+	slti r1, r10, %[5]d
+	bne r1, r0, row_loop
+	; fold a stripe of the influence map into the checksum
+	li r10, 0
+fold:
+	slli r1, r10, 4
+	add r1, r1, r22
+	lw r2, 0(r1)
+	add r23, r23, r2
+	addi r10, r10, 1
+	slti r1, r10, 24
+	bne r1, r0, fold
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+board:
+%s
+.align 4
+influence:
+	.space %d
+`, iters, dim, dim-1, dim+1, dim-1, emitChecksum("r23"),
+		byteList(g, dim*dim, 0, 2), dim*dim*4)
+	return asm.Assemble("go", src)
+}

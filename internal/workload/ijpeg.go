@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildIjpeg models ijpeg: an integer 1-D DCT-like transform applied to
+// 8-sample rows of image blocks, followed by quantisation. The kernel is
+// a multiply-accumulate over coefficient tables with streaming loads,
+// highly predictable loop branches, and a divide per output — the
+// multiply-heavy, regular profile of image compression.
+func buildIjpeg(iters int) (*program.Program, error) {
+	const rows = 48 // 8-sample rows per image pass
+	g := newPRNG(0x1BE6)
+	src := fmt.Sprintf(`
+	; ijpeg stand-in: 8-point integer transform + quantisation.
+main:
+	li r20, %d            ; outer iterations (image passes)
+	la r21, pixels
+	la r22, coeffs
+	la r24, quant
+	la r25, output
+	li r23, 0             ; checksum
+outer:
+	li r10, 0             ; row index
+row_loop:
+	; r11 = &pixels[row*8] (bytes: *8)
+	slli r1, r10, 3
+	add r11, r1, r21
+	li r12, 0             ; output coefficient index k
+k_loop:
+	; acc = sum_i pixels[row*8+i] * coeffs[k*8+i], two taps per pass
+	; with independent partial sums (r2 even taps, r13 odd taps)
+	li r2, 0
+	li r13, 0
+	li r3, 0              ; i
+	slli r4, r12, 5       ; k*8 words = k*32 bytes
+	add r4, r4, r22
+mac_loop:
+	add r5, r11, r3
+	lbu r6, 0(r5)
+	lbu r14, 1(r5)
+	slli r7, r3, 2
+	add r7, r7, r4
+	lw r8, 0(r7)
+	lw r16, 4(r7)
+	mul r9, r6, r8
+	mul r17, r14, r16
+	add r2, r2, r9
+	add r13, r13, r17
+	addi r3, r3, 2
+	slti r5, r3, 8
+	bne r5, r0, mac_loop
+	add r2, r2, r13
+	; descale and quantise: q = (acc >> 6) / quant[k]
+	srai r2, r2, 6
+	slli r5, r12, 2
+	add r5, r5, r24
+	lw r6, 0(r5)
+	div r7, r2, r6
+	; store output[row*8+k]
+	slli r5, r10, 5
+	add r5, r5, r25
+	slli r6, r12, 2
+	add r5, r5, r6
+	sw r7, 0(r5)
+	add r23, r23, r7
+	addi r12, r12, 1
+	slti r5, r12, 8
+	bne r5, r0, k_loop
+	addi r10, r10, 1
+	slti r5, r10, %d
+	bne r5, r0, row_loop
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+pixels:
+%s
+.align 4
+coeffs:
+%s
+quant:
+%s
+output:
+	.space %d
+`, iters, rows, emitChecksum("r23"),
+		byteList(g, rows*8, 0, 255),
+		wordListRange(g, 64, 0, 30), // coefficient magnitudes
+		wordListRange(g, 8, 1, 24),  // quantisation divisors (non-zero)
+		rows*8*4)
+	return asm.Assemble("ijpeg", src)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildLi models li (the xlisp interpreter): traversal of cons cells
+// with tag dispatch. A pool of 16-byte cells {tag+value, cdr, car, pad}
+// forms several interleaved lists; the interpreter loop chases cdr
+// pointers, dereferences the car (a dependent load into the pool), and
+// dispatches on the tag (number, symbol, pair). Dependent loads dominate
+// the mix — the pointer-chasing, cache-latency-bound profile of a Lisp
+// system.
+func buildLi(iters int) (*program.Program, error) {
+	const (
+		cells = 256 // cons pool size (cell 0 is nil and never linked)
+		lists = 8   // number of interleaved lists
+	)
+	g := newPRNG(0x115B)
+	var pool strings.Builder
+	for i := 0; i < cells; i++ {
+		tag := g.next() % 3
+		val := g.next() % 1000
+		cdr := 0
+		if i > 0 && i+lists < cells {
+			cdr = (i + lists) * 16
+		}
+		car := int(1+g.next()%(cells-1)) * 16
+		fmt.Fprintf(&pool, "\t.word %d, %d, %d, 0\n", tag*1024+val, cdr, car)
+	}
+	src := fmt.Sprintf(`
+	; li stand-in: cons-cell list traversal with tag dispatch.
+main:
+	li r20, %d            ; outer iterations
+	la r21, pool
+	li r23, 0             ; checksum (the "accumulator")
+outer:
+	li r10, 1             ; list pair number (walk lists l and l+1 together)
+list_loop:
+	slli r11, r10, 4      ; list A head byte offset
+	addi r13, r10, 1
+	slli r13, r13, 4      ; list B head byte offset
+walk:
+	; two independent cursors give the interpreter loop its ILP
+	add r12, r11, r21     ; r12 = &cellA
+	add r14, r13, r21     ; r14 = &cellB
+	lw r2, 0(r12)         ; A: tag*1024+value
+	lw r16, 0(r14)        ; B: tag*1024+value
+	lw r11, 4(r12)        ; A: cdr byte offset (0 = nil)
+	lw r13, 4(r14)        ; B: cdr
+	lw r5, 8(r12)         ; A: car byte offset
+	lw r17, 8(r14)        ; B: car
+	add r6, r5, r21
+	add r18, r17, r21
+	lw r4, 0(r6)          ; A: dependent load through car
+	lw r19, 0(r18)        ; B: dependent load through car
+	andi r4, r4, 1023
+	andi r19, r19, 1023
+	; dispatch on A's tag
+	srli r3, r2, 10
+	beq r3, r0, is_number
+	addi r7, r3, -1
+	beq r7, r0, is_symbol
+	add r23, r23, r5      ; pair: mix in the car pointer itself
+	j dispatch_b
+is_number:
+	add r23, r23, r4
+	j dispatch_b
+is_symbol:
+	xor r23, r23, r4
+dispatch_b:
+	; dispatch on B's tag
+	srli r3, r16, 10
+	beq r3, r0, is_number_b
+	addi r7, r3, -1
+	beq r7, r0, is_symbol_b
+	add r23, r23, r17
+	j dispatched
+is_number_b:
+	add r23, r23, r19
+	j dispatched
+is_symbol_b:
+	xor r23, r23, r19
+dispatched:
+	; continue while either list has cells; a finished list parks on
+	; cell 0 (nil), whose cdr is 0, so re-walking it is harmless
+	or r7, r11, r13
+	bne r7, r0, walk
+	addi r10, r10, 2
+	slti r1, r10, %d
+	bne r1, r0, list_loop
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+pool:
+%s`, iters, lists+1, emitChecksum("r23"), pool.String())
+	return asm.Assemble("li", src)
+}

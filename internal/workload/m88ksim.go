@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildM88ksim models m88ksim (a Motorola 88100 simulator), the other
+// SPEC95int program the paper omits. The kernel is an interpreter: fetch
+// a guest instruction word, dispatch through a jump table on the opcode
+// (indirect jumps — the pattern that stresses the BTB), execute a simple
+// ALU semantic against a memory-resident guest register file, and loop.
+func buildM88ksim(iters int) (*program.Program, error) {
+	const nGuest = 192 // guest program length in words
+	// Guest encoding: [31:28] opcode (0-5), [27:24] rd, [23:20] rs1,
+	// [19:16] rs2, [15:0] imm.
+	g := newPRNG(0x88100)
+	var guest strings.Builder
+	for i := 0; i < nGuest; i++ {
+		if i%8 == 0 {
+			if i > 0 {
+				guest.WriteByte('\n')
+			}
+			guest.WriteString("\t.word ")
+		} else {
+			guest.WriteString(", ")
+		}
+		op := g.next() % 6
+		rd := g.next() % 16
+		rs1 := g.next() % 16
+		rs2 := g.next() % 16
+		imm := g.next() % 1024
+		fmt.Fprintf(&guest, "%d", op<<28|rd<<24|rs1<<20|rs2<<16|imm)
+	}
+	guest.WriteByte('\n')
+	src := fmt.Sprintf(`
+	; m88ksim stand-in: guest-CPU interpreter with jump-table dispatch.
+main:
+	li r20, %d            ; outer iterations
+	la r21, guest
+	la r22, gregs         ; 16-entry guest register file in memory
+	la r24, jumptab
+	li r23, 0             ; checksum
+outer:
+	li r10, 0             ; guest pc (word index)
+fetch_guest:
+	slli r1, r10, 2
+	add r1, r1, r21
+	lw r2, 0(r1)          ; guest instruction word
+	; decode fields
+	srli r3, r2, 28       ; opcode 0..5
+	srli r4, r2, 24
+	andi r4, r4, 15       ; rd
+	srli r5, r2, 20
+	andi r5, r5, 15       ; rs1
+	srli r6, r2, 16
+	andi r6, r6, 15       ; rs2
+	andi r7, r2, 0xffff   ; imm
+	; operand fetch from the guest register file
+	slli r8, r5, 2
+	add r8, r8, r22
+	lw r8, 0(r8)          ; vs1
+	slli r9, r6, 2
+	add r9, r9, r22
+	lw r9, 0(r9)          ; vs2
+	; dispatch through the jump table
+	slli r1, r3, 2
+	add r1, r1, r24
+	lw r1, 0(r1)
+	jalr r31, r1
+	; store the result (left in r12 by the handler)
+	slli r1, r4, 2
+	add r1, r1, r22
+	sw r12, 0(r1)
+	add r23, r23, r12
+	addi r10, r10, 1
+	slti r1, r10, %d
+	bne r1, r0, fetch_guest
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+
+	; --- guest instruction handlers (return via jr ra) ---
+op_add:
+	add r12, r8, r9
+	jr ra
+op_sub:
+	sub r12, r8, r9
+	jr ra
+op_and:
+	and r12, r8, r9
+	jr ra
+op_or:
+	or r12, r8, r9
+	jr ra
+op_addi:
+	add r12, r8, r7
+	jr ra
+op_shift:
+	andi r13, r9, 15
+	sll r12, r8, r13
+	jr ra
+.data
+jumptab:
+	.word op_add, op_sub, op_and, op_or, op_addi, op_shift
+gregs:
+	.word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+guest:
+%s`, iters, nGuest, emitChecksum("r23"), guest.String())
+	return asm.Assemble("m88ksim", src)
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildPerl models perl running a word game: a byte-at-a-time scan of
+// text, classifying characters, hashing each word, and bumping bucket
+// counters. Byte loads and bucket stores dominate; the character-class
+// branches are data dependent and moderately hard to predict.
+func buildPerl(iters int) (*program.Program, error) {
+	const textLen = 1024
+	g := newPRNG(0x9E71)
+	// Text: mostly lowercase letters with spaces sprinkled in, so word
+	// lengths vary unpredictably.
+	var text string
+	{
+		gg := newPRNG(0x7357)
+		buf := make([]byte, 0, textLen*5)
+		for i := 0; i < textLen; i++ {
+			if i%16 == 0 {
+				if i > 0 {
+					buf = append(buf, '\n')
+				}
+				buf = append(buf, "\t.byte "...)
+			} else {
+				buf = append(buf, ", "...)
+			}
+			var ch uint32
+			r := gg.next() % 8
+			switch {
+			case r < 5:
+				ch = 'a' + gg.next()%26
+			case r < 6:
+				ch = '0' + gg.next()%10
+			default:
+				ch = ' '
+			}
+			buf = append(buf, fmt.Sprint(ch)...)
+		}
+		buf = append(buf, '\n')
+		text = string(buf)
+	}
+	_ = g
+	src := fmt.Sprintf(`
+	; perl stand-in: text scan, word hashing, bucket counting.
+main:
+	li r20, %d            ; outer iterations
+	la r21, text
+	la r22, buckets
+	li r23, 0             ; checksum
+outer:
+	; two scan cursors working the two halves of the text concurrently,
+	; with independent word hashes (r11 for stream A, r13 for stream B)
+	li r10, 0             ; stream A position
+	li r11, 0             ; stream A word hash
+	li r13, 0             ; stream B word hash
+scan:
+	add r1, r10, r21
+	lbu r2, 0(r1)
+	lbu r14, %[2]d(r1)
+	; --- stream A: classify and hash ---
+	addi r3, r2, -32      ; ' '
+	beq r3, r0, word_end
+	addi r3, r2, -48
+	sltiu r4, r3, 10      ; digit?
+	beq r4, r0, letter
+	slli r5, r3, 1        ; digit: add twice its value
+	add r11, r11, r5
+	j stream_b
+letter:
+	slli r5, r11, 5       ; hash = hash*31 + ch
+	sub r5, r5, r11
+	add r11, r5, r2
+	j stream_b
+word_end:
+	beq r11, r0, stream_b ; consecutive spaces
+	andi r5, r11, 63      ; bump bucket[hash %% 64]
+	slli r5, r5, 2
+	add r5, r5, r22
+	lw r6, 0(r5)
+	addi r6, r6, 1
+	sw r6, 0(r5)
+	xor r23, r23, r11
+	li r11, 0
+stream_b:
+	; --- stream B: same classifier on the upper half ---
+	addi r15, r14, -32
+	beq r15, r0, word_end_b
+	addi r15, r14, -48
+	sltiu r16, r15, 10
+	beq r16, r0, letter_b
+	slli r17, r15, 1
+	add r13, r13, r17
+	j advance
+letter_b:
+	slli r17, r13, 5
+	sub r17, r17, r13
+	add r13, r17, r14
+	j advance
+word_end_b:
+	beq r13, r0, advance
+	andi r17, r13, 63
+	slli r17, r17, 2
+	add r17, r17, r22
+	lw r18, 0(r17)
+	addi r18, r18, 1
+	sw r18, 0(r17)
+	xor r23, r23, r13
+	li r13, 0
+advance:
+	addi r10, r10, 1
+	slti r1, r10, %[2]d
+	bne r1, r0, scan
+	; fold the busiest buckets into the checksum
+	li r10, 0
+fold:
+	slli r1, r10, 2
+	add r1, r1, r22
+	lw r2, 0(r1)
+	slti r3, r2, 8
+	bne r3, r0, fold_next
+	add r23, r23, r2
+fold_next:
+	addi r10, r10, 1
+	slti r1, r10, 64
+	bne r1, r0, fold
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+text:
+%s
+.align 4
+buckets:
+	.space 256
+`, iters, textLen/2, emitChecksum("r23"), text)
+	return asm.Assemble("perl", src)
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// buildVortex models vortex (an object-oriented database): records move
+// between two memory regions with field updates along the way. Each
+// transaction reads a 32-byte record, validates a field, updates two
+// fields, and writes the record to the other region. Loads and stores
+// dominate the instruction mix, with highly predictable branches — the
+// memory-bandwidth-bound profile that makes vortex respond to memory
+// ports more than to ALUs.
+func buildVortex(iters int) (*program.Program, error) {
+	const records = 64 // 32-byte records per region
+	g := newPRNG(0xD8)
+	src := fmt.Sprintf(`
+	; vortex stand-in: record store transactions.
+main:
+	li r20, %d            ; outer iterations
+	la r21, regionA
+	la r22, regionB
+	la r24, index
+	li r23, 0             ; checksum
+outer:
+	li r10, 0             ; transaction counter
+	li r14, 0             ; current record index (chained via the index table)
+txn_loop:
+	; look the record up through the index table — the load feeding the
+	; next address is what serialises a database's record stream
+	slli r11, r14, 2
+	add r11, r11, r24
+	lw r14, 0(r11)        ; next record index, loaded (dependent chain)
+	slli r11, r14, 5
+	; source/destination alternate by pass parity in r20
+	andi r1, r20, 1
+	beq r1, r0, a_to_b
+	add r12, r11, r22     ; src = B
+	add r13, r11, r21     ; dst = A
+	j do_txn
+a_to_b:
+	add r12, r11, r21     ; src = A
+	add r13, r11, r22     ; dst = B
+do_txn:
+	; read the 8-word record
+	lw r1, 0(r12)
+	lw r2, 4(r12)
+	lw r3, 8(r12)
+	lw r4, 12(r12)
+	lw r5, 16(r12)
+	lw r6, 20(r12)
+	lw r7, 24(r12)
+	lw r8, 28(r12)
+	; validate: key field must be non-zero, else repair it
+	bne r1, r0, valid
+	addi r1, r10, 1
+valid:
+	; update: bump version, mix a payload word
+	addi r2, r2, 1
+	xor r5, r5, r1
+	add r23, r23, r2
+	; write the record to the destination region
+	sw r1, 0(r13)
+	sw r2, 4(r13)
+	sw r3, 8(r13)
+	sw r4, 12(r13)
+	sw r5, 16(r13)
+	sw r6, 20(r13)
+	sw r7, 24(r13)
+	sw r8, 28(r13)
+	addi r10, r10, 1
+	slti r1, r10, %d
+	bne r1, r0, txn_loop
+	addi r20, r20, -1
+	bne r20, r0, outer
+%s
+.data
+index:
+%s
+regionA:
+%s
+regionB:
+	.space %d
+`, iters, records, emitChecksum("r23"),
+		wordListRange(g, records, 0, records-1),
+		wordList(g, records*8, 0), records*32)
+	return asm.Assemble("vortex", src)
+}

@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"testing"
+
+	"reese/internal/emu"
+	"reese/internal/isa"
+)
+
+func TestAllSixBenchmarks(t *testing.T) {
+	specs := All()
+	if len(specs) != 6 {
+		t.Fatalf("got %d benchmarks, want 6 (paper Table 2)", len(specs))
+	}
+	want := []string{"gcc", "go", "ijpeg", "li", "perl", "vortex"}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.Input == "" || s.Signature == "" {
+			t.Errorf("%s: missing metadata", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gcc"); !ok {
+		t.Error("gcc not found")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("bogus name found")
+	}
+	if len(Names()) != 6 {
+		t.Error("Names() length")
+	}
+}
+
+// runToHalt executes a workload at small scale on the functional
+// emulator, returning the machine for inspection.
+func runToHalt(t *testing.T, s Spec, iters int) *emu.Machine {
+	t.Helper()
+	p, err := s.Build(iters)
+	if err != nil {
+		t.Fatalf("%s: build: %v", s.Name, err)
+	}
+	m, err := emu.New(p)
+	if err != nil {
+		t.Fatalf("%s: load: %v", s.Name, err)
+	}
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatalf("%s: run: %v", s.Name, err)
+	}
+	if !m.Halted() {
+		t.Fatalf("%s: did not halt", s.Name)
+	}
+	return m
+}
+
+func TestWorkloadsRunAndHalt(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m := runToHalt(t, s, 2)
+			if len(m.Output()) != 4 {
+				t.Errorf("checksum output = %d bytes, want 4", len(m.Output()))
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m1 := runToHalt(t, s, 2)
+			m2 := runToHalt(t, s, 2)
+			if string(m1.Output()) != string(m2.Output()) {
+				t.Errorf("output differs across runs: % x vs % x", m1.Output(), m2.Output())
+			}
+			if m1.InstCount() != m2.InstCount() {
+				t.Errorf("instruction count differs: %d vs %d", m1.InstCount(), m2.InstCount())
+			}
+		})
+	}
+}
+
+func TestDefaultItersGiveEnoughWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length workloads")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m := runToHalt(t, s, 0)
+			if m.InstCount() < 150_000 {
+				t.Errorf("%s default run = %d instructions, want >= 150k", s.Name, m.InstCount())
+			}
+		})
+	}
+}
+
+// instrMix tallies the dynamic operation mix of a workload.
+func instrMix(t *testing.T, s Spec, iters int) map[isa.Class]float64 {
+	t.Helper()
+	p, err := s.Build(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emu.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[isa.Class]uint64{}
+	var branches, total uint64
+	for !m.Halted() {
+		tr, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[tr.Inst.Op.Class()]++
+		if tr.Inst.Op.IsControl() {
+			branches++
+		}
+		total++
+		if total > 20_000_000 {
+			t.Fatal("runaway")
+		}
+	}
+	mix := map[isa.Class]float64{}
+	for k, v := range counts {
+		mix[k] = float64(v) / float64(total)
+	}
+	mix[isa.ClassNone] = float64(branches) / float64(total) // control fraction
+	return mix
+}
+
+// TestBehaviouralSignatures checks each stand-in exhibits the behaviour
+// profile DESIGN.md assigns it — this is what makes the substitution for
+// SPEC95 defensible.
+func TestBehaviouralSignatures(t *testing.T) {
+	mixes := map[string]map[isa.Class]float64{}
+	for _, s := range All() {
+		mixes[s.Name] = instrMix(t, s, 2)
+	}
+
+	// ijpeg is the multiply/divide-heavy benchmark.
+	for _, name := range []string{"gcc", "li", "perl", "vortex"} {
+		if mixes["ijpeg"][isa.ClassIntMult] <= mixes[name][isa.ClassIntMult] {
+			t.Errorf("ijpeg mult fraction (%.3f) should exceed %s (%.3f)",
+				mixes["ijpeg"][isa.ClassIntMult], name, mixes[name][isa.ClassIntMult])
+		}
+	}
+	// vortex is the most store-heavy.
+	for _, name := range []string{"gcc", "go", "ijpeg", "li", "perl"} {
+		if mixes["vortex"][isa.ClassMemWrite] <= mixes[name][isa.ClassMemWrite] {
+			t.Errorf("vortex store fraction (%.3f) should exceed %s (%.3f)",
+				mixes["vortex"][isa.ClassMemWrite], name, mixes[name][isa.ClassMemWrite])
+		}
+	}
+	// li is load dominated: highest load fraction.
+	for _, name := range []string{"gcc", "go", "ijpeg", "vortex"} {
+		if mixes["li"][isa.ClassMemRead] <= mixes[name][isa.ClassMemRead] {
+			t.Errorf("li load fraction (%.3f) should exceed %s (%.3f)",
+				mixes["li"][isa.ClassMemRead], name, mixes[name][isa.ClassMemRead])
+		}
+	}
+	// Every workload has a meaningful branch fraction (> 5%).
+	for name, mix := range mixes {
+		if mix[isa.ClassNone] < 0.05 {
+			t.Errorf("%s control fraction %.3f too low to be realistic", name, mix[isa.ClassNone])
+		}
+	}
+	// Memory traffic exists everywhere (loads at least).
+	for name, mix := range mixes {
+		if mix[isa.ClassMemRead] <= 0 {
+			t.Errorf("%s has no loads", name)
+		}
+	}
+}
+
+func TestChecksumsNonTrivial(t *testing.T) {
+	seen := map[string]string{}
+	for _, s := range All() {
+		m := runToHalt(t, s, 2)
+		sum := string(m.Output())
+		if sum == "\x00\x00\x00\x00" {
+			t.Errorf("%s checksum is zero — suspicious", s.Name)
+		}
+		for prev, ps := range seen {
+			if ps == sum {
+				t.Errorf("%s and %s share a checksum — copy/paste bug?", s.Name, prev)
+			}
+		}
+		seen[s.Name] = sum
+	}
+}
+
+func TestIterationScaling(t *testing.T) {
+	for _, s := range All() {
+		m2 := runToHalt(t, s, 2)
+		m4 := runToHalt(t, s, 4)
+		if m4.InstCount() <= m2.InstCount() {
+			t.Errorf("%s: 4 iters (%d insts) should exceed 2 iters (%d)", s.Name, m4.InstCount(), m2.InstCount())
+		}
+	}
+}
+
+func TestFpmixExtra(t *testing.T) {
+	spec, ok := ByName("fpmix")
+	if !ok {
+		t.Fatal("fpmix not found")
+	}
+	m1 := runToHalt(t, spec, 10)
+	m2 := runToHalt(t, spec, 10)
+	if string(m1.Output()) != string(m2.Output()) {
+		t.Error("fpmix not deterministic")
+	}
+	if len(m1.Output()) != 4 {
+		t.Errorf("checksum = %d bytes", len(m1.Output()))
+	}
+	// fpmix must not appear in the Table 2 roster.
+	for _, s := range All() {
+		if s.Name == "fpmix" {
+			t.Error("fpmix leaked into Table 2")
+		}
+	}
+	if len(Extras()) == 0 {
+		t.Error("Extras empty")
+	}
+}
+
+func TestFpmixUsesFPClasses(t *testing.T) {
+	spec, _ := ByName("fpmix")
+	mix := instrMix(t, spec, 5)
+	if mix[isa.ClassFPALU] == 0 {
+		t.Error("fpmix should use FP ALU ops")
+	}
+	if mix[isa.ClassFPMult] == 0 {
+		t.Error("fpmix should use FP multiplier/divider ops")
+	}
+}
+
+func TestExtrasRunAndVerifyUnderReese(t *testing.T) {
+	for _, s := range Extras() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m := runToHalt(t, s, 3)
+			if len(m.Output()) != 4 {
+				t.Errorf("checksum output = %d bytes", len(m.Output()))
+			}
+			m2 := runToHalt(t, s, 3)
+			if string(m.Output()) != string(m2.Output()) {
+				t.Error("not deterministic")
+			}
+		})
+	}
+}
+
+func TestM88ksimUsesIndirectJumps(t *testing.T) {
+	spec, ok := ByName("m88ksim")
+	if !ok {
+		t.Fatal("m88ksim not registered")
+	}
+	p, err := spec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emu.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indirect := 0
+	for !m.Halted() {
+		tr, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Inst.Op.IsIndirect() {
+			indirect++
+		}
+	}
+	if indirect < 100 {
+		t.Errorf("m88ksim executed only %d indirect jumps; the interpreter dispatch is its point", indirect)
+	}
+}
