@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures faults claims clean
+.PHONY: all build test test-race vet bench bench-all figures faults claims clean
 
 all: build test
 
@@ -15,8 +15,18 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# One benchmark per paper table/figure, run once each.
+# The full suite under the race detector (vets the workload build cache
+# and the harness worker pool).
+test-race:
+	$(GO) test -race ./...
+
+# The tracked hot-path benchmark; results are appended to
+# BENCH_pipeline.json so the perf trajectory accumulates across commits.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pipeline.json -label "$(BENCH_LABEL)"
+
+# One benchmark per paper table/figure, run once each.
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate every table and figure of the paper.

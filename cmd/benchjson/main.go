@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark record and appends it to a tracking file, so the
+// repository's performance trajectory accumulates across commits:
+//
+//	go test -run '^$' -bench BenchmarkSimThroughput -benchmem . | \
+//	    go run ./cmd/benchjson -out BENCH_pipeline.json -label my-change
+//
+// The output file holds {"entries": [...]}; each entry is one benchmark
+// line with its standard metrics (ns/op, B/op, allocs/op) and any
+// custom b.ReportMetric values (e.g. sim-insts/s) keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Label   string             `json:"label,omitempty"`
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the tracking file's shape.
+type File struct {
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_pipeline.json", "tracking file to append to")
+		label = flag.String("label", "", "label stored with each entry (e.g. a change description)")
+	)
+	flag.Parse()
+	if err := run(*out, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, label string) error {
+	var f File
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	added := 0
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the output through for the terminal
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		e.Label = label
+		f.Entries = append(f.Entries, e)
+		added++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if added == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d entries to %s\n", added, out)
+	return nil
+}
+
+// parseLine parses one result line of `go test -bench` output:
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   2 allocs/op   3.14 custom-unit
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	name := fields[0]
+	if maxProcsSuffix(name) > 0 {
+		name = name[:strings.LastIndexByte(name, '-')]
+	}
+	e := Entry{
+		Name:    name,
+		Iters:   iters,
+		Metrics: make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// maxProcsSuffix extracts the trailing -N GOMAXPROCS marker from a
+// benchmark name (0 when absent).
+func maxProcsSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -8,12 +8,17 @@
 //	reese-sweep -figure ablations      # RSQ size + partial re-execution sweeps
 //	reese-sweep -figure idle           # the §4.1 idle-capacity premise
 //	reese-sweep -insts 1000000         # bigger instruction budget per run
+//	reese-sweep -parallel 1            # force strictly sequential runs
+//	reese-sweep -cpuprofile cpu.pprof  # write a CPU profile of the sweep
+//	reese-sweep -memprofile mem.pprof  # write a heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"reese/internal/harness"
 )
@@ -24,12 +29,45 @@ func main() {
 
 func run() int {
 	var (
-		figure = flag.String("figure", "all", "which figure to regenerate: 2,3,4,5,6,7, table1, table2, faults, ablations, idle, claims, all")
-		insts  = flag.Uint64("insts", 150_000, "committed-instruction budget per simulation")
-		format = flag.String("format", "table", "output format for figures 2-5: table or csv")
+		figure     = flag.String("figure", "all", "which figure to regenerate: 2,3,4,5,6,7, table1, table2, faults, ablations, idle, claims, all")
+		insts      = flag.Uint64("insts", 150_000, "committed-instruction budget per simulation")
+		format     = flag.String("format", "table", "output format for figures 2-5: table or csv")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	opt := harness.Options{Insts: *insts}
+	opt := harness.Options{Insts: *insts, Parallel: *parallel}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+			return 1
+		}
+		// run() (not main) owns the deferred stop, so os.Exit cannot
+		// truncate the profile.
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+			}
+		}()
+	}
 
 	emit := func(s string, err error) int {
 		if err != nil {

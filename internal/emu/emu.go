@@ -23,6 +23,7 @@ var ErrHalted = errors.New("emu: machine halted")
 // Machine is the architectural state of an SS32 processor.
 type Machine struct {
 	prog *program.Program
+	dec  *program.DecodedText
 	mem  *program.Memory
 
 	pc    uint32
@@ -41,7 +42,7 @@ func New(prog *program.Program) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{prog: prog, mem: mem, pc: prog.Entry}
+	m := &Machine{prog: prog, dec: prog.Decoded(), mem: mem, pc: prog.Entry}
 	m.regs[isa.RegSP] = program.StackTop
 	return m, nil
 }
@@ -49,7 +50,7 @@ func New(prog *program.Program) (*Machine, error) {
 // NewWithMemory wraps existing architectural state (used by the pipeline
 // to share a memory image with its oracle).
 func NewWithMemory(prog *program.Program, mem *program.Memory) *Machine {
-	m := &Machine{prog: prog, mem: mem, pc: prog.Entry}
+	m := &Machine{prog: prog, dec: prog.Decoded(), mem: mem, pc: prog.Entry}
 	m.regs[isa.RegSP] = program.StackTop
 	return m
 }
@@ -121,9 +122,15 @@ func (m *Machine) Step() (Trace, error) {
 	if m.halted {
 		return Trace{}, ErrHalted
 	}
-	in, err := m.prog.Fetch(m.pc)
-	if err != nil {
-		return Trace{}, fmt.Errorf("emu: at pc %#08x: %w", m.pc, err)
+	in, ok := m.dec.At(m.pc)
+	if !ok {
+		// Out-of-text or undecodable: take the uncached path for the
+		// descriptive error.
+		var err error
+		in, err = m.prog.Fetch(m.pc)
+		if err != nil {
+			return Trace{}, fmt.Errorf("emu: at pc %#08x: %w", m.pc, err)
+		}
 	}
 	tr := Trace{PC: m.pc, Inst: in, NextPC: m.pc + isa.WordBytes}
 	rs1File, rs2File := in.Op.SourceFiles()

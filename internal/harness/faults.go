@@ -95,32 +95,43 @@ func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Opti
 }
 
 // CampaignAll runs the fault campaign on every workload for both the
-// REESE machine and the baseline, and renders the comparison.
+// REESE machine and the baseline — in parallel on the shared worker
+// pool — and renders the comparison.
 func CampaignAll(interval uint64, opt Options) (string, []CampaignResult, error) {
+	type job struct {
+		name string
+		cfg  config.Machine
+	}
+	var jobs []job
+	for _, name := range workload.Names() {
+		jobs = append(jobs, job{name, config.Starting().WithReese()})
+		jobs = append(jobs, job{name, config.Starting()})
+	}
+	all := make([]CampaignResult, len(jobs))
+	err := forEach(len(jobs), opt.Parallel, func(i int) error {
+		r, err := Campaign(jobs[i].cfg, jobs[i].name, interval, opt)
+		if err != nil {
+			return err
+		}
+		all[i] = r
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
 	t := stats.NewTable("Fault injection: coverage and detection latency (REESE vs baseline)",
 		"bench", "machine", "injected", "detected", "silent", "coverage", "lat-mean", "lat-p95", "IPC clean", "IPC faulty")
-	var all []CampaignResult
-	for _, name := range workload.Names() {
-		for _, cfg := range []config.Machine{
-			config.Starting().WithReese(),
-			config.Starting(),
-		} {
-			r, err := Campaign(cfg, name, 10_000, opt)
-			if err != nil {
-				return "", nil, err
-			}
-			machine := "baseline"
-			if cfg.Reese.Enabled {
-				machine = "REESE"
-			}
-			t.AddRow(name, machine,
-				fmt.Sprint(r.Injected), fmt.Sprint(r.Detected), fmt.Sprint(r.Silent),
-				fmt.Sprintf("%.0f%%", r.Coverage*100),
-				fmt.Sprintf("%.1f", r.DetectionLatencyMean),
-				fmt.Sprint(r.DetectionLatencyP95),
-				fmt.Sprintf("%.3f", r.CleanIPC), fmt.Sprintf("%.3f", r.FaultyIPC))
-			all = append(all, r)
+	for i, r := range all {
+		machine := "baseline"
+		if jobs[i].cfg.Reese.Enabled {
+			machine = "REESE"
 		}
+		t.AddRow(r.Workload, machine,
+			fmt.Sprint(r.Injected), fmt.Sprint(r.Detected), fmt.Sprint(r.Silent),
+			fmt.Sprintf("%.0f%%", r.Coverage*100),
+			fmt.Sprintf("%.1f", r.DetectionLatencyMean),
+			fmt.Sprint(r.DetectionLatencyP95),
+			fmt.Sprintf("%.3f", r.CleanIPC), fmt.Sprintf("%.3f", r.FaultyIPC))
 	}
 	return t.String(), all, nil
 }
@@ -155,16 +166,28 @@ func SpareSearch(base config.Machine, maxSpares int, tolerance float64, opt Opti
 	return -1, gaps, nil
 }
 
+// averageIPC runs cfg on all six workloads (in parallel on the shared
+// pool) and returns the mean IPC; summation is in workload order, so
+// the value is independent of parallelism.
 func averageIPC(cfg config.Machine, opt Options) (float64, error) {
-	var sum float64
-	for _, name := range workload.Names() {
-		res, err := runOne(cfg, name, opt)
+	names := workload.Names()
+	ipcs := make([]float64, len(names))
+	err := forEach(len(names), opt.Parallel, func(i int) error {
+		res, err := runOne(cfg, names[i], opt)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		sum += res.IPC
+		ipcs[i] = res.IPC
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(workload.Names())), nil
+	var sum float64
+	for _, v := range ipcs {
+		sum += v
+	}
+	return sum / float64(len(names)), nil
 }
 
 // RSQSweep is the DESIGN.md §7 ablation: REESE average IPC as a function
@@ -285,26 +308,31 @@ func BitGrid(cfg config.Machine, workloadName string, atSeq uint64, opt Options)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q", workloadName)
 	}
-	out := make([]BitGridResult, 0, 32)
-	for bit := uint8(0); bit < 32; bit++ {
+	out := make([]BitGridResult, 32)
+	err := forEach(32, opt.Parallel, func(i int) error {
+		bit := uint8(i)
 		prog, err := spec.Build(spec.DefaultIters)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		inj := &fault.AtSeq{Seq: atSeq, Bit: bit}
 		cpu, err := pipeline.New(cfg, prog, inj)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := cpu.Run(atSeq + 20_000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cell := BitGridResult{Bit: bit, Detected: res.FaultsDetected == 1}
 		if cell.Detected {
 			cell.Latency = uint64(res.DetectionLatencyMean)
 		}
-		out = append(out, cell)
+		out[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"reese/internal/config"
 	"reese/internal/fault"
@@ -32,7 +31,9 @@ type Options struct {
 	// Iters overrides the workloads' outer iteration count (0 = enough
 	// for Insts).
 	Iters int
-	// Parallel bounds concurrent simulations (0 = number of variants).
+	// Parallel bounds concurrent simulations on the shared worker pool
+	// (0 = GOMAXPROCS, 1 = strictly sequential). Any setting produces
+	// byte-identical results; it only changes wall-clock time.
 	Parallel int
 }
 
@@ -146,38 +147,23 @@ func runGrid(id, title string, variants []variant, opt Options) (*FigureResult, 
 			jobs = append(jobs, job{w, v})
 		}
 	}
-	par := opt.Parallel
-	if par <= 0 {
-		par = len(variants)
+	// Workers write into per-job slots; the figure is assembled in job
+	// order afterwards so the result is independent of scheduling.
+	results := make([]pipeline.Result, len(jobs))
+	err := forEach(len(jobs), opt.Parallel, func(i int) error {
+		res, err := runOne(jobs[i].v.cfg, jobs[i].w, opt)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", jobs[i].w, jobs[i].v.label, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sem := make(chan struct{}, par)
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := runOne(j.v.cfg, j.w, opt)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.w, j.v.label, err)
-				}
-				return
-			}
-			fig.IPC[j.w][j.v.label] = res.IPC
-			fig.Cells = append(fig.Cells, Cell{Workload: j.w, Variant: j.v.label, Result: res})
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, j := range jobs {
+		fig.IPC[j.w][j.v.label] = results[i].IPC
+		fig.Cells = append(fig.Cells, Cell{Workload: j.w, Variant: j.v.label, Result: results[i]})
 	}
 	sort.Slice(fig.Cells, func(i, k int) bool {
 		if fig.Cells[i].Workload != fig.Cells[k].Workload {

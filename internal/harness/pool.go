@@ -1,0 +1,67 @@
+package harness
+
+// Bounded worker pool shared by every experiment in the package. Grids,
+// campaigns, and sweeps all fan out through forEach, so the number of
+// concurrent simulations is capped (by default at GOMAXPROCS) no matter
+// how many cells an experiment has — a figure is ~30 simulations, and
+// each one owns an 8 MiB memory image, so unbounded fan-out both
+// oversubscribes the CPU and spikes memory.
+//
+// Determinism: workers only write results into caller-provided slots
+// indexed by job number; callers assemble tables from those slots in
+// index order afterwards. Each job builds its own injector/PRNG from
+// fixed seeds. Output is therefore byte-identical at any parallelism,
+// which TestParallelDeterminism locks in.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(i) for every i in [0, n) on a pool of `parallel`
+// worker goroutines and returns the lowest-index error, if any.
+// parallel <= 0 selects runtime.GOMAXPROCS(0); parallel == 1 runs
+// inline on the calling goroutine with no pool at all.
+func forEach(n, parallel int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package isa
+
+import "testing"
+
+// TestOpFlagsMatchTables cross-checks the init-time flag table against
+// the opTable ground truth and the switch-based FP classification the
+// table is derived from, for every opcode.
+func TestOpFlagsMatchTables(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		info := &opTable[op]
+		if got, want := op.IsLoad(), op != OpInvalid && info.class == ClassMemRead; got != want {
+			t.Errorf("%v.IsLoad() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsStore(), op != OpInvalid && info.class == ClassMemWrite; got != want {
+			t.Errorf("%v.IsStore() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsBranch(), op != OpInvalid && info.format == FormatB; got != want {
+			t.Errorf("%v.IsBranch() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsJump(), op == OpJ || op == OpJal || op == OpJr || op == OpJalr; got != want {
+			t.Errorf("%v.IsJump() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsIndirect(), op == OpJr || op == OpJalr; got != want {
+			t.Errorf("%v.IsIndirect() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsFP(), isFPSlow(op); got != want {
+			t.Errorf("%v.IsFP() = %v, want %v", op, got, want)
+		}
+		if got, want := op.ReadsRs1(), op != OpInvalid && info.reads[0]; got != want {
+			t.Errorf("%v.ReadsRs1() = %v, want %v", op, got, want)
+		}
+		if got, want := op.ReadsRs2(), op != OpInvalid && info.reads[1]; got != want {
+			t.Errorf("%v.ReadsRs2() = %v, want %v", op, got, want)
+		}
+		if got, want := op.WritesRd(), op != OpInvalid && info.writes; got != want {
+			t.Errorf("%v.WritesRd() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsMem(), op.IsLoad() || op.IsStore(); got != want {
+			t.Errorf("%v.IsMem() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsControl(), op.IsBranch() || op.IsJump(); got != want {
+			t.Errorf("%v.IsControl() = %v, want %v", op, got, want)
+		}
+	}
+	// Out-of-range opcodes classify as nothing.
+	if bad := Op(200); bad.IsLoad() || bad.IsFP() || bad.ReadsRs1() {
+		t.Error("out-of-range opcode classified as something")
+	}
+}

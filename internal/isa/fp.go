@@ -98,7 +98,11 @@ func EvalFP(op Op, a, b uint32) uint32 {
 }
 
 // IsFP reports whether op belongs to the floating-point extension.
-func (op Op) IsFP() bool {
+func (op Op) IsFP() bool { return op.flags()&flagFP != 0 }
+
+// isFPSlow is the switch-based classification opFlags is derived from;
+// kept for the init-time table build and cross-checked in tests.
+func isFPSlow(op Op) bool {
 	switch op {
 	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFneg, OpFabs, OpFmov,
 		OpFcvtSW, OpFcvtWS, OpFeq, OpFlt, OpFle,

@@ -262,6 +262,75 @@ var opTable = [numOps]opInfo{
 	OpMff:    {name: "mff", format: FormatR, class: ClassFPALU, opLat: 1, issueLat: 1, reads: [2]bool{true, false}, writes: true, rs1File: FileFP},
 }
 
+// opFlag bits classify opcodes. They are precomputed into opFlags so the
+// hot predicates below (called several times per simulated instruction by
+// the pipeline and the emulator) are a single array load and mask instead
+// of chained table lookups and comparisons.
+type opFlag uint16
+
+const (
+	flagLoad opFlag = 1 << iota
+	flagStore
+	flagBranch
+	flagJump
+	flagIndirect
+	flagFP
+	flagReadsRs1
+	flagReadsRs2
+	flagWritesRd
+)
+
+const (
+	flagMem     = flagLoad | flagStore
+	flagControl = flagBranch | flagJump
+)
+
+// opFlags is the flattened per-opcode classification table, derived once
+// from opTable at init.
+var opFlags = func() [numOps]opFlag {
+	var fl [numOps]opFlag
+	for op := OpInvalid + 1; op < numOps; op++ {
+		info := &opTable[op]
+		switch info.class {
+		case ClassMemRead:
+			fl[op] |= flagLoad
+		case ClassMemWrite:
+			fl[op] |= flagStore
+		}
+		if info.format == FormatB {
+			fl[op] |= flagBranch
+		}
+		switch op {
+		case OpJ, OpJal, OpJr, OpJalr:
+			fl[op] |= flagJump
+		}
+		switch op {
+		case OpJr, OpJalr:
+			fl[op] |= flagIndirect
+		}
+		if isFPSlow(op) {
+			fl[op] |= flagFP
+		}
+		if info.reads[0] {
+			fl[op] |= flagReadsRs1
+		}
+		if info.reads[1] {
+			fl[op] |= flagReadsRs2
+		}
+		if info.writes {
+			fl[op] |= flagWritesRd
+		}
+	}
+	return fl
+}()
+
+func (op Op) flags() opFlag {
+	if op >= numOps {
+		return 0
+	}
+	return opFlags[op]
+}
+
 // Valid reports whether op is a defined SS32 opcode.
 func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
 
@@ -308,41 +377,35 @@ func (op Op) IssueLatency() int {
 }
 
 // ReadsRs1 reports whether op reads its first source register.
-func (op Op) ReadsRs1() bool { return op < numOps && opTable[op].reads[0] }
+func (op Op) ReadsRs1() bool { return op.flags()&flagReadsRs1 != 0 }
 
 // ReadsRs2 reports whether op reads its second source register.
-func (op Op) ReadsRs2() bool { return op < numOps && opTable[op].reads[1] }
+func (op Op) ReadsRs2() bool { return op.flags()&flagReadsRs2 != 0 }
 
 // WritesRd reports whether op writes a destination register.
-func (op Op) WritesRd() bool { return op < numOps && opTable[op].writes }
+func (op Op) WritesRd() bool { return op.flags()&flagWritesRd != 0 }
 
 // IsLoad reports whether op reads data memory.
-func (op Op) IsLoad() bool { return op.Class() == ClassMemRead }
+func (op Op) IsLoad() bool { return op.flags()&flagLoad != 0 }
 
 // IsStore reports whether op writes data memory.
-func (op Op) IsStore() bool { return op.Class() == ClassMemWrite }
+func (op Op) IsStore() bool { return op.flags()&flagStore != 0 }
 
 // IsMem reports whether op accesses data memory.
-func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+func (op Op) IsMem() bool { return op.flags()&flagMem != 0 }
 
 // IsBranch reports whether op is a conditional branch.
-func (op Op) IsBranch() bool { return op.Format() == FormatB }
+func (op Op) IsBranch() bool { return op.flags()&flagBranch != 0 }
 
 // IsJump reports whether op is an unconditional control transfer.
-func (op Op) IsJump() bool {
-	switch op {
-	case OpJ, OpJal, OpJr, OpJalr:
-		return true
-	}
-	return false
-}
+func (op Op) IsJump() bool { return op.flags()&flagJump != 0 }
 
 // IsControl reports whether op can redirect the program counter.
-func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+func (op Op) IsControl() bool { return op.flags()&flagControl != 0 }
 
 // IsIndirect reports whether op's target comes from a register, so the
 // target is unknown until the operand is read.
-func (op Op) IsIndirect() bool { return op == OpJr || op == OpJalr }
+func (op Op) IsIndirect() bool { return op.flags()&flagIndirect != 0 }
 
 // opsByName maps mnemonics to opcodes for the assembler.
 var opsByName = func() map[string]Op {

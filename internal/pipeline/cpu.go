@@ -79,14 +79,34 @@ type CPU struct {
 	// fault.StuckUnit and SetStuckUnit).
 	stuck *fault.StuckUnit
 
-	fetchQ  []fetchEntry
-	replayQ []emu.Trace // traces to re-fetch after fault recovery
-	pending *emu.Trace  // real-path trace pushed back by an I-cache miss
-	// wpPending is the wrong-path equivalent of pending; kept separate
-	// so a wrong-path I-cache miss can never leak a bogus trace into
-	// the real stream (it is dropped at squash).
-	wpPending *emu.Trace
-	traceW    io.Writer // pipeline event trace sink (nil = off)
+	// fetchQ is a fixed-capacity ring buffer (FetchQueueSize entries);
+	// fetchHead/fetchLen index it so steady-state fetch never allocates.
+	fetchQ    []fetchEntry
+	fetchHead int
+	fetchLen  int
+	// replayQ holds traces to re-fetch after fault recovery, consumed
+	// from replayHead; replayScratch is the spare buffer recover() swaps
+	// in when rebuilding the queue, so repeated recoveries reuse the
+	// same two backing arrays.
+	replayQ       []emu.Trace
+	replayHead    int
+	replayScratch []emu.Trace
+	// pending is the real-path trace pushed back by an I-cache miss
+	// (valid when hasPending). wpPending is its wrong-path equivalent,
+	// kept separate so a wrong-path I-cache miss can never leak a bogus
+	// trace into the real stream (it is dropped at squash).
+	pending      emu.Trace
+	hasPending   bool
+	wpPending    emu.Trace
+	hasWPPending bool
+	// trScratch/wpScratch are the stable homes for the trace handed out
+	// by nextTrace/wrongPathTrace each fetch slot, so returning a
+	// pointer never forces a heap allocation.
+	trScratch emu.Trace
+	wpScratch emu.Trace
+	// dec is prog's pre-decoded text, consulted by wrong-path fetch.
+	dec    *program.DecodedText
+	traceW io.Writer // pipeline event trace sink (nil = off)
 
 	cycle        uint64
 	fetchReadyAt uint64 // I-cache miss / redirect gate
@@ -138,6 +158,40 @@ type CPU struct {
 	classCommits [8]uint64
 }
 
+// Fetch-queue ring-buffer operations. The buffer is sized once in New;
+// pushes are bounded by FetchQueueSize checks in fetch().
+
+func (c *CPU) fetchQPush(fe fetchEntry) *fetchEntry {
+	i := c.fetchHead + c.fetchLen
+	if i >= len(c.fetchQ) {
+		i -= len(c.fetchQ)
+	}
+	c.fetchQ[i] = fe
+	c.fetchLen++
+	return &c.fetchQ[i]
+}
+
+func (c *CPU) fetchQFront() *fetchEntry { return &c.fetchQ[c.fetchHead] }
+
+func (c *CPU) fetchQPop() {
+	c.fetchHead++
+	if c.fetchHead == len(c.fetchQ) {
+		c.fetchHead = 0
+	}
+	c.fetchLen--
+}
+
+// fetchQAt returns the i-th entry from the front (0 = oldest).
+func (c *CPU) fetchQAt(i int) *fetchEntry {
+	j := c.fetchHead + i
+	if j >= len(c.fetchQ) {
+		j -= len(c.fetchQ)
+	}
+	return &c.fetchQ[j]
+}
+
+func (c *CPU) fetchQClear() { c.fetchHead, c.fetchLen = 0, 0 }
+
 // New builds a CPU for prog under machine configuration cfg, with
 // injector supplying soft errors (pass fault.None{} for none).
 func New(cfg config.Machine, prog *program.Program, injector fault.Injector) (*CPU, error) {
@@ -180,6 +234,8 @@ func New(cfg config.Machine, prog *program.Program, injector fault.Injector) (*C
 		cfg:       cfg,
 		oracle:    oracle,
 		prog:      prog,
+		dec:       prog.Decoded(),
+		fetchQ:    make([]fetchEntry, cfg.FetchQueueSize),
 		hier:      hier,
 		pool:      pool,
 		pred:      pred,

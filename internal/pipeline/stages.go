@@ -18,18 +18,24 @@ import (
 
 // nextTrace produces the next instruction on the (possibly replayed)
 // program path, or nil when the oracle has halted and no replays remain.
+// The returned pointer aliases c.trScratch and is only valid until the
+// next call.
 func (c *CPU) nextTrace() *emu.Trace {
 	// Replayed traces are older than a pushed-back pending trace, so
 	// they must drain first (only fault recovery populates replayQ).
-	if len(c.replayQ) > 0 {
-		tr := c.replayQ[0]
-		c.replayQ = c.replayQ[1:]
-		return &tr
+	if c.replayHead < len(c.replayQ) {
+		c.trScratch = c.replayQ[c.replayHead]
+		c.replayHead++
+		if c.replayHead == len(c.replayQ) {
+			c.replayQ = c.replayQ[:0]
+			c.replayHead = 0
+		}
+		return &c.trScratch
 	}
-	if c.pending != nil {
-		tr := c.pending
-		c.pending = nil
-		return tr
+	if c.hasPending {
+		c.trScratch = c.pending
+		c.hasPending = false
+		return &c.trScratch
 	}
 	if c.oracleDone {
 		return nil
@@ -44,7 +50,8 @@ func (c *CPU) nextTrace() *emu.Trace {
 	if tr.Halt {
 		c.oracleDone = true
 	}
-	return &tr
+	c.trScratch = tr
+	return &c.trScratch
 }
 
 // fetch brings up to Width instructions into the fetch queue. It
@@ -64,12 +71,13 @@ func (c *CPU) fetch() {
 	var lastBlock uint32
 	haveBlock := false
 	blockMask := ^(c.cfg.Memory.L1I.BlockBytes - 1)
-	for n := 0; n < c.cfg.Width && len(c.fetchQ) < c.cfg.FetchQueueSize; n++ {
+	for n := 0; n < c.cfg.Width && c.fetchLen < c.cfg.FetchQueueSize; n++ {
 		var tr *emu.Trace
 		if c.wrongPath {
-			if c.wpPending != nil {
-				tr = c.wpPending
-				c.wpPending = nil
+			if c.hasWPPending {
+				c.wpScratch = c.wpPending
+				c.hasWPPending = false
+				tr = &c.wpScratch
 			} else {
 				tr = c.wrongPathTrace()
 			}
@@ -93,17 +101,17 @@ func (c *CPU) fetch() {
 			lastBlock, haveBlock = block, true
 			if lat > c.cfg.Memory.L1I.HitLatency {
 				c.fetchReadyAt = c.cycle + uint64(lat)
-				trCopy := *tr
 				if c.wrongPath {
-					c.wpPending = &trCopy
+					c.wpPending = *tr
+					c.hasWPPending = true
 				} else {
-					c.pending = &trCopy
+					c.pending = *tr
+					c.hasPending = true
 				}
 				return
 			}
 		}
-		c.fetchQ = append(c.fetchQ, fetchEntry{tr: *tr, bogus: c.wrongPath})
-		fe := &c.fetchQ[len(c.fetchQ)-1]
+		fe := c.fetchQPush(fetchEntry{tr: *tr, bogus: c.wrongPath})
 		c.traceEvent(EvFetch, tr, "")
 		if c.wrongPath {
 			c.wpFetched++
@@ -135,13 +143,15 @@ func (c *CPU) fetch() {
 
 // wrongPathTrace decodes the next wrong-path instruction at wpPC and
 // predicts its successor. The pseudo-trace has no meaningful operand
-// values — wrong-path instructions only consume resources.
+// values — wrong-path instructions only consume resources. The returned
+// pointer aliases c.wpScratch and is only valid until the next call.
 func (c *CPU) wrongPathTrace() *emu.Trace {
-	in, err := c.prog.Fetch(c.wpPC)
-	if err != nil {
+	in, ok := c.dec.At(c.wpPC)
+	if !ok {
 		return nil
 	}
-	tr := emu.Trace{PC: c.wpPC, Inst: in, NextPC: c.wpPC + isa.WordBytes}
+	c.wpScratch = emu.Trace{PC: c.wpPC, Inst: in, NextPC: c.wpPC + isa.WordBytes}
+	tr := &c.wpScratch
 	// Wrong-path loads/stores get a placeholder address inside the data
 	// segment so disambiguation logic sees something sane.
 	if in.Op.IsMem() {
@@ -154,7 +164,7 @@ func (c *CPU) wrongPathTrace() *emu.Trace {
 	case op == isa.OpHalt:
 		// Treat as a fetch stop; the path parks here.
 		c.wpPC = pc
-		return &tr
+		return tr
 	case op.IsBranch():
 		if c.pred.Predict(pc) {
 			if tgt, ok := c.btb.Lookup(pc); ok {
@@ -176,7 +186,7 @@ func (c *CPU) wrongPathTrace() *emu.Trace {
 		}
 	}
 	c.wpPC = tr.NextPC
-	return &tr
+	return tr
 }
 
 // predictAndMaybeStall runs the front-end predictors for a control
@@ -306,7 +316,7 @@ func (c *CPU) windowFree() int {
 // dispatchP moves one instruction from the fetch queue into the RUU
 // (and LSQ for memory operations), reporting whether it did.
 func (c *CPU) dispatchP() bool {
-	if len(c.fetchQ) == 0 {
+	if c.fetchLen == 0 {
 		return false
 	}
 	free := c.windowFree()
@@ -314,7 +324,7 @@ func (c *CPU) dispatchP() bool {
 		c.dispatchRUUFull++
 		return false
 	}
-	fe := c.fetchQ[0]
+	fe := *c.fetchQFront()
 	if fe.bogus && !c.wpMarked {
 		// First wrong-path entry reaching dispatch: everything in the
 		// LSQ from here on is squashable.
@@ -348,8 +358,10 @@ func (c *CPU) dispatchP() bool {
 	e.Mispredicted = fe.mispredicted && !fe.bogus
 	e.Bogus = fe.bogus
 	e.BpHistory = fe.histSnap
-	c.fetchQ = c.fetchQ[1:]
-	c.traceEvent(EvDispatch, &e.Trace, fmt.Sprintf("seq=%d", e.Seq))
+	c.fetchQPop()
+	if c.traceW != nil {
+		c.traceEvent(EvDispatch, &e.Trace, fmt.Sprintf("seq=%d", e.Seq))
+	}
 	if needDup {
 		dupLSQ := ruu.NoProducer
 		if fe.tr.Inst.Op.IsMem() {
@@ -357,7 +369,9 @@ func (c *CPU) dispatchP() bool {
 			dupLSQ = le.MemSeq
 		}
 		d := c.ruu.DispatchDup(fe.tr, e.Seq, e.Dep1, e.Dep2, dupLSQ)
-		c.traceEvent(EvDispatch, &d.Trace, fmt.Sprintf("seq=%d (duplicate of %d)", d.Seq, e.Seq))
+		if c.traceW != nil {
+			c.traceEvent(EvDispatch, &d.Trace, fmt.Sprintf("seq=%d (duplicate of %d)", d.Seq, e.Seq))
+		}
 	}
 	return true
 }
@@ -378,7 +392,9 @@ func (c *CPU) dispatchR() bool {
 	}
 	c.rLive++
 	c.rsq.MarkDispatched(e)
-	c.traceEvent(EvDispatchR, &e.Trace, fmt.Sprintf("qseq=%d", e.QSeq))
+	if c.traceW != nil {
+		c.traceEvent(EvDispatchR, &e.Trace, fmt.Sprintf("qseq=%d", e.QSeq))
+	}
 	return true
 }
 
@@ -487,7 +503,9 @@ func (c *CPU) markIssued(e *ruu.Entry, doneAt uint64) {
 	e.Issued = true
 	e.IssuedAt = c.cycle
 	e.DoneAt = doneAt
-	c.traceEvent(EvIssue, &e.Trace, fmt.Sprintf("done@%d", doneAt))
+	if c.traceW != nil {
+		c.traceEvent(EvIssue, &e.Trace, fmt.Sprintf("done@%d", doneAt))
+	}
 }
 
 // issueR issues dispatched R-stream copies. They carry their operands,
@@ -543,7 +561,9 @@ func (c *CPU) issueR(budget *int) {
 			e.RFaultMask = c.stuck.Mask()
 		}
 		c.rsq.MarkIssued(e, c.cycle, doneAt)
-		c.traceEvent(EvIssueR, &e.Trace, fmt.Sprintf("done@%d", doneAt))
+		if c.traceW != nil {
+			c.traceEvent(EvIssueR, &e.Trace, fmt.Sprintf("done@%d", doneAt))
+		}
 		*budget--
 		return true
 	})
@@ -588,7 +608,9 @@ func (c *CPU) writeback() {
 			e.FaultBit = inj.Bit % 32
 			e.FaultCycle = c.cycle
 			c.injected++
-			c.traceEvent(EvFaultInjected, &e.Trace, fmt.Sprintf("bit %d", e.FaultBit))
+			if c.traceW != nil {
+				c.traceEvent(EvFaultInjected, &e.Trace, fmt.Sprintf("bit %d", e.FaultBit))
+			}
 		}
 		return true
 	})
@@ -661,8 +683,8 @@ func (c *CPU) squashWrongPath(branch *ruu.Entry) {
 	}
 	// Everything still in the fetch queue is bogus (nothing real is
 	// fetched after a mispredicted branch).
-	c.fetchQ = c.fetchQ[:0]
-	c.wpPending = nil
+	c.fetchQClear()
+	c.hasWPPending = false
 	c.pred.Restore(c.wpHistSnap)
 	c.wrongPath = false
 	c.wpMarked = false
@@ -902,7 +924,10 @@ func (c *CPU) recover(faultSeq uint64) {
 		fmt.Fprintf(c.traceW, "%8d RECOVERY   flush + replay from seq %d\n", c.cycle, faultSeq)
 	}
 
-	var replay []emu.Trace
+	// Rebuild the replay queue into the spare buffer, then swap the two
+	// so the next recovery reuses this one's backing array: after the
+	// first couple of recoveries the rebuild allocates nothing.
+	replay := c.replayScratch[:0]
 	if c.rsq != nil {
 		c.rsq.Scan(func(e *reese.Entry) bool {
 			if e.Seq >= faultSeq {
@@ -922,26 +947,29 @@ func (c *CPU) recover(faultSeq uint64) {
 		}
 		return true
 	})
-	for i := range c.fetchQ {
+	for i := 0; i < c.fetchLen; i++ {
 		// Wrong-path entries are squashed work, not program state; they
 		// must never re-enter the real instruction stream.
-		if !c.fetchQ[i].bogus {
-			replay = append(replay, c.fetchQ[i].tr)
+		if fe := c.fetchQAt(i); !fe.bogus {
+			replay = append(replay, fe.tr)
 		}
 	}
+	replay = append(replay, c.replayQ[c.replayHead:]...)
 
-	c.replayQ = append(replay, c.replayQ...)
+	c.replayScratch = c.replayQ[:0]
+	c.replayQ = replay
+	c.replayHead = 0
 	if c.rsq != nil {
 		c.rsq.Flush()
 	}
 	c.ruu.Flush()
 	c.lsq.Flush()
-	c.fetchQ = c.fetchQ[:0]
+	c.fetchQClear()
 	c.rLive = 0
 	c.pool.Reset()
 	c.fetchStalled = false
 	c.wrongPath = false
 	c.wpMarked = false
-	c.wpPending = nil
+	c.hasWPPending = false
 	c.fetchReadyAt = c.cycle + 1 + recoveryPenalty
 }

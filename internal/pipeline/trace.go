@@ -33,7 +33,7 @@ const (
 	EvRecovery
 )
 
-var eventNames = map[EventKind]string{
+var eventNames = [...]string{
 	EvFetch:         "FETCH",
 	EvDispatch:      "DISPATCH",
 	EvIssue:         "ISSUE",
@@ -50,8 +50,8 @@ var eventNames = map[EventKind]string{
 }
 
 func (k EventKind) String() string {
-	if s, ok := eventNames[k]; ok {
-		return s
+	if int(k) < len(eventNames) {
+		return eventNames[k]
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

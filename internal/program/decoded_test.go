@@ -1,0 +1,90 @@
+package program
+
+import (
+	"testing"
+
+	"reese/internal/isa"
+)
+
+// buildTestProgram assembles a small text segment by hand: a few valid
+// instructions plus one undecodable word injected directly.
+func buildTestProgram(t *testing.T) *Program {
+	t.Helper()
+	p := New("dec")
+	for _, in := range []isa.Instruction{
+		{Op: isa.OpAddi, Rd: 1, Rs1: 0, Imm: 7},
+		{Op: isa.OpAdd, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: isa.OpHalt},
+	} {
+		if _, err := p.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestDecodedMatchesWordByWordDecode(t *testing.T) {
+	p := buildTestProgram(t)
+	d := p.Decoded()
+	if d.Len() != len(p.Text) {
+		t.Fatalf("decoded len %d, text len %d", d.Len(), len(p.Text))
+	}
+	for i, w := range p.Text {
+		addr := TextBase + uint32(i)*isa.WordBytes
+		want, wantErr := isa.Decode(w)
+		got, ok := d.At(addr)
+		if wantErr != nil {
+			if ok {
+				t.Errorf("word %d: decoded cache has entry for undecodable word", i)
+			}
+			continue
+		}
+		if !ok || got != want {
+			t.Errorf("word %d: cache %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+}
+
+func TestDecodedRejectsOutOfRange(t *testing.T) {
+	p := buildTestProgram(t)
+	d := p.Decoded()
+	for _, addr := range []uint32{0, TextBase - 4, TextBase + 1, p.TextEnd(), DataBase} {
+		if _, ok := d.At(addr); ok {
+			t.Errorf("At(%#x) = ok, want miss", addr)
+		}
+	}
+}
+
+func TestDecodedRebuiltAfterAppend(t *testing.T) {
+	p := buildTestProgram(t)
+	d1 := p.Decoded()
+	if _, err := p.Append(isa.Instruction{Op: isa.OpAddi, Rd: 3, Imm: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d2 := p.Decoded()
+	if d2 == d1 {
+		t.Fatal("decode cache not rebuilt after text grew")
+	}
+	addr := p.TextEnd() - isa.WordBytes
+	in, ok := d2.At(addr)
+	if !ok || in.Op != isa.OpAddi || in.Rd != 3 {
+		t.Errorf("appended instruction not in rebuilt cache: %+v ok=%v", in, ok)
+	}
+}
+
+func TestFetchAgreesWithDecoded(t *testing.T) {
+	p := buildTestProgram(t)
+	for addr := TextBase; addr < p.TextEnd(); addr += isa.WordBytes {
+		viaFetch, err := p.Fetch(addr)
+		if err != nil {
+			t.Fatalf("Fetch(%#x): %v", addr, err)
+		}
+		viaCache, ok := p.Decoded().At(addr)
+		if !ok || viaCache != viaFetch {
+			t.Errorf("Fetch/Decoded disagree at %#x", addr)
+		}
+	}
+	if _, err := p.Fetch(p.TextEnd()); err == nil {
+		t.Error("Fetch past text end should fail")
+	}
+}

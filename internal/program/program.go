@@ -7,6 +7,7 @@ package program
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"reese/internal/isa"
 )
@@ -34,6 +35,63 @@ type Program struct {
 	Entry uint32
 	// Symbols maps label names to addresses (for diagnostics and tests).
 	Symbols map[string]uint32
+
+	// decoded caches the pre-decoded text segment. It is rebuilt lazily
+	// whenever its length no longer matches Text, so Append during
+	// program construction invalidates it naturally. Once a program is
+	// being executed its Text must no longer change (see DecodedText).
+	decoded atomic.Pointer[DecodedText]
+}
+
+// DecodedText is an immutable pre-decoded view of a program's text
+// segment: one decoded instruction per text word, built once and shared
+// by every emulator and pipeline running the program. Sharing is safe
+// because a Program must not be mutated after it first executes — the
+// builders (assembler, workload generators) finish the image before
+// handing it off.
+type DecodedText struct {
+	insts []isa.Instruction
+	ok    []bool
+}
+
+// At returns the decoded instruction at addr, with ok=false when addr is
+// outside the text segment, unaligned, or holds an undecodable word.
+func (d *DecodedText) At(addr uint32) (isa.Instruction, bool) {
+	if addr < TextBase || addr%isa.WordBytes != 0 {
+		return isa.Instruction{}, false
+	}
+	i := (addr - TextBase) / isa.WordBytes
+	if i >= uint32(len(d.insts)) || !d.ok[i] {
+		return isa.Instruction{}, false
+	}
+	return d.insts[i], true
+}
+
+// Len returns the number of text words covered.
+func (d *DecodedText) Len() int { return len(d.insts) }
+
+// Decoded returns the pre-decoded text segment, building it on first use
+// (or after the text grew). Concurrent callers may race to build it, but
+// every build produces identical contents, so the last store wins
+// harmlessly; after the program is built once, this is a single atomic
+// load per call.
+func (p *Program) Decoded() *DecodedText {
+	if d := p.decoded.Load(); d != nil && len(d.insts) == len(p.Text) {
+		return d
+	}
+	d := &DecodedText{
+		insts: make([]isa.Instruction, len(p.Text)),
+		ok:    make([]bool, len(p.Text)),
+	}
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err == nil {
+			d.insts[i] = in
+			d.ok[i] = true
+		}
+	}
+	p.decoded.Store(d)
+	return d
 }
 
 // New returns an empty program with the default entry point.
@@ -60,13 +118,19 @@ func (p *Program) FetchWord(addr uint32) (uint32, error) {
 	return p.Text[(addr-TextBase)/isa.WordBytes], nil
 }
 
-// Fetch decodes the instruction at addr.
+// Fetch decodes the instruction at addr, consulting the pre-decoded
+// cache so repeated fetches (every simulated cycle) pay no decode cost.
 func (p *Program) Fetch(addr uint32) (isa.Instruction, error) {
-	w, err := p.FetchWord(addr)
-	if err != nil {
-		return isa.Instruction{}, err
+	if !p.InText(addr) {
+		return isa.Instruction{}, fmt.Errorf("program %s: instruction fetch outside text: %#08x", p.Name, addr)
 	}
-	return isa.Decode(w)
+	d := p.Decoded()
+	i := (addr - TextBase) / isa.WordBytes
+	if !d.ok[i] {
+		// Undecodable word: take the slow path to produce the error.
+		return isa.Decode(p.Text[i])
+	}
+	return d.insts[i], nil
 }
 
 // Append encodes and appends an instruction to the text segment,

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBuildIsMemoized(t *testing.T) {
+	spec, ok := ByName("gcc")
+	if !ok {
+		t.Fatal("gcc missing")
+	}
+	p1, err := spec.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := spec.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Build(7) twice returned distinct programs; cache miss")
+	}
+	p3, err := spec.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("Build(8) returned the iters=7 program")
+	}
+}
+
+func TestRebuildBypassesCache(t *testing.T) {
+	spec, ok := ByName("li")
+	if !ok {
+		t.Fatal("li missing")
+	}
+	cached, err := spec.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := spec.Rebuild(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == cached {
+		t.Error("Rebuild returned the cached program")
+	}
+	if len(fresh.Text) != len(cached.Text) {
+		t.Fatalf("Rebuild text %d words, cached %d", len(fresh.Text), len(cached.Text))
+	}
+	for i := range fresh.Text {
+		if fresh.Text[i] != cached.Text[i] {
+			t.Fatalf("Rebuild and cached programs diverge at word %d", i)
+		}
+	}
+}
+
+// TestBuildConcurrent exercises the cache under contention; run with
+// -race it vets the sync.Once-per-key construction.
+func TestBuildConcurrent(t *testing.T) {
+	spec, ok := ByName("perl")
+	if !ok {
+		t.Fatal("perl missing")
+	}
+	const workers = 16
+	progs := make([]interface{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			p, err := spec.Build(9)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if progs[w] != progs[0] {
+			t.Fatal("concurrent Build returned distinct programs")
+		}
+	}
+}

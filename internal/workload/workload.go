@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"reese/internal/program"
 )
@@ -34,9 +35,51 @@ type Spec struct {
 	build func(iters int) (*program.Program, error)
 }
 
+// buildCache memoizes assembled programs by (name, iters). Safe because
+// the build field is unexported — every Spec with a given name comes
+// from this package's tables and assembles identical source — and
+// because a built Program is immutable: running it never mutates it
+// (LoadMemory copies text+data into a fresh per-run Memory, and the
+// decode cache is append-only), so one shared *program.Program can back
+// any number of concurrent simulations.
+var buildCache sync.Map // buildKey -> *buildEntry
+
+type buildKey struct {
+	name  string
+	iters int
+}
+
+type buildEntry struct {
+	once sync.Once
+	prog *program.Program
+	err  error
+}
+
 // Build assembles the workload with the given outer iteration count
-// (0 selects DefaultIters).
+// (0 selects DefaultIters). Results are memoized per (name, iters):
+// repeated builds — one per simulation in a sweep — return the same
+// immutable *program.Program. Use Rebuild to force a fresh assembly.
 func (s Spec) Build(iters int) (*program.Program, error) {
+	if iters <= 0 {
+		iters = s.DefaultIters
+	}
+	v, _ := buildCache.LoadOrStore(buildKey{s.Name, iters}, &buildEntry{})
+	e := v.(*buildEntry)
+	e.once.Do(func() {
+		e.prog, e.err = s.build(iters)
+		if e.err == nil {
+			// Pre-decode while still single-threaded so concurrent
+			// simulations share one decode table from the start.
+			e.prog.Decoded()
+		}
+	})
+	return e.prog, e.err
+}
+
+// Rebuild assembles the workload from scratch, bypassing the build
+// cache. Benchmarks measuring assembly cost (and anything that wants a
+// private Program) use this.
+func (s Spec) Rebuild(iters int) (*program.Program, error) {
 	if iters <= 0 {
 		iters = s.DefaultIters
 	}
