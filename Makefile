@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all figures faults claims clean
+.PHONY: all build test test-race vet bench bench-all figures faults claims serve clean
 
 all: build test
 
@@ -15,9 +15,10 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# The full suite under the race detector (vets the workload build cache
-# and the harness worker pool).
-test-race:
+# The full suite under the race detector (vets the workload build
+# cache, the harness worker pool, and the reese-serve job queue, cache,
+# and metrics registry).
+test-race: vet
 	$(GO) test -race ./...
 
 # The tracked hot-path benchmark; results are appended to
@@ -35,6 +36,10 @@ figures:
 
 faults:
 	$(GO) run ./cmd/reese-faults
+
+# Run the HTTP simulation service (see README "Serving" and DESIGN §10).
+serve:
+	$(GO) run ./cmd/reese-serve
 
 claims:
 	$(GO) run ./cmd/reese-sweep -figure claims

@@ -1,0 +1,111 @@
+// Command reese-serve runs the REESE simulator as a long-lived HTTP
+// service: simulations, paper figures, and fault campaigns become
+// asynchronous jobs with a content-addressed result cache and
+// Prometheus metrics.
+//
+// Usage:
+//
+//	reese-serve                       # listen on :8321
+//	reese-serve -addr :9000 -workers 4 -queue 128 -cache 512
+//
+// Quick check:
+//
+//	curl -s localhost:8321/healthz
+//	curl -s -X POST localhost:8321/v1/figure?wait=60s -d '{"figure":"2","insts":50000}'
+//	curl -s localhost:8321/metrics | grep reese_serve
+//
+// SIGTERM/SIGINT drain gracefully: intake stops (new submits get 503),
+// in-flight jobs get -drain to finish, then stragglers are cancelled
+// through the context threaded into the simulator cycle loop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reese/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8321", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent simulation jobs (each uses GOMAXPROCS/workers grid parallelism)")
+		queue    = flag.Int("queue", 64, "bounded job-queue depth (submits beyond it get 503)")
+		cache    = flag.Int("cache", 256, "result-cache entries (-1 disables caching)")
+		maxInsts = flag.Uint64("max-insts", 50_000_000, "per-simulation committed-instruction ceiling")
+		maxWait  = flag.Duration("max-wait", 2*time.Minute, "cap on any ?wait= duration")
+		drain    = flag.Duration("drain", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	limits := server.DefaultLimits()
+	limits.MaxInsts = *maxInsts
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxWait:      *maxWait,
+		Limits:       limits,
+		Logger:       log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("reese-serve listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listen failed before any signal (port in use, bad address).
+		fmt.Fprintln(os.Stderr, "reese-serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	log.Info("signal received; draining", "grace", drain.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the job queue.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Warn("jobs cancelled before finishing", "err", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "reese-serve:", err)
+		return 1
+	}
+	log.Info("reese-serve: drained cleanly")
+	return 0
+}

@@ -7,6 +7,7 @@
 //	reese-sweep -figure faults         # fault-injection campaign
 //	reese-sweep -figure ablations      # RSQ size + partial re-execution sweeps
 //	reese-sweep -figure idle           # the §4.1 idle-capacity premise
+//	reese-sweep -figure 2 -json        # the figure series as JSON (2-7, faults)
 //	reese-sweep -insts 1000000         # bigger instruction budget per run
 //	reese-sweep -parallel 1            # force strictly sequential runs
 //	reese-sweep -cpuprofile cpu.pprof  # write a CPU profile of the sweep
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,7 @@ func run() int {
 		figure     = flag.String("figure", "all", "which figure to regenerate: 2,3,4,5,6,7, table1, table2, faults, ablations, idle, claims, all")
 		insts      = flag.Uint64("insts", 150_000, "committed-instruction budget per simulation")
 		format     = flag.String("format", "table", "output format for figures 2-5: table or csv")
+		asJSON     = flag.Bool("json", false, "emit the figure series as JSON (figures 2-7 and faults)")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -77,6 +80,22 @@ func run() int {
 		fmt.Println(s)
 		return 0
 	}
+	// emitJSON renders v (a figure series) to stdout; mirrors
+	// reese-sim -json so downstream tooling gets the same shapes the
+	// reese-serve API returns.
+	emitJSON := func(v any, err error) int {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+			return 1
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fmt.Fprintln(os.Stderr, "reese-sweep:", err)
+			return 1
+		}
+		return 0
+	}
 
 	switch *figure {
 	case "table1":
@@ -91,6 +110,9 @@ func run() int {
 		if err != nil {
 			return emit("", err)
 		}
+		if *asJSON {
+			return emitJSON(fig, nil)
+		}
 		if *format == "csv" {
 			return emit(harness.FigureCSV(fig), nil)
 		}
@@ -101,15 +123,24 @@ func run() int {
 		if err != nil {
 			return emit("", err)
 		}
+		if *asJSON {
+			return emitJSON(rows, nil)
+		}
 		return emit(harness.Figure6Table(rows), nil)
 	case "7":
 		points, err := harness.Figure7(opt)
 		if err != nil {
 			return emit("", err)
 		}
+		if *asJSON {
+			return emitJSON(points, nil)
+		}
 		return emit(harness.Figure7Table(points), nil)
 	case "faults":
-		tbl, _, err := harness.CampaignAll(10_000, opt)
+		tbl, results, err := harness.CampaignAll(10_000, opt)
+		if *asJSON {
+			return emitJSON(results, err)
+		}
 		return emit(tbl, err)
 	case "ablations":
 		rsq, _, err := harness.RSQSweep([]int{4, 8, 16, 32, 64}, opt)

@@ -94,6 +94,26 @@ func (k PredictorKind) String() string {
 	}
 }
 
+// MarshalText encodes the kind as its name, so a Machine serialised to
+// JSON (the reese-serve API) says "gshare" rather than 0.
+func (k PredictorKind) MarshalText() ([]byte, error) {
+	if k > PredStaticNotTaken {
+		return nil, fmt.Errorf("config: unknown predictor kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText accepts the names String/MarshalText produce.
+func (k *PredictorKind) UnmarshalText(text []byte) error {
+	for cand := PredGshare; cand <= PredStaticNotTaken; cand++ {
+		if string(text) == cand.String() {
+			*k = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("config: unknown predictor kind %q", text)
+}
+
 // RedundancyMode selects how redundant execution is organised.
 type RedundancyMode uint8
 
@@ -116,6 +136,27 @@ func (m RedundancyMode) String() string {
 		return "dup-dispatch"
 	}
 	return "rsq"
+}
+
+// MarshalText encodes the mode as its name ("rsq" / "dup-dispatch").
+func (m RedundancyMode) MarshalText() ([]byte, error) {
+	if m > ModeDupDispatch {
+		return nil, fmt.Errorf("config: unknown redundancy mode %d", uint8(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText accepts the names String/MarshalText produce.
+func (m *RedundancyMode) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "rsq":
+		*m = ModeRSQ
+	case "dup-dispatch":
+		*m = ModeDupDispatch
+	default:
+		return fmt.Errorf("config: unknown redundancy mode %q", text)
+	}
+	return nil
 }
 
 // ReeseConfig are the knobs of the paper's mechanism.

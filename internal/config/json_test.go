@@ -1,0 +1,70 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"reese/internal/fu"
+)
+
+// TestMachineJSONRoundTrip locks in that a Machine survives JSON
+// encode → decode unchanged, for the starting configuration and for a
+// variant exercising every knob the builders can set. Any field the
+// reese-serve API would silently drop (unexported, shadowed, or badly
+// tagged) breaks equality here.
+func TestMachineJSONRoundTrip(t *testing.T) {
+	doubled := fu.Config{IntALU: 8, IntMult: 2, MemPort: 4, FPALU: 8, FPMult: 2}
+	machines := []Machine{
+		Starting(),
+		Starting().WithReese(),
+		Starting().WithRUU(64).WithWidth(16).WithMemPorts(4).WithFUs(doubled).
+			WithReese().WithRSQ(64).WithRSQHighWater(48).WithSpares(2, 1).
+			WithPartialReexec(4).WithRESO().WithWrongPath().
+			WithPredictor(PredCombining),
+		Starting().WithDupDispatch(),
+		Starting().WithPredictor(PredStaticNotTaken),
+	}
+	for _, m := range machines {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", m.Name, err)
+		}
+		var back Machine
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", m.Name, err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Errorf("%s: round trip changed the machine\n got: %+v\nwant: %+v\njson: %s", m.Name, back, m, data)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: decoded machine fails validation: %v", m.Name, err)
+		}
+	}
+}
+
+// TestPredictorKindTextRoundTrip covers every kind name, including
+// rejection of unknown names.
+func TestPredictorKindTextRoundTrip(t *testing.T) {
+	for k := PredGshare; k <= PredStaticNotTaken; k++ {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		var back PredictorKind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %s -> %v", k, text, back)
+		}
+	}
+	var k PredictorKind
+	if err := k.UnmarshalText([]byte("perceptron")); err == nil {
+		t.Error("unknown predictor name accepted")
+	}
+	var m RedundancyMode
+	if err := m.UnmarshalText([]byte("triple")); err == nil {
+		t.Error("unknown redundancy mode accepted")
+	}
+}

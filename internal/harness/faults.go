@@ -12,27 +12,27 @@ import (
 
 // CampaignResult summarises a fault-injection campaign on one workload.
 type CampaignResult struct {
-	Workload string
-	Config   string
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
 
-	Injected  uint64
-	Detected  uint64
-	Silent    uint64
-	Recovered uint64
+	Injected  uint64 `json:"injected"`
+	Detected  uint64 `json:"detected"`
+	Silent    uint64 `json:"silent"`
+	Recovered uint64 `json:"recovered"`
 
 	// Coverage is detected/injected.
-	Coverage float64
+	Coverage float64 `json:"coverage"`
 	// DetectionLatencyMean/P95/Max summarise cycles from fault injection
 	// (P-stream writeback) to comparator detection. This is the paper's
 	// Δt argument (§2): the RSQ transit time separates the two
 	// executions.
-	DetectionLatencyMean float64
-	DetectionLatencyP95  uint64
-	DetectionLatencyMax  uint64
+	DetectionLatencyMean float64 `json:"detection_latency_mean"`
+	DetectionLatencyP95  uint64  `json:"detection_latency_p95"`
+	DetectionLatencyMax  uint64  `json:"detection_latency_max"`
 
 	// CleanIPC and FaultyIPC show the performance cost of recoveries.
-	CleanIPC  float64
-	FaultyIPC float64
+	CleanIPC  float64 `json:"clean_ipc"`
+	FaultyIPC float64 `json:"faulty_ipc"`
 }
 
 // Campaign injects a fault every interval committed instructions into
@@ -54,7 +54,7 @@ func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Opti
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	cleanRes, err := clean.Run(opt.Insts)
+	cleanRes, err := clean.RunContext(opt.Ctx, opt.Insts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -68,7 +68,7 @@ func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Opti
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	res, err := cpu.Run(opt.Insts)
+	res, err := cpu.RunContext(opt.Ctx, opt.Insts)
 	if err != nil {
 		return CampaignResult{}, err
 	}

@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,13 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = strictly sequential). Any setting produces
 	// byte-identical results; it only changes wall-clock time.
 	Parallel int
+	// Ctx, when non-nil, cancels in-flight simulations: every run polls
+	// it periodically (pipeline.RunContext) and the experiment returns
+	// ctx.Err() instead of grinding through remaining cells. nil means
+	// context.Background(). Carried in Options rather than as a separate
+	// parameter so the dozens of experiment entry points keep one
+	// signature.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the scale used by the test suite and benches.
@@ -44,26 +52,31 @@ func (o Options) normalize() Options {
 	if o.Insts == 0 {
 		o.Insts = 150_000
 	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	return o
 }
 
 // Cell is one bar of a figure: a (workload, variant) IPC measurement.
 type Cell struct {
-	Workload string
-	Variant  string
-	Result   pipeline.Result
+	Workload string          `json:"workload"`
+	Variant  string          `json:"variant"`
+	Result   pipeline.Result `json:"result"`
 }
 
 // FigureResult is a regenerated figure: a grid of IPC values, one row
 // per workload plus the average row the paper's analysis leans on.
+// The JSON form (used by reese-serve and reese-sweep -json) is locked
+// by the golden-file test in json_test.go.
 type FigureResult struct {
-	ID       string
-	Title    string
-	Variants []string
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	Variants []string `json:"variants"`
 	// IPC[workload][variant] in the order of Workloads()/Variants.
-	IPC       map[string]map[string]float64
-	Workloads []string
-	Cells     []Cell
+	IPC       map[string]map[string]float64 `json:"ipc"`
+	Workloads []string                      `json:"workloads"`
+	Cells     []Cell                        `json:"cells,omitempty"`
 }
 
 // Average returns the across-workload mean IPC for the given variant.
@@ -175,6 +188,17 @@ func runGrid(id, title string, variants []variant, opt Options) (*FigureResult, 
 }
 
 func runOne(cfg config.Machine, workloadName string, opt Options) (pipeline.Result, error) {
+	// Some callers reach runOne without Options.normalize.
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Bail before building anything if the experiment is already
+	// cancelled — this is what lets a cancelled grid stop scheduling its
+	// remaining cells.
+	if err := ctx.Err(); err != nil {
+		return pipeline.Result{}, err
+	}
 	spec, ok := workload.ByName(workloadName)
 	if !ok {
 		return pipeline.Result{}, fmt.Errorf("unknown workload %q", workloadName)
@@ -194,7 +218,7 @@ func runOne(cfg config.Machine, workloadName string, opt Options) (pipeline.Resu
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	return cpu.Run(opt.Insts)
+	return cpu.RunContext(ctx, opt.Insts)
 }
 
 // Figure2 regenerates the paper's Figure 2: REESE versus baseline on the
@@ -234,12 +258,12 @@ func Figure5(opt Options) (*FigureResult, error) {
 // SummaryRow is one point of Figure 6: the average REESE-vs-baseline
 // picture for one hardware configuration.
 type SummaryRow struct {
-	Config       string
-	BaselineIPC  float64
-	ReeseIPC     float64
-	Spared2IPC   float64 // REESE + 2 spare ALUs
-	GapPercent   float64 // baseline -> REESE
-	SparedGapPct float64 // baseline -> REESE+2ALU
+	Config       string  `json:"config"`
+	BaselineIPC  float64 `json:"baseline_ipc"`
+	ReeseIPC     float64 `json:"reese_ipc"`
+	Spared2IPC   float64 `json:"spared2_ipc"`    // REESE + 2 spare ALUs
+	GapPercent   float64 `json:"gap_pct"`        // baseline -> REESE
+	SparedGapPct float64 `json:"spared_gap_pct"` // baseline -> REESE+2ALU
 }
 
 // Figure6 regenerates Figure 6, the summary over the four hardware
@@ -285,12 +309,12 @@ func Figure6Table(rows []SummaryRow) string {
 
 // Figure7Point is one x-position of Figure 7.
 type Figure7Point struct {
-	Label       string
-	BaselineIPC float64
-	ReeseIPC    float64
-	Reese2AIPC  float64
-	GapPercent  float64
-	Gap2APct    float64
+	Label       string  `json:"label"`
+	BaselineIPC float64 `json:"baseline_ipc"`
+	ReeseIPC    float64 `json:"reese_ipc"`
+	Reese2AIPC  float64 `json:"reese2a_ipc"`
+	GapPercent  float64 `json:"gap_pct"`
+	Gap2APct    float64 `json:"gap2a_pct"`
 }
 
 // Figure7 regenerates Figure 7: baseline vs REESE vs REESE+2ALU for

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reese/internal/pipeline"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestFigureJSONGolden locks the wire format of the figure types the
+// server and reese-sweep -json emit. The fixture is hand-built (no
+// simulation) so the golden file only changes when the encoding does —
+// which is exactly the event that must be deliberate: reese-serve
+// clients and its result cache both depend on this shape.
+func TestFigureJSONGolden(t *testing.T) {
+	fig := &FigureResult{
+		ID:       "Figure 2",
+		Title:    "initial comparison, Table 1 starting configuration",
+		Variants: []string{"Baseline", "REESE"},
+		IPC: map[string]map[string]float64{
+			"gcc": {"Baseline": 1.25, "REESE": 1.0},
+			"go":  {"Baseline": 1.5, "REESE": 1.125},
+		},
+		Workloads: []string{"gcc", "go"},
+		Cells: []Cell{
+			{Workload: "gcc", Variant: "Baseline", Result: pipeline.Result{
+				Config: "table1-starting", Workload: "gcc",
+				Cycles: 80_000, Committed: 100_000, IPC: 1.25, Halted: false,
+				Branches: 12_000, Mispredicts: 600, BranchAcc: 0.95,
+			}},
+		},
+	}
+	doc := struct {
+		Figure *FigureResult  `json:"figure"`
+		Rows   []SummaryRow   `json:"rows"`
+		Points []Figure7Point `json:"points"`
+	}{
+		Figure: fig,
+		Rows: []SummaryRow{{
+			Config: "None", BaselineIPC: 1.375, ReeseIPC: 1.0625,
+			Spared2IPC: 1.25, GapPercent: 22.7, SparedGapPct: 9.1,
+		}},
+		Points: []Figure7Point{{
+			Label: "RUU=64", BaselineIPC: 2.0, ReeseIPC: 1.75,
+			Reese2AIPC: 1.9, GapPercent: 12.5, Gap2APct: 5.0,
+		}},
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "figures.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("figure JSON encoding drifted from %s\n got:\n%s\nwant:\n%s\n(if intentional, rerun with -update-golden)",
+			golden, buf.Bytes(), want)
+	}
+}

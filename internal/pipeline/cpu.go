@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -367,6 +368,20 @@ func (c *CPU) FastForward(n uint64) (uint64, error) {
 // instructions have committed (0 = no limit), or until the safety cycle
 // cap trips (which returns an error: it indicates a simulator bug).
 func (c *CPU) Run(maxInsts uint64) (Result, error) {
+	return c.RunContext(context.Background(), maxInsts)
+}
+
+// ctxCheckInterval is how many cycles pass between ctx.Err() polls in
+// RunContext. At simulator speed this bounds the cancellation latency
+// to well under a millisecond while keeping the check off the per-cycle
+// path.
+const ctxCheckInterval = 16384
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx every ctxCheckInterval cycles and returns ctx.Err() (wrapped) if
+// the context is cancelled or times out, so an abandoned request stops
+// burning CPU mid-simulation.
+func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 	c.instLimit = maxInsts
 	// Generous deadlock guard: no real run needs more than ~100 cycles
 	// per instruction plus slack.
@@ -374,12 +389,19 @@ func (c *CPU) Run(maxInsts uint64) (Result, error) {
 	if maxInsts > 0 {
 		capCycles = 200*maxInsts + 1_000_000
 	}
+	nextCtxCheck := c.cycle + ctxCheckInterval
 	for !c.done && !c.permError {
 		if c.instLimit > 0 && c.committed >= c.instLimit {
 			break
 		}
 		if c.cycle > capCycles {
 			return Result{}, fmt.Errorf("pipeline: cycle cap %d exceeded at %d committed insts (deadlock?)", capCycles, c.committed)
+		}
+		if c.cycle >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("pipeline: run cancelled at cycle %d (%d committed): %w", c.cycle, c.committed, err)
+			}
+			nextCtxCheck = c.cycle + ctxCheckInterval
 		}
 		c.step()
 	}

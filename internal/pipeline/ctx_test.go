@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+)
+
+// TestRunContextCancel: a cancelled context stops the cycle loop
+// mid-run instead of simulating to completion.
+func TestRunContextCancel(t *testing.T) {
+	// Long enough that the run cannot finish before the poll interval:
+	// ~10M dynamic instructions.
+	cpu, err := New(config.Starting(), mustProg(t, loopProgram(1_500_000)), fault.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cpu.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext with cancelled ctx: %v, want context.Canceled", err)
+	}
+	if cpu.Committed() >= 10_000_000 {
+		t.Errorf("simulation ran to completion (%d committed) despite cancellation", cpu.Committed())
+	}
+}
+
+// TestRunContextDeadline: a deadline interrupts a long run promptly.
+func TestRunContextDeadline(t *testing.T) {
+	cpu, err := New(config.Starting(), mustProg(t, loopProgram(1_500_000)), fault.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cpu.RunContext(ctx, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext: %v, want context.DeadlineExceeded", err)
+	}
+	// The check runs every 16k cycles; anything near a second means it
+	// never fired.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: threading a context through must
+// not perturb results — Run and RunContext(Background) are identical.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	src := loopProgram(2_000)
+	a, err := New(config.Starting().WithReese(), mustProg(t, src), fault.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := a.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(config.Starting().WithReese(), mustProg(t, src), fault.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := b.RunContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Errorf("Run and RunContext diverge:\n%+v\n%+v", resA, resB)
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+// Wire types of the v1 JSON API and the normalization that turns a
+// sparse request into the canonical form used both to run the job and
+// to address the result cache. Normalization must be total: two
+// requests meaning the same simulation must normalize to identical
+// structs, or the cache fragments.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"reese/internal/config"
+	"reese/internal/harness"
+	"reese/internal/workload"
+)
+
+// Limits bound per-request work so one client cannot park the service
+// on a month-long simulation.
+type Limits struct {
+	// MaxInsts caps the committed-instruction budget of any single
+	// simulation (runs and figure cells alike).
+	MaxInsts uint64
+	// DefaultRunInsts/DefaultFigureInsts fill omitted budgets, matching
+	// the reese-sim and harness defaults.
+	DefaultRunInsts    uint64
+	DefaultFigureInsts uint64
+}
+
+// DefaultLimits mirror the CLI defaults with a generous ceiling.
+func DefaultLimits() Limits {
+	return Limits{MaxInsts: 50_000_000, DefaultRunInsts: 200_000, DefaultFigureInsts: 150_000}
+}
+
+// RunRequest asks for one workload on one machine — the reese-sim CLI
+// as an endpoint.
+type RunRequest struct {
+	// Workload names a Table 2 benchmark (gcc, go, ijpeg, li, perl,
+	// vortex).
+	Workload string `json:"workload"`
+	// Insts is the committed-instruction budget (0 = server default).
+	Insts uint64 `json:"insts,omitempty"`
+	// Iters overrides the workload's outer iteration count.
+	Iters int `json:"iters,omitempty"`
+	// Machine is the full configuration (omit for the Table 1 starting
+	// configuration). Serialize one from config.Starting() and edit.
+	Machine *config.Machine `json:"machine,omitempty"`
+	// FaultAt, when non-zero, injects one bit flip into instruction
+	// #FaultAt at position FaultBit, as reese-sim -fault-at.
+	FaultAt  uint64 `json:"fault_at,omitempty"`
+	FaultBit uint8  `json:"fault_bit,omitempty"`
+}
+
+// normalize applies defaults and validates; the result is the canonical
+// request the cache key hashes.
+func (r RunRequest) normalize(lim Limits) (RunRequest, error) {
+	spec, ok := workload.ByName(r.Workload)
+	if !ok {
+		return r, fmt.Errorf("unknown workload %q (have %v)", r.Workload, workload.Names())
+	}
+	if r.Insts == 0 {
+		r.Insts = lim.DefaultRunInsts
+	}
+	if r.Insts > lim.MaxInsts {
+		return r, fmt.Errorf("insts %d exceeds server limit %d", r.Insts, lim.MaxInsts)
+	}
+	if r.Iters < 0 {
+		return r, fmt.Errorf("negative iters %d", r.Iters)
+	}
+	if r.Iters == 0 {
+		// Canonicalize the default here (not in the runner) so sparse and
+		// explicit spellings of the same job share one cache key.
+		r.Iters = spec.DefaultIters * 2
+	}
+	if r.Machine == nil {
+		m := config.Starting()
+		r.Machine = &m
+	}
+	if err := r.Machine.Validate(); err != nil {
+		return r, err
+	}
+	if r.FaultAt == 0 {
+		r.FaultBit = 0
+	} else if r.FaultBit > 31 {
+		return r, fmt.Errorf("fault bit %d out of range [0,31]", r.FaultBit)
+	}
+	return r, nil
+}
+
+// figureNames are the accepted FigureRequest.Figure values.
+var figureRunners = map[string]bool{"2": true, "3": true, "4": true, "5": true, "6": true, "7": true}
+
+// FigureRequest asks for one of the paper's figures.
+type FigureRequest struct {
+	// Figure selects the experiment: "2".."7".
+	Figure string `json:"figure"`
+	// Insts is the per-cell committed-instruction budget (0 = server
+	// default).
+	Insts uint64 `json:"insts,omitempty"`
+}
+
+func (r FigureRequest) normalize(lim Limits) (FigureRequest, error) {
+	if !figureRunners[r.Figure] {
+		return r, fmt.Errorf("unknown figure %q (have 2..7)", r.Figure)
+	}
+	if r.Insts == 0 {
+		r.Insts = lim.DefaultFigureInsts
+	}
+	if r.Insts > lim.MaxInsts {
+		return r, fmt.Errorf("insts %d exceeds server limit %d", r.Insts, lim.MaxInsts)
+	}
+	return r, nil
+}
+
+// FaultsRequest asks for the fault-injection campaign (reese-sweep
+// -figure faults).
+type FaultsRequest struct {
+	// Interval is the committed-instruction spacing between injected
+	// faults (0 = 10000, the CLI default).
+	Interval uint64 `json:"interval,omitempty"`
+	// Insts is the per-run committed-instruction budget.
+	Insts uint64 `json:"insts,omitempty"`
+}
+
+func (r FaultsRequest) normalize(lim Limits) (FaultsRequest, error) {
+	if r.Interval == 0 {
+		r.Interval = 10_000
+	}
+	if r.Insts == 0 {
+		r.Insts = lim.DefaultFigureInsts
+	}
+	if r.Insts > lim.MaxInsts {
+		return r, fmt.Errorf("insts %d exceeds server limit %d", r.Insts, lim.MaxInsts)
+	}
+	return r, nil
+}
+
+// JobView is the wire form of a job, returned by submits and polls.
+type JobView struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`
+	State   JobState  `json:"state"`
+	Created time.Time `json:"created"`
+	// Started/Finished are set once the job leaves the queue / reaches a
+	// terminal state.
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Cached marks a job satisfied from the result cache.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Result is the kind-specific payload (RunPayload, FigurePayload,
+	// FaultsPayload), present once State is "done".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// FigurePayload is the /v1/figure result: the structured series plus
+// the same rendered table the CLI prints (byte-identical to an
+// in-process harness call, which the e2e test asserts).
+type FigurePayload struct {
+	Figure *harness.FigureResult  `json:"figure,omitempty"`
+	Rows   []harness.SummaryRow   `json:"rows,omitempty"`
+	Points []harness.Figure7Point `json:"points,omitempty"`
+	Table  string                 `json:"table"`
+}
+
+// FaultsPayload is the /v1/faults result.
+type FaultsPayload struct {
+	Results []harness.CampaignResult `json:"results"`
+	Table   string                   `json:"table"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,114 @@
+package server
+
+// Content-addressed result cache. The simulator is deterministic — the
+// same (machine config, workload, instruction budget, fault seed)
+// always produces byte-identical results at any parallelism (see
+// harness's TestParallelDeterminism) — so a cache keyed on the
+// canonicalized request is exact: a hit IS the answer, not an
+// approximation. Keys are sha256 over the canonical JSON encoding of
+// the normalized request (defaults filled in, so sparse and explicit
+// spellings of the same job collide as they should).
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// cacheKey canonicalizes a request into its content address. kind
+// separates the endpoint namespaces; req must already be normalized
+// (all defaults applied). encoding/json emits struct fields in
+// declaration order, so the encoding — and therefore the hash — is
+// deterministic.
+func cacheKey(kind string, req any) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("server: canonicalize %s request: %w", kind, err)
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// resultCache is a bounded LRU from cache key to the job's result
+// payload, with hit/miss/eviction accounting.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits      *Counter
+	misses    *Counter
+	evictions *Counter
+}
+
+type cacheEntry struct {
+	key     string
+	payload json.RawMessage
+}
+
+// newResultCache builds a cache holding at most max entries (max <= 0
+// disables caching: every lookup misses and nothing is stored).
+func newResultCache(max int, m *Metrics) *resultCache {
+	c := &resultCache{
+		max:       max,
+		order:     list.New(),
+		entries:   make(map[string]*list.Element),
+		hits:      m.Counter("reese_serve_cache_hits_total", "Result cache hits."),
+		misses:    m.Counter("reese_serve_cache_misses_total", "Result cache misses."),
+		evictions: m.Counter("reese_serve_cache_evictions_total", "Result cache LRU evictions."),
+	}
+	m.Gauge("reese_serve_cache_entries", "Result cache resident entries.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.entries))
+	})
+	return c
+}
+
+// get returns the cached payload for key, recording a hit or miss.
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put stores payload under key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key string, payload json.RawMessage) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// stats returns (hits, misses) for tests and the healthz payload.
+func (c *resultCache) stats() (hits, misses uint64) {
+	return c.hits.Value(), c.misses.Value()
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	m := NewMetrics()
+	c := newResultCache(2, m)
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", json.RawMessage(`1`))
+	c.put("b", json.RawMessage(`2`))
+	if v, ok := c.get("a"); !ok || string(v) != "1" {
+		t.Fatalf("a: %q %v", v, ok)
+	}
+	// a is now most recent; inserting c must evict b.
+	c.put("c", json.RawMessage(`3`))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.evictions.Value() != 1 {
+		t.Errorf("evictions %d, want 1", c.evictions.Value())
+	}
+	hits, misses := c.stats()
+	if hits != 3 || misses != 2 {
+		t.Errorf("hits/misses %d/%d, want 3/2", hits, misses)
+	}
+
+	// Overwriting an existing key must not grow the cache.
+	c.put("c", json.RawMessage(`33`))
+	if v, _ := c.get("c"); string(v) != "33" {
+		t.Errorf("overwrite lost: %s", v)
+	}
+	if len(c.entries) != 2 {
+		t.Errorf("entries %d, want 2", len(c.entries))
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, NewMetrics())
+	c.put("a", json.RawMessage(`1`))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCacheKeyCanonical(t *testing.T) {
+	k1, err := cacheKey("run", RunRequest{Workload: "gcc", Insts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := cacheKey("run", RunRequest{Workload: "gcc", Insts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("identical requests hash differently")
+	}
+	k3, _ := cacheKey("run", RunRequest{Workload: "gcc", Insts: 1001})
+	if k1 == k3 {
+		t.Error("different requests collide")
+	}
+	// Kind separates endpoint namespaces even for identical bodies.
+	k4, _ := cacheKey("figure", RunRequest{Workload: "gcc", Insts: 1000})
+	if k1 == k4 {
+		t.Error("kinds share a namespace")
+	}
+}
+
+func TestMetricsRender(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("test_total", "A counter.").Add(3)
+	m.CounterFamily("test_labeled_total", "Labeled.", "kind").With("x").Inc()
+	m.Gauge("test_gauge", "A gauge.", func() float64 { return 1.5 })
+	h := m.HistogramFamily("test_seconds", "A histogram.", []float64{0.1, 1}, "path").With("/p")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total A counter.\n# TYPE test_total counter\ntest_total 3\n",
+		"test_labeled_total{kind=\"x\"} 1\n",
+		"# TYPE test_gauge gauge\ntest_gauge 1.5\n",
+		"test_seconds_bucket{path=\"/p\",le=\"0.1\"} 1\n",
+		"test_seconds_bucket{path=\"/p\",le=\"1\"} 2\n",
+		"test_seconds_bucket{path=\"/p\",le=\"+Inf\"} 3\n",
+		"test_seconds_sum{path=\"/p\"} 5.55\n",
+		"test_seconds_count{path=\"/p\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Rendering is deterministic (sorted families and children).
+	var b2 strings.Builder
+	m.Render(&b2)
+	if out != b2.String() {
+		t.Error("two renders differ")
+	}
+}

@@ -1,0 +1,356 @@
+package server
+
+// Asynchronous job machinery: every simulation request becomes a Job
+// that moves queued → running → {done, failed, canceled}. A bounded
+// channel is the queue (submits fail fast with 503 when it is full —
+// backpressure instead of unbounded memory growth) and a fixed worker
+// pool drains it, mirroring harness's pool discipline: the number of
+// concurrent simulations is capped no matter how many requests arrive.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// jobOutput is what a job's runner produces: the result payload served
+// from GET /v1/jobs/{id}, plus the committed-instruction count feeding
+// the sim-throughput counter.
+type jobOutput struct {
+	payload json.RawMessage
+	insts   uint64
+}
+
+// Job is one queued simulation request.
+type Job struct {
+	ID   string
+	Kind string
+
+	// run executes the simulation under the job's context.
+	run func(ctx context.Context) (jobOutput, error)
+	// cacheKey is the request's content address ("" = uncacheable).
+	cacheKey string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cached   bool
+	payload  json.RawMessage
+	errMsg   string
+}
+
+// snapshot returns a consistent JobView of the current state.
+func (j *Job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		Kind:    j.Kind,
+		State:   j.state,
+		Created: j.created,
+		Cached:  j.cached,
+		Error:   j.errMsg,
+		Result:  j.payload,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Cancel requests cancellation: a queued job is finished immediately;
+// a running job's context is cancelled and the worker records the
+// terminal state when the cycle loop notices.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.errMsg = context.Canceled.Error()
+		j.finished = time.Now()
+		close(j.done)
+	}
+	j.mu.Unlock()
+}
+
+// errQueueFull is returned by submit when the bounded queue is at
+// capacity; handlers translate it to 503.
+var errQueueFull = errors.New("server: job queue full")
+
+// errDraining is returned by submit after Shutdown began.
+var errDraining = errors.New("server: draining, not accepting jobs")
+
+// jobRunner owns the queue, the worker pool, and the job registry.
+type jobRunner struct {
+	queue   chan *Job
+	rootCtx context.Context
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // insertion order, for bounded retention
+	maxJobs  int
+	nextID   atomic.Uint64
+	wg       sync.WaitGroup
+
+	queued    atomic.Int64
+	running   atomic.Int64
+	submitted *counterFamily
+	completed *counterFamily
+	simInsts  *Counter
+}
+
+// newJobRunner starts workers goroutines draining a queue of depth
+// queueDepth. rootCtx is the server's lifetime: cancelling it aborts
+// every job.
+func newJobRunner(rootCtx context.Context, workers, queueDepth, maxJobs int, m *Metrics) *jobRunner {
+	r := &jobRunner{
+		queue:     make(chan *Job, queueDepth),
+		rootCtx:   rootCtx,
+		jobs:      make(map[string]*Job),
+		maxJobs:   maxJobs,
+		submitted: m.CounterFamily("reese_serve_jobs_submitted_total", "Jobs accepted, by kind.", "kind"),
+		completed: m.CounterFamily("reese_serve_jobs_completed_total", "Jobs finished, by kind and terminal state.", "kind", "state"),
+		simInsts:  m.Counter("reese_serve_sim_insts_total", "Committed simulated instructions across all jobs (rate() of this is sim-insts/s)."),
+	}
+	m.Gauge("reese_serve_jobs_queued", "Jobs waiting in the queue.", func() float64 { return float64(r.queued.Load()) })
+	m.Gauge("reese_serve_jobs_running", "Jobs currently simulating.", func() float64 { return float64(r.running.Load()) })
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// submit registers a job and enqueues it. base is the context the job's
+// lifetime derives from (the server root for detached jobs, the HTTP
+// request for interactive ones); timeout > 0 additionally bounds the
+// run. The returned job is already registered under its ID.
+func (r *jobRunner) submit(base context.Context, kind, cacheKey string, timeout time.Duration,
+	run func(ctx context.Context) (jobOutput, error)) (*Job, error) {
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	j := &Job{
+		ID:       fmt.Sprintf("j-%06d", r.nextID.Add(1)),
+		Kind:     kind,
+		run:      run,
+		cacheKey: cacheKey,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		created:  time.Now(),
+	}
+
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		cancel()
+		return nil, errDraining
+	}
+	r.jobs[j.ID] = j
+	r.order = append(r.order, j.ID)
+	r.evictLocked()
+	r.mu.Unlock()
+
+	select {
+	case r.queue <- j:
+		r.queued.Add(1)
+		r.submitted.With(kind).Inc()
+		return j, nil
+	default:
+		r.mu.Lock()
+		delete(r.jobs, j.ID)
+		r.order = r.order[:len(r.order)-1]
+		r.mu.Unlock()
+		cancel()
+		return nil, errQueueFull
+	}
+}
+
+// complete registers an already-finished job (a cache hit): it never
+// touches the queue and is immediately terminal.
+func (r *jobRunner) complete(kind, cacheKey string, payload json.RawMessage) *Job {
+	j := &Job{
+		ID:       fmt.Sprintf("j-%06d", r.nextID.Add(1)),
+		Kind:     kind,
+		cacheKey: cacheKey,
+		cancel:   func() {},
+		done:     make(chan struct{}),
+		state:    StateDone,
+		created:  time.Now(),
+		finished: time.Now(),
+		cached:   true,
+		payload:  payload,
+	}
+	close(j.done)
+	r.mu.Lock()
+	r.jobs[j.ID] = j
+	r.order = append(r.order, j.ID)
+	r.evictLocked()
+	r.mu.Unlock()
+	r.submitted.With(kind).Inc()
+	r.completed.With(kind, string(StateDone)).Inc()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs once the registry exceeds
+// maxJobs, so a long-lived server's job index stays bounded. Live jobs
+// are never evicted.
+func (r *jobRunner) evictLocked() {
+	for len(r.jobs) > r.maxJobs {
+		evicted := false
+		for i, id := range r.order {
+			j, ok := r.jobs[id]
+			if !ok {
+				continue
+			}
+			j.mu.Lock()
+			terminal := j.state.terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(r.jobs, id)
+				r.order = append(r.order[:i:i], r.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything is live; allow temporary overshoot
+		}
+	}
+}
+
+// get looks a job up by ID.
+func (r *jobRunner) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// list snapshots every registered job, oldest first.
+func (r *jobRunner) list() []JobView {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := r.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	r.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.snapshot()
+	}
+	return views
+}
+
+// worker drains the queue until it is closed (shutdown) and empty.
+func (r *jobRunner) worker() {
+	defer r.wg.Done()
+	for j := range r.queue {
+		r.queued.Add(-1)
+		r.runJob(j)
+	}
+}
+
+// runJob executes one job and records its terminal state.
+func (r *jobRunner) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued; Cancel already finished it.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	r.running.Add(1)
+	defer r.running.Add(-1)
+	defer j.cancel() // release the context's timer, if any
+
+	out, err := j.run(j.ctx)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.payload = out.payload
+		r.simInsts.Add(out.insts)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	j.mu.Unlock()
+	r.completed.With(j.Kind, string(state)).Inc()
+	close(j.done)
+}
+
+// drain stops intake and waits for queued and running jobs to finish,
+// or for ctx to expire — in which case remaining jobs are cancelled via
+// the server root context by the caller.
+func (r *jobRunner) drain(ctx context.Context) error {
+	r.mu.Lock()
+	already := r.draining
+	r.draining = true
+	r.mu.Unlock()
+	if !already {
+		close(r.queue)
+	}
+	finished := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

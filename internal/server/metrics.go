@@ -1,0 +1,261 @@
+package server
+
+// A minimal stdlib-only metrics registry rendering the Prometheus text
+// exposition format (version 0.0.4) for GET /metrics. Three instrument
+// kinds cover the serving layer: monotonic counters (with optional
+// labels), gauges evaluated at scrape time, and cumulative latency
+// histograms. Families render sorted by name and children sorted by
+// label value, so the output is deterministic — tests can string-match
+// a scrape.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (one child of a family,
+// with its labels pre-rendered).
+type Counter struct {
+	labels string // rendered `{k="v",...}` or ""
+	n      atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// counterFamily is a named group of counters sharing label names.
+type counterFamily struct {
+	name, help string
+	labelNames []string
+	mu         sync.Mutex
+	children   map[string]*Counter
+}
+
+// With returns the child counter for the given label values (created on
+// first use). len(values) must match the family's label names.
+func (f *counterFamily) With(values ...string) *Counter {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d labels, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := renderLabels(f.labelNames, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &Counter{labels: key}
+		f.children[key] = c
+	}
+	return c
+}
+
+// gauge is a metric read at scrape time.
+type gauge struct {
+	name, help string
+	read       func() float64
+}
+
+// Histogram is a cumulative latency histogram with fixed upper bounds.
+type Histogram struct {
+	labels  string
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending; +Inf implied
+	buckets []uint64  // non-cumulative per-bound counts, +Inf last
+	sum     float64
+	count   uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// histogramFamily groups histograms by label values.
+type histogramFamily struct {
+	name, help string
+	labelNames []string
+	bounds     []float64
+	mu         sync.Mutex
+	children   map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values.
+func (f *histogramFamily) With(values ...string) *Histogram {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d labels, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := renderLabels(f.labelNames, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.children[key]
+	if !ok {
+		h = &Histogram{labels: key, bounds: f.bounds, buckets: make([]uint64, len(f.bounds)+1)}
+		f.children[key] = h
+	}
+	return h
+}
+
+// Metrics is the registry behind GET /metrics.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*counterFamily
+	gauges     map[string]*gauge
+	histograms map[string]*histogramFamily
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*counterFamily),
+		gauges:     make(map[string]*gauge),
+		histograms: make(map[string]*histogramFamily),
+	}
+}
+
+// CounterFamily registers (or returns) a counter family.
+func (m *Metrics) CounterFamily(name, help string, labelNames ...string) *counterFamily {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.counters[name]; ok {
+		return f
+	}
+	f := &counterFamily{name: name, help: help, labelNames: labelNames, children: make(map[string]*Counter)}
+	m.counters[name] = f
+	return f
+}
+
+// Counter registers a label-less counter and returns it.
+func (m *Metrics) Counter(name, help string) *Counter {
+	return m.CounterFamily(name, help).With()
+}
+
+// Gauge registers a gauge whose value is read at every scrape.
+func (m *Metrics) Gauge(name, help string, read func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = &gauge{name: name, help: help, read: read}
+}
+
+// DefaultLatencyBounds are the upper bounds (seconds) for request
+// latency histograms: sub-millisecond cache hits up to multi-minute
+// figure sweeps.
+var DefaultLatencyBounds = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 15, 60, 300}
+
+// HistogramFamily registers (or returns) a histogram family.
+func (m *Metrics) HistogramFamily(name, help string, bounds []float64, labelNames ...string) *histogramFamily {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.histograms[name]; ok {
+		return f
+	}
+	f := &histogramFamily{name: name, help: help, labelNames: labelNames, bounds: bounds,
+		children: make(map[string]*Histogram)}
+	m.histograms[name] = f
+	return f
+}
+
+// Render writes the whole registry in Prometheus text format.
+func (m *Metrics) Render(w *strings.Builder) {
+	m.mu.Lock()
+	counterNames := sortedKeys(m.counters)
+	gaugeNames := sortedKeys(m.gauges)
+	histNames := sortedKeys(m.histograms)
+	m.mu.Unlock()
+
+	for _, name := range counterNames {
+		m.mu.Lock()
+		f := m.counters[name]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+		f.mu.Lock()
+		for _, key := range sortedKeys(f.children) {
+			fmt.Fprintf(w, "%s%s %d\n", f.name, key, f.children[key].Value())
+		}
+		f.mu.Unlock()
+	}
+	for _, name := range gaugeNames {
+		m.mu.Lock()
+		g := m.gauges[name]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, formatFloat(g.read()))
+	}
+	for _, name := range histNames {
+		m.mu.Lock()
+		f := m.histograms[name]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
+		f.mu.Lock()
+		for _, key := range sortedKeys(f.children) {
+			h := f.children[key]
+			h.mu.Lock()
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.buckets[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(key, formatFloat(bound)), cum)
+			}
+			cum += h.buckets[len(h.bounds)]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(key, "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, key, formatFloat(h.sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, h.count)
+			h.mu.Unlock()
+		}
+		f.mu.Unlock()
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLE splices the le label into an already-rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

@@ -1,0 +1,535 @@
+// Package server turns the REESE reproduction into a long-lived HTTP
+// service: single simulations (POST /v1/run), paper figures
+// (POST /v1/figure), and fault campaigns (POST /v1/faults) become
+// asynchronous jobs on a bounded queue drained by a fixed worker pool,
+// with a content-addressed LRU result cache (sound because simulation
+// is deterministic), Prometheus metrics at GET /metrics, a health probe
+// at GET /healthz, structured request logging via log/slog, and
+// graceful drain for SIGTERM handling in cmd/reese-serve.
+//
+// Job lifecycle: a submit returns 202 with a job ID; GET /v1/jobs/{id}
+// polls it; DELETE cancels it. A ?wait=30s query on submit or poll
+// blocks until the job finishes (or the wait expires, returning the
+// in-flight status). A waiting submit is interactive: if its client
+// disconnects, the job's context — threaded through harness into the
+// pipeline cycle loop — is cancelled and the simulation stops burning
+// CPU within a few thousand cycles.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"reese/internal/fault"
+	"reese/internal/harness"
+	"reese/internal/pipeline"
+	"reese/internal/workload"
+)
+
+// Config tunes the serving layer; zero values select the defaults.
+type Config struct {
+	// Workers is the number of jobs simulated concurrently (default 2).
+	// Each job's internal grid parallelism is GOMAXPROCS/Workers, so the
+	// machine is never oversubscribed — the same discipline as harness's
+	// shared pool.
+	Workers int
+	// QueueDepth bounds jobs waiting behind the workers (default 64);
+	// submits beyond it fail with 503.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256; 0 keeps the
+	// default, negative disables caching).
+	CacheEntries int
+	// MaxJobs bounds the job registry (default 4096 retained jobs).
+	MaxJobs int
+	// MaxWait caps any ?wait= duration (default 120s).
+	MaxWait time.Duration
+	// Limits bound per-request simulation work.
+	Limits Limits
+	// Logger receives structured request and job logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 120 * time.Second
+	}
+	if c.Limits == (Limits{}) {
+		c.Limits = DefaultLimits()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the reese-serve HTTP service.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	metrics  *Metrics
+	cache    *resultCache
+	jobs     *jobRunner
+	mux      *http.ServeMux
+	rootCtx  context.Context
+	stopRoot context.CancelFunc
+	// gridParallel is the harness Options.Parallel each job runs with.
+	gridParallel int
+
+	httpRequests *counterFamily
+	httpLatency  *histogramFamily
+	started      time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	rootCtx, stopRoot := context.WithCancel(context.Background())
+	m := NewMetrics()
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		metrics:  m,
+		cache:    newResultCache(cfg.CacheEntries, m),
+		rootCtx:  rootCtx,
+		stopRoot: stopRoot,
+		started:  time.Now(),
+		httpRequests: m.CounterFamily("reese_serve_http_requests_total",
+			"HTTP requests, by route and status code.", "path", "code"),
+		httpLatency: m.HistogramFamily("reese_serve_http_request_duration_seconds",
+			"HTTP request latency, by route.", DefaultLatencyBounds, "path"),
+	}
+	s.gridParallel = runtime.GOMAXPROCS(0) / cfg.Workers
+	if s.gridParallel < 1 {
+		s.gridParallel = 1
+	}
+	s.jobs = newJobRunner(rootCtx, cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, m)
+	s.metrics.Gauge("reese_serve_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.HandleFunc("POST /v1/figure", s.instrument("/v1/figure", s.handleFigure))
+	mux.HandleFunc("POST /v1/faults", s.instrument("/v1/faults", s.handleFaults))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains gracefully: intake closes (new submits get 503),
+// queued and running jobs are given until ctx expires to finish, then
+// any stragglers are cancelled through the root context. Always call
+// it once; it is what stops the worker goroutines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.jobs.drain(ctx)
+	s.stopRoot()
+	if err != nil {
+		s.log.Warn("drain expired; cancelling in-flight jobs", "err", err)
+		return err
+	}
+	return nil
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request logging, the per-route
+// request counter, and the latency histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.httpRequests.With(route, fmt.Sprint(rec.code)).Inc()
+		s.httpLatency.With(route).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", rec.code, "dur_ms", elapsed.Milliseconds())
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// parseWait reads the ?wait= query (a Go duration, or bare seconds),
+// capped at MaxWait. 0 means asynchronous.
+func (s *Server) parseWait(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		var secs float64
+		if _, serr := fmt.Sscanf(raw, "%g", &secs); serr != nil {
+			return 0, fmt.Errorf("bad wait %q: %v", raw, err)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative wait %q", raw)
+	}
+	if d > s.cfg.MaxWait {
+		d = s.cfg.MaxWait
+	}
+	return d, nil
+}
+
+// parseTimeout reads the ?timeout= query bounding the job's run time.
+func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad timeout %q", raw)
+	}
+	return d, nil
+}
+
+// submit is the shared tail of the three POST endpoints: consult the
+// cache, enqueue on miss, then either return 202 immediately or wait.
+//
+// Jobs always derive from the server root context (never the request's:
+// a ?wait= that expires returns 202 and the job must survive the
+// handler returning). Interactive cancellation is explicit instead:
+// waitAndReply calls Cancel when a waiting submitter disconnects,
+// because nobody is left to read the answer. Asynchronous jobs are
+// bounded only by ?timeout=, DELETE, and Shutdown.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string,
+	run func(ctx context.Context) (jobOutput, error)) {
+
+	wait, err := s.parseWait(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := s.parseTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if payload, ok := s.cache.get(key); ok {
+		j := s.jobs.complete(kind, key, payload)
+		s.log.Info("job served from cache", "job", j.ID, "kind", kind, "key", key[:12])
+		s.writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+
+	wrapped := func(ctx context.Context) (jobOutput, error) {
+		out, err := run(ctx)
+		if err == nil {
+			s.cache.put(key, out.payload)
+		}
+		return out, err
+	}
+	j, err := s.jobs.submit(s.rootCtx, kind, key, timeout, wrapped)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errDraining):
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.log.Info("job queued", "job", j.ID, "kind", kind, "key", key[:12], "wait", wait.String())
+	if wait == 0 {
+		s.writeJSON(w, http.StatusAccepted, j.snapshot())
+		return
+	}
+	s.waitAndReply(w, r, j, wait, true)
+}
+
+// waitAndReply blocks until the job finishes, the wait expires (reply
+// with in-flight status), or — when interactive — the client vanishes
+// (cancel the job; there is nobody to reply to).
+func (s *Server) waitAndReply(w http.ResponseWriter, r *http.Request, j *Job, wait time.Duration, interactive bool) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+		v := j.snapshot()
+		code := http.StatusOK
+		if v.State == StateFailed {
+			code = http.StatusInternalServerError
+		}
+		s.writeJSON(w, code, v)
+	case <-timer.C:
+		s.writeJSON(w, http.StatusAccepted, j.snapshot())
+	case <-r.Context().Done():
+		if interactive {
+			s.log.Info("client disconnected; cancelling job", "job", j.ID)
+			j.Cancel()
+			<-j.done
+		}
+	}
+}
+
+// handleRun serves POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	req, err := req.normalize(s.cfg.Limits)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := cacheKey("run", req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.submit(w, r, "run", key, func(ctx context.Context) (jobOutput, error) {
+		return runSimulation(ctx, req)
+	})
+}
+
+// runSimulation executes one RunRequest — the reese-sim code path with
+// a context-aware cycle loop.
+func runSimulation(ctx context.Context, req RunRequest) (jobOutput, error) {
+	spec, ok := workload.ByName(req.Workload)
+	if !ok {
+		return jobOutput{}, fmt.Errorf("unknown workload %q", req.Workload)
+	}
+	prog, err := spec.Build(req.Iters)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	var injector fault.Injector = fault.None{}
+	if req.FaultAt > 0 {
+		injector = &fault.AtSeq{Seq: req.FaultAt, Bit: req.FaultBit}
+	}
+	cpu, err := pipeline.New(*req.Machine, prog, injector)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	res, err := cpu.RunContext(ctx, req.Insts)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	return jobOutput{payload: payload, insts: res.Committed}, nil
+}
+
+// handleFigure serves POST /v1/figure.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	var req FigureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	req, err := req.normalize(s.cfg.Limits)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := cacheKey("figure", req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	parallel := s.gridParallel
+	s.submit(w, r, "figure", key, func(ctx context.Context) (jobOutput, error) {
+		return runFigure(ctx, req, parallel)
+	})
+}
+
+// runFigure executes one FigureRequest.
+func runFigure(ctx context.Context, req FigureRequest, parallel int) (jobOutput, error) {
+	opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx}
+	var payload FigurePayload
+	var insts uint64
+	switch req.Figure {
+	case "2", "3", "4", "5":
+		f := map[string]func(harness.Options) (*harness.FigureResult, error){
+			"2": harness.Figure2, "3": harness.Figure3, "4": harness.Figure4, "5": harness.Figure5,
+		}[req.Figure]
+		fig, err := f(opt)
+		if err != nil {
+			return jobOutput{}, err
+		}
+		payload = FigurePayload{Figure: fig, Table: fig.Table()}
+		for _, c := range fig.Cells {
+			insts += c.Result.Committed
+		}
+	case "6":
+		rows, err := harness.Figure6(opt)
+		if err != nil {
+			return jobOutput{}, err
+		}
+		payload = FigurePayload{Rows: rows, Table: harness.Figure6Table(rows)}
+		insts = req.Insts * uint64(len(rows)) * 30 // 4 sub-figures × ~30 cells, approximate
+	case "7":
+		points, err := harness.Figure7(opt)
+		if err != nil {
+			return jobOutput{}, err
+		}
+		payload = FigurePayload{Points: points, Table: harness.Figure7Table(points)}
+		insts = req.Insts * uint64(len(points)) * 18
+	default:
+		return jobOutput{}, fmt.Errorf("unknown figure %q", req.Figure)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	return jobOutput{payload: raw, insts: insts}, nil
+}
+
+// handleFaults serves POST /v1/faults.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var req FaultsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	req, err := req.normalize(s.cfg.Limits)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := cacheKey("faults", req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	parallel := s.gridParallel
+	s.submit(w, r, "faults", key, func(ctx context.Context) (jobOutput, error) {
+		opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx}
+		table, results, err := harness.CampaignAll(req.Interval, opt)
+		if err != nil {
+			return jobOutput{}, err
+		}
+		raw, merr := json.Marshal(FaultsPayload{Results: results, Table: table})
+		if merr != nil {
+			return jobOutput{}, merr
+		}
+		var insts uint64
+		for range results {
+			insts += 2 * req.Insts // clean + faulty run per campaign row
+		}
+		return jobOutput{payload: raw, insts: insts}, nil
+	})
+}
+
+// handleJobGet serves GET /v1/jobs/{id} (?wait= to block).
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	wait, err := s.parseWait(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wait == 0 {
+		v := j.snapshot()
+		code := http.StatusOK
+		if !v.State.terminal() {
+			code = http.StatusAccepted
+		}
+		s.writeJSON(w, code, v)
+		return
+	}
+	// A poller disconnecting must NOT cancel someone else's job.
+	s.waitAndReply(w, r, j, wait, false)
+}
+
+// handleJobCancel serves DELETE /v1/jobs/{id}.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	j.Cancel()
+	<-j.done
+	s.writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobList serves GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.stats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"uptime_s":     time.Since(s.started).Seconds(),
+		"jobs_queued":  s.jobs.queued.Load(),
+		"jobs_running": s.jobs.running.Load(),
+		"cache_hits":   hits,
+		"cache_misses": misses,
+		"workloads":    workload.Names(),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.Render(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}
