@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all figures faults claims serve clean
+.PHONY: all build test test-race vet bench bench-all figures faults claims serve chaos fuzz clean
 
 all: build test
 
@@ -40,6 +40,18 @@ faults:
 # Run the HTTP simulation service (see README "Serving" and DESIGN §10).
 serve:
 	$(GO) run ./cmd/reese-serve
+
+# The fault-injection suite for reese-serve (panics, stalls,
+# disconnects, kill/restart cycles) plus the serving layer, under the
+# race detector, twice, to shake out ordering-dependent bugs (see
+# DESIGN §11). Kept separate from the slow harness grids so it stays
+# fast enough to run on every change.
+chaos:
+	$(GO) test -race -count=2 ./internal/chaos/ ./internal/server/
+
+# Short fuzz pass over the journal replayer (torn tails, garbage).
+fuzz:
+	$(GO) test ./internal/server/ -run FuzzReplayJournal -fuzz FuzzReplayJournal -fuzztime 30s
 
 claims:
 	$(GO) run ./cmd/reese-sweep -figure claims

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	reese-serve                       # listen on :8321
-//	reese-serve -addr :9000 -workers 4 -queue 128 -cache 512
+//	reese-serve                       # listen on :8321, no durability
+//	reese-serve -journal /var/lib/reese/jobs.wal -workers 4 -queue 128
+//
+// With -journal set, accepted jobs survive a crash: the write-ahead
+// journal is replayed at startup and unfinished work is re-enqueued.
+// Worker panics, hung simulations, and per-attempt deadline expiries
+// are contained and retried (-max-retries) with exponential backoff.
 //
 // Quick check:
 //
@@ -40,14 +45,18 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", ":8321", "listen address")
-		workers  = flag.Int("workers", 2, "concurrent simulation jobs (each uses GOMAXPROCS/workers grid parallelism)")
-		queue    = flag.Int("queue", 64, "bounded job-queue depth (submits beyond it get 503)")
-		cache    = flag.Int("cache", 256, "result-cache entries (-1 disables caching)")
-		maxInsts = flag.Uint64("max-insts", 50_000_000, "per-simulation committed-instruction ceiling")
-		maxWait  = flag.Duration("max-wait", 2*time.Minute, "cap on any ?wait= duration")
-		drain    = flag.Duration("drain", 30*time.Second, "grace period for in-flight jobs on shutdown")
-		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		addr       = flag.String("addr", ":8321", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent simulation jobs (each uses GOMAXPROCS/workers grid parallelism)")
+		queue      = flag.Int("queue", 64, "bounded job-queue depth (submits beyond it get 503 + Retry-After)")
+		cache      = flag.Int("cache", 256, "result-cache entries (-1 disables caching)")
+		maxInsts   = flag.Uint64("max-insts", 50_000_000, "per-simulation committed-instruction ceiling")
+		maxWait    = flag.Duration("max-wait", 2*time.Minute, "cap on any ?wait= duration")
+		drain      = flag.Duration("drain", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		journal    = flag.String("journal", "", "crash-safe job journal path (empty disables durability)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-attempt deadline when ?timeout= is absent")
+		maxRetries = flag.Int("max-retries", 2, "retries per job after transient failures (panic, deadline, watchdog kill)")
+		stall      = flag.Duration("watchdog-stall", time.Minute, "kill attempts making no progress for this long (negative disables)")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -59,14 +68,22 @@ func run() int {
 
 	limits := server.DefaultLimits()
 	limits.MaxInsts = *maxInsts
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		MaxWait:      *maxWait,
-		Limits:       limits,
-		Logger:       log,
+	srv, err := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		MaxWait:       *maxWait,
+		Limits:        limits,
+		Logger:        log,
+		JournalPath:   *journal,
+		JobTimeout:    *jobTimeout,
+		MaxRetries:    *maxRetries,
+		WatchdogStall: *stall,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-serve:", err)
+		return 1
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,212 @@
+// Package chaos is the fault-injection harness for reese-serve. It
+// drives a live server (httptest, real HTTP) through worker panics,
+// hung attempts, client disconnects, and kill/restart cycles, then
+// asserts the self-healing invariants: every accepted job reaches a
+// terminal state, no job is lost or duplicated, done jobs carry
+// cache-verifiable results, and the journal replays cleanly after
+// every crash.
+//
+// The package itself holds the reusable machinery — the seeded fault
+// injector that plugs into server.Config.BeforeAttempt and a minimal
+// API client; the scenarios live in chaos_test.go.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reese/internal/server"
+)
+
+// Injector decides, per job attempt, whether to misbehave: panic (a
+// worker crash the server must contain) or stall (a hang the watchdog
+// must kill). Rolls come from a seeded PRNG so a failing run can be
+// reproduced; counts of what was actually injected are kept so tests
+// can reconcile them against the server's failure metrics.
+type Injector struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	panicProb float64
+	stallProb float64
+	// firstOnly restricts injection to attempt 1, guaranteeing retries
+	// succeed — the deterministic recovery scenarios. When false every
+	// attempt rolls, and jobs may legitimately exhaust their retries.
+	firstOnly bool
+
+	panics atomic.Int64
+	stalls atomic.Int64
+}
+
+// NewInjector seeds an injector. panicProb and panicProb+stallProb
+// partition [0,1): a roll below panicProb panics, below the sum stalls,
+// otherwise the attempt runs normally.
+func NewInjector(seed int64, panicProb, stallProb float64, firstAttemptOnly bool) *Injector {
+	return &Injector{
+		rng:       rand.New(rand.NewSource(seed)),
+		panicProb: panicProb,
+		stallProb: stallProb,
+		firstOnly: firstAttemptOnly,
+	}
+}
+
+// Hook is the server.Config.BeforeAttempt plug. A stall blocks until
+// the attempt's context dies (deadline, watchdog, or cancel) — exactly
+// what a livelocked simulation looks like from the worker's side.
+func (i *Injector) Hook(ctx context.Context, jobID, kind string, attempt int) {
+	if i.firstOnly && attempt > 1 {
+		return
+	}
+	i.mu.Lock()
+	roll := i.rng.Float64()
+	i.mu.Unlock()
+	switch {
+	case roll < i.panicProb:
+		i.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected panic (%s %s attempt %d)", kind, jobID, attempt))
+	case roll < i.panicProb+i.stallProb:
+		i.stalls.Add(1)
+		<-ctx.Done()
+	}
+}
+
+// Panics reports how many panics the injector has thrown.
+func (i *Injector) Panics() int64 { return i.panics.Load() }
+
+// Stalls reports how many attempts the injector has hung.
+func (i *Injector) Stalls() int64 { return i.stalls.Load() }
+
+// Client is a minimal reese-serve API client for the chaos suite.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient wraps a server base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+// Submit POSTs a request body to /v1/<kind> (plus an optional raw query
+// like "wait=30s") and decodes the JobView. Any 2xx is success; other
+// statuses return an error carrying the body.
+func (c *Client) Submit(kind string, body any, query string) (server.JobView, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return server.JobView{}, err
+	}
+	url := c.Base + "/v1/" + kind
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := c.HTTP.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		return server.JobView{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return server.JobView{}, err
+	}
+	var v server.JobView
+	if jerr := json.Unmarshal(data, &v); jerr == nil && v.ID != "" {
+		// Failed jobs answer a waited submit with 500 + the JobView; that
+		// is a delivered outcome, not a transport error.
+		return v, nil
+	}
+	return server.JobView{}, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+}
+
+// Job GETs one job by ID.
+func (c *Client) Job(id string) (server.JobView, error) {
+	resp, err := c.HTTP.Get(c.Base + "/v1/jobs/" + id)
+	if err != nil {
+		return server.JobView{}, err
+	}
+	defer resp.Body.Close()
+	var v server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return server.JobView{}, fmt.Errorf("GET job %s: %w", id, err)
+	}
+	return v, nil
+}
+
+// Jobs GETs the full job list.
+func (c *Client) Jobs() ([]server.JobView, error) {
+	resp, err := c.HTTP.Get(c.Base + "/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var vs []server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// AwaitTerminal polls a job until it reaches a terminal state or the
+// timeout expires.
+func (c *Client) AwaitTerminal(id string, timeout time.Duration) (server.JobView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		v, err := c.Job(id)
+		if err != nil {
+			return v, err
+		}
+		if v.State == server.StateDone || v.State == server.StateFailed || v.State == server.StateCanceled {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return v, fmt.Errorf("job %s still %q after %s", id, v.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Counter scrapes /metrics and sums every sample of the named counter
+// family (label-less counters have exactly one).
+func (c *Client) Counter(name string) (uint64, error) {
+	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer family name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		n, perr := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if perr != nil {
+			continue
+		}
+		total += n
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %s not exposed", name)
+	}
+	return total, nil
+}

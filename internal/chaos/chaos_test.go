@@ -1,0 +1,420 @@
+package chaos
+
+// The chaos scenarios: each builds a real server on httptest, injects
+// a class of failure, and asserts the self-healing contract from the
+// outside — through the HTTP API and the metrics endpoint only.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reese/internal/server"
+	"reese/internal/workload"
+)
+
+// chaosInsts keeps each simulation fast; recovery, not throughput, is
+// under test.
+const chaosInsts = 3_000
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// fastRetries makes backoff negligible so scenarios finish quickly.
+func fastRetries(cfg server.Config) server.Config {
+	cfg.Logger = quietLogger()
+	cfg.RetryBackoff = 10 * time.Millisecond
+	cfg.RetryBackoffMax = 100 * time.Millisecond
+	return cfg
+}
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *Client, func()) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown left live jobs (zombie workers?): %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return s, NewClient(ts.URL), stop
+}
+
+func mustCounter(t *testing.T, c *Client, name string) uint64 {
+	t.Helper()
+	n, err := c.Counter(name)
+	if err != nil {
+		t.Fatalf("counter %s: %v", name, err)
+	}
+	return n
+}
+
+// TestPanicIsolation is the acceptance scenario: a job whose attempt
+// panics fails cleanly — with the cause and stack on the record — and
+// the same server then runs a normal job to completion. The process
+// never dies with it.
+func TestPanicIsolation(t *testing.T) {
+	var panicNext atomic.Bool
+	panicNext.Store(true)
+	_, c, _ := startServer(t, fastRetries(server.Config{
+		Workers:    1,
+		MaxRetries: -1, // no retries: the contained panic must surface as the job's failure
+		BeforeAttempt: func(ctx context.Context, jobID, kind string, attempt int) {
+			if panicNext.Load() {
+				panic("chaos: boom")
+			}
+		},
+	}))
+
+	bad, err := c.Submit("run", server.RunRequest{Workload: "li", Insts: chaosInsts}, "wait=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.State != server.StateFailed {
+		t.Fatalf("panicking job state %q, want failed (err: %s)", bad.State, bad.Error)
+	}
+	if !strings.Contains(bad.Error, "panic: chaos: boom") {
+		t.Errorf("failure cause %q does not carry the panic value", bad.Error)
+	}
+	if len(bad.Attempts) != 1 || !strings.Contains(bad.Attempts[0].Stack, "chaos") {
+		t.Error("attempt record is missing the recovered stack")
+	}
+
+	panicNext.Store(false)
+	good, err := c.Submit("run", server.RunRequest{Workload: "li", Insts: chaosInsts + 1}, "wait=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.State != server.StateDone {
+		t.Fatalf("job after a contained panic finished %q: %s — the worker did not survive", good.State, good.Error)
+	}
+	if n := mustCounter(t, c, "reese_serve_jobs_panicked_total"); n != 1 {
+		t.Errorf("jobs_panicked_total = %d, want 1", n)
+	}
+}
+
+// TestPanicRetrySucceeds: with retry budget, first-attempt panics are
+// transparent — the job still completes, and the attempt history shows
+// the contained crash.
+func TestPanicRetrySucceeds(t *testing.T) {
+	inj := NewInjector(42, 1.0, 0, true) // panic every first attempt
+	_, c, _ := startServer(t, fastRetries(server.Config{
+		Workers:       2,
+		MaxRetries:    2,
+		BeforeAttempt: inj.Hook,
+	}))
+
+	const n = 4
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		v, err := c.Submit("run", server.RunRequest{Workload: "gcc", Insts: chaosInsts + uint64(i)}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+	}
+	for _, id := range ids {
+		v, err := c.AwaitTerminal(id, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != server.StateDone {
+			t.Errorf("job %s finished %q after panic+retry: %s", id, v.State, v.Error)
+		}
+		if v.Attempt != 2 {
+			t.Errorf("job %s took %d attempts, want 2 (panic, then success)", id, v.Attempt)
+		}
+		if v.LastCause == "" || !strings.Contains(v.LastCause, "panic") {
+			t.Errorf("job %s last cause %q, want the contained panic", id, v.LastCause)
+		}
+	}
+	if got := mustCounter(t, c, "reese_serve_jobs_panicked_total"); got != uint64(inj.Panics()) || got != n {
+		t.Errorf("jobs_panicked_total = %d, injector threw %d, want %d", got, inj.Panics(), n)
+	}
+	if got := mustCounter(t, c, "reese_serve_jobs_retried_total"); got != n {
+		t.Errorf("jobs_retried_total = %d, want %d", got, n)
+	}
+}
+
+// TestWatchdogKillsStalledAttempt: a hung attempt (no progress) is
+// killed by the watchdog and retried to success.
+func TestWatchdogKillsStalledAttempt(t *testing.T) {
+	inj := NewInjector(7, 0, 1.0, true) // stall every first attempt
+	_, c, _ := startServer(t, fastRetries(server.Config{
+		Workers:          1,
+		MaxRetries:       1,
+		WatchdogInterval: 20 * time.Millisecond,
+		WatchdogStall:    200 * time.Millisecond,
+		BeforeAttempt:    inj.Hook,
+	}))
+
+	v, err := c.Submit("run", server.RunRequest{Workload: "ijpeg", Insts: chaosInsts}, "wait=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != server.StateDone {
+		t.Fatalf("stalled job finished %q: %s", v.State, v.Error)
+	}
+	if v.Attempt != 2 {
+		t.Errorf("stalled job took %d attempts, want 2", v.Attempt)
+	}
+	if !strings.Contains(v.LastCause, "watchdog") {
+		t.Errorf("last cause %q, want a watchdog kill", v.LastCause)
+	}
+	if got := mustCounter(t, c, "reese_serve_watchdog_kills_total"); got != 1 {
+		t.Errorf("watchdog_kills_total = %d, want 1", got)
+	}
+}
+
+// TestClientDisconnectMidRun: a waiting submitter that vanishes takes
+// its job down with it — terminal canceled, worker freed.
+func TestClientDisconnectMidRun(t *testing.T) {
+	_, c, _ := startServer(t, fastRetries(server.Config{Workers: 1}))
+
+	spec, _ := workload.ByName("go")
+	body, _ := json.Marshal(server.RunRequest{
+		Workload: "go", Insts: 40_000_000, Iters: spec.DefaultIters * 400,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/v1/run?wait=120s", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if resp, derr := http.DefaultClient.Do(req); derr == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait until the job is actually simulating, then vanish.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n, _ := c.Counter("reese_serve_jobs_running"); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	jobs, err := c.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("have %d jobs, want 1", len(jobs))
+	}
+	v, err := c.AwaitTerminal(jobs[0].ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != server.StateCanceled {
+		t.Errorf("abandoned job state %q, want canceled", v.State)
+	}
+}
+
+// TestChaosSweepAllTerminal is the soak: many jobs under probabilistic
+// panics and stalls on every attempt. The invariant is not that all
+// succeed — retry budgets can exhaust — but that every accepted job
+// reaches a terminal state, successes carry cache-verified results,
+// failures carry causes, and the metrics reconcile with what the
+// injector actually threw.
+func TestChaosSweepAllTerminal(t *testing.T) {
+	inj := NewInjector(1234, 0.35, 0.15, false)
+	_, c, _ := startServer(t, fastRetries(server.Config{
+		Workers:          2,
+		MaxRetries:       4,
+		WatchdogInterval: 20 * time.Millisecond,
+		WatchdogStall:    200 * time.Millisecond,
+		BeforeAttempt:    inj.Hook,
+	}))
+
+	const n = 10
+	reqs := make([]server.RunRequest, n)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		reqs[i] = server.RunRequest{Workload: "perl", Insts: chaosInsts + uint64(i)}
+		v, err := c.Submit("run", reqs[i], "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+	}
+
+	states := map[server.JobState]int{}
+	for i, id := range ids {
+		v, err := c.AwaitTerminal(id, 2*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[v.State]++
+		switch v.State {
+		case server.StateDone:
+			if len(v.Result) == 0 {
+				t.Errorf("done job %s has no result", id)
+			}
+			// Cache-verify: an identical resubmission must be served from
+			// the cache with byte-identical payload — the result survived
+			// the chaos uncorrupted.
+			again, err := c.Submit("run", reqs[i], "wait=60s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !again.Cached || string(again.Result) != string(v.Result) {
+				t.Errorf("job %s result not cache-verified (cached=%v)", id, again.Cached)
+			}
+		case server.StateFailed:
+			if v.LastCause == "" || !strings.Contains(v.Error, "retries exhausted") {
+				t.Errorf("failed job %s: error %q cause %q — failures must be explained", id, v.Error, v.LastCause)
+			}
+			if v.Attempt != 5 {
+				t.Errorf("failed job %s used %d attempts, want the full budget of 5", id, v.Attempt)
+			}
+		default:
+			t.Errorf("job %s in non-terminal state %q after await", id, v.State)
+		}
+	}
+	t.Logf("sweep: %d done, %d failed; injector threw %d panics, %d stalls",
+		states[server.StateDone], states[server.StateFailed], inj.Panics(), inj.Stalls())
+	if states[server.StateDone] == 0 {
+		t.Error("chaos sweep completed no jobs at all")
+	}
+
+	if got := mustCounter(t, c, "reese_serve_jobs_panicked_total"); got != uint64(inj.Panics()) {
+		t.Errorf("jobs_panicked_total = %d, injector threw %d", got, inj.Panics())
+	}
+	if got := mustCounter(t, c, "reese_serve_watchdog_kills_total"); got != uint64(inj.Stalls()) {
+		t.Errorf("watchdog_kills_total = %d, injector stalled %d", got, inj.Stalls())
+	}
+	retried := mustCounter(t, c, "reese_serve_jobs_retried_total")
+	transient := uint64(inj.Panics() + inj.Stalls())
+	if retried > transient {
+		t.Errorf("jobs_retried_total = %d exceeds transient failures %d", retried, transient)
+	}
+	if transient > 0 && retried == 0 {
+		t.Error("transient failures occurred but nothing was retried")
+	}
+}
+
+// TestKillRestartCycles: repeated hard kills with work in flight. Every
+// generation replays the journal, and the final (calm) generation
+// completes every job ever accepted — none lost, none duplicated, the
+// journal never corrupts.
+func TestKillRestartCycles(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "jobs.wal")
+	var block atomic.Bool
+	block.Store(true)
+	cfg := fastRetries(server.Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		BeforeAttempt: func(ctx context.Context, jobID, kind string, attempt int) {
+			if block.Load() {
+				<-ctx.Done()
+			}
+		},
+	})
+
+	// Generation 0: accept 4 jobs, all wedged, then die.
+	s0, c0, _ := startServer(t, cfg)
+	const n = 4
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		v, err := c0.Submit("run", server.RunRequest{Workload: "vortex", Insts: chaosInsts + uint64(i)}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+	}
+	awaitRunning(t, c0, 1)
+	s0.Crash()
+
+	// Generation 1: replays all 4, wedges again, dies again.
+	s1, c1, _ := startServer(t, cfg)
+	if got := mustCounter(t, c1, "reese_serve_journal_replayed_jobs_total"); got != n {
+		t.Fatalf("gen 1 replayed %d jobs, want %d", got, n)
+	}
+	awaitRunning(t, c1, 1)
+	s1.Crash()
+
+	// Generation 2: calm. Everything accepted in generation 0 must now
+	// finish.
+	block.Store(false)
+	_, c2, stop2 := startServer(t, cfg)
+	if got := mustCounter(t, c2, "reese_serve_journal_replayed_jobs_total"); got != n {
+		t.Fatalf("gen 2 replayed %d jobs, want %d", got, n)
+	}
+	for _, id := range ids {
+		v, err := c2.AwaitTerminal(id, 2*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != server.StateDone {
+			t.Errorf("job %s finished %q after two crashes: %s", id, v.State, v.Error)
+		}
+		if !v.Replayed {
+			t.Errorf("job %s not marked replayed", id)
+		}
+	}
+	jobs, err := c2.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != n {
+		t.Errorf("generation 2 has %d jobs, want exactly the %d accepted (lost or duplicated work)", len(jobs), n)
+	}
+
+	// Clean shutdown compacts; a fourth generation starts with an empty
+	// journal and no ghost jobs.
+	stop2()
+	_, c3, _ := startServer(t, cfg)
+	jobs, err = c3.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("after clean shutdown + compaction, generation 3 sees %d jobs, want 0", len(jobs))
+	}
+}
+
+// awaitRunning polls the running gauge until it reaches want.
+func awaitRunning(t *testing.T, c *Client, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n, _ := c.Counter("reese_serve_jobs_running"); n == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

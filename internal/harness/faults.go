@@ -54,6 +54,7 @@ func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Opti
 	if err != nil {
 		return CampaignResult{}, err
 	}
+	clean.SetProgress(opt.Progress)
 	cleanRes, err := clean.RunContext(opt.Ctx, opt.Insts)
 	if err != nil {
 		return CampaignResult{}, err
@@ -68,6 +69,7 @@ func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Opti
 	if err != nil {
 		return CampaignResult{}, err
 	}
+	cpu.SetProgress(opt.Progress)
 	res, err := cpu.RunContext(opt.Ctx, opt.Insts)
 	if err != nil {
 		return CampaignResult{}, err

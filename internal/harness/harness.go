@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"reese/internal/config"
 	"reese/internal/fault"
@@ -43,6 +44,12 @@ type Options struct {
 	// parameter so the dozens of experiment entry points keep one
 	// signature.
 	Ctx context.Context
+	// Progress, when non-nil, accumulates committed-instruction deltas
+	// from every in-flight simulation (pipeline.CPU.SetProgress) — the
+	// watchdog heartbeat reese-serve samples to tell a slow experiment
+	// from a hung one. The counter is cumulative and monotonic across
+	// all cells of a grid or campaign.
+	Progress *atomic.Uint64
 }
 
 // DefaultOptions returns the scale used by the test suite and benches.
@@ -218,6 +225,7 @@ func runOne(cfg config.Machine, workloadName string, opt Options) (pipeline.Resu
 	if err != nil {
 		return pipeline.Result{}, err
 	}
+	cpu.SetProgress(opt.Progress)
 	return cpu.RunContext(ctx, opt.Insts)
 }
 

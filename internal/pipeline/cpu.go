@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"reese/internal/bpred"
 	"reese/internal/config"
@@ -130,6 +131,12 @@ type CPU struct {
 	committed     uint64
 	instLimit     uint64
 	fastForwarded uint64
+
+	// progress, when non-nil, receives committed-instruction deltas at
+	// every context-check interval — a liveness heartbeat an external
+	// watchdog can sample without touching the cycle loop (SetProgress).
+	progress     *atomic.Uint64
+	progressSeen uint64
 
 	// Fault bookkeeping.
 	injected    uint64
@@ -380,9 +387,16 @@ const ctxCheckInterval = 16384
 // RunContext is Run with cooperative cancellation: the cycle loop polls
 // ctx every ctxCheckInterval cycles and returns ctx.Err() (wrapped) if
 // the context is cancelled or times out, so an abandoned request stops
-// burning CPU mid-simulation.
+// burning CPU mid-simulation. At the same cadence it publishes the
+// committed-instruction count to the SetProgress sink, giving external
+// watchdogs a liveness heartbeat.
 func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 	c.instLimit = maxInsts
+	// Bail before simulating anything on an already-dead context, so a
+	// run scheduled after cancellation never reports spurious success.
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("pipeline: run cancelled before start: %w", err)
+	}
 	// Generous deadlock guard: no real run needs more than ~100 cycles
 	// per instruction plus slack.
 	capCycles := uint64(10_000_000)
@@ -398,6 +412,7 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 			return Result{}, fmt.Errorf("pipeline: cycle cap %d exceeded at %d committed insts (deadlock?)", capCycles, c.committed)
 		}
 		if c.cycle >= nextCtxCheck {
+			c.reportProgress()
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("pipeline: run cancelled at cycle %d (%d committed): %w", c.cycle, c.committed, err)
 			}
@@ -405,7 +420,22 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 		}
 		c.step()
 	}
+	c.reportProgress()
 	return c.result(), nil
+}
+
+// SetProgress installs a shared committed-instruction counter: the
+// cycle loop adds its commit deltas to p at every context-check
+// interval, so a watchdog sampling p can tell a slow simulation from a
+// hung one. Several CPUs may share one counter (a figure grid); the sum
+// stays monotonic. Call before Run; a nil p disables reporting.
+func (c *CPU) SetProgress(p *atomic.Uint64) { c.progress = p }
+
+func (c *CPU) reportProgress() {
+	if c.progress != nil && c.committed > c.progressSeen {
+		c.progress.Add(c.committed - c.progressSeen)
+		c.progressSeen = c.committed
+	}
 }
 
 // step advances one cycle, running stages in reverse pipeline order so

@@ -146,12 +146,36 @@ type JobView struct {
 	// terminal state.
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
-	// Cached marks a job satisfied from the result cache.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// Cached marks a job satisfied from the result cache; Replayed marks
+	// a job recovered from the journal after a restart (terminal
+	// replayed jobs carry no Result — payloads are not persisted, an
+	// identical resubmission recomputes them deterministically).
+	Cached   bool   `json:"cached,omitempty"`
+	Replayed bool   `json:"replayed,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Attempt counts execution attempts so far; Attempts is the full
+	// per-attempt history (cause and panic stack included); LastCause is
+	// the most recent failure cause; NextRetry is set while State is
+	// "retrying"; Progress is the committed-instruction heartbeat the
+	// watchdog samples.
+	Attempt   int           `json:"attempt,omitempty"`
+	Attempts  []AttemptView `json:"attempts,omitempty"`
+	LastCause string        `json:"last_cause,omitempty"`
+	NextRetry *time.Time    `json:"next_retry,omitempty"`
+	Progress  uint64        `json:"progress_insts,omitempty"`
 	// Result is the kind-specific payload (RunPayload, FigurePayload,
 	// FaultsPayload), present once State is "done".
 	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// AttemptView is one execution attempt of a job: when it ran and, if it
+// failed, why — including the recovered stack for contained panics.
+type AttemptView struct {
+	Number   int        `json:"number"`
+	Started  time.Time  `json:"started"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Cause    string     `json:"cause,omitempty"`
+	Stack    string     `json:"stack,omitempty"`
 }
 
 // FigurePayload is the /v1/figure result: the structured series plus
@@ -170,7 +194,11 @@ type FaultsPayload struct {
 	Table   string                   `json:"table"`
 }
 
-// errorResponse is the JSON body of every non-2xx response.
+// errorResponse is the JSON body of every non-2xx response. 503s also
+// carry RetryAfterMS (mirrored in the Retry-After header), derived from
+// the observed queue drain rate, so shed load comes back at a sensible
+// time instead of hammering.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }

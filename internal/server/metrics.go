@@ -156,6 +156,34 @@ func (m *Metrics) Gauge(name, help string, read func() float64) {
 	m.gauges[name] = &gauge{name: name, help: help, read: read}
 }
 
+// failureCounters groups the failure-path instruments the self-healing
+// job machinery maintains: every retry, panic, deadline expiry,
+// watchdog kill, and journal-replayed job is counted, so dashboards can
+// tell a degraded-but-recovering service from a dying one. The chaos
+// suite asserts these move under injected faults.
+type failureCounters struct {
+	retried          *Counter
+	panicked         *Counter
+	deadlineExceeded *Counter
+	watchdogKills    *Counter
+	journalReplayed  *Counter
+}
+
+func newFailureCounters(m *Metrics) *failureCounters {
+	return &failureCounters{
+		retried: m.Counter("reese_serve_jobs_retried_total",
+			"Job attempts rescheduled after a transient failure (panic, deadline, watchdog kill)."),
+		panicked: m.Counter("reese_serve_jobs_panicked_total",
+			"Job attempts that panicked and were contained by the worker's recover()."),
+		deadlineExceeded: m.Counter("reese_serve_jobs_deadline_exceeded_total",
+			"Job attempts cancelled by their per-attempt deadline."),
+		watchdogKills: m.Counter("reese_serve_watchdog_kills_total",
+			"Job attempts killed by the progress watchdog for stalling."),
+		journalReplayed: m.Counter("reese_serve_journal_replayed_jobs_total",
+			"Unfinished jobs re-enqueued from the journal at startup."),
+	}
+}
+
 // DefaultLatencyBounds are the upper bounds (seconds) for request
 // latency histograms: sub-millisecond cache hits up to multi-minute
 // figure sweeps.

@@ -14,6 +14,12 @@
 // disconnects, the job's context — threaded through harness into the
 // pipeline cycle loop — is cancelled and the simulation stops burning
 // CPU within a few thousand cycles.
+//
+// The serving layer self-heals (see job.go for the machinery): worker
+// panics are contained, attempts carry deadlines and a progress
+// watchdog, transient failures retry with backoff, and — when
+// Config.JournalPath is set — accepted work survives a crash through
+// the write-ahead journal (journal.go) and is re-enqueued on restart.
 package server
 
 import (
@@ -21,10 +27,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"reese/internal/fault"
@@ -41,7 +51,7 @@ type Config struct {
 	// shared pool.
 	Workers int
 	// QueueDepth bounds jobs waiting behind the workers (default 64);
-	// submits beyond it fail with 503.
+	// submits beyond it fail with 503 + Retry-After.
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256; 0 keeps the
 	// default, negative disables caching).
@@ -55,6 +65,36 @@ type Config struct {
 	// Logger receives structured request and job logs (default
 	// slog.Default()).
 	Logger *slog.Logger
+
+	// JournalPath enables the crash-safe job journal: accepted submits
+	// and state transitions are fsync'd there, and New replays it —
+	// re-enqueueing unfinished jobs — before serving. Empty disables
+	// durability (the PR-2 behavior).
+	JournalPath string
+	// JobTimeout bounds each attempt when the request carries no
+	// ?timeout= (default 10m); MaxTimeout caps any requested value
+	// (default 30m).
+	JobTimeout time.Duration
+	MaxTimeout time.Duration
+	// MaxRetries is how many times a transient failure (panic, deadline,
+	// watchdog kill) is retried before the job fails for good (default
+	// 2; negative means never retry).
+	MaxRetries int
+	// RetryBackoff seeds the exponential backoff between attempts
+	// (default 500ms), capped at RetryBackoffMax (default 15s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// WatchdogInterval is how often running jobs' progress heartbeats
+	// are sampled (default 1s). WatchdogStall is how long an attempt may
+	// go without committing a single instruction before it is killed as
+	// retryable (default 60s; negative disables the watchdog).
+	WatchdogInterval time.Duration
+	WatchdogStall    time.Duration
+	// BeforeAttempt, when set, runs at the top of every contained job
+	// attempt — the chaos harness's injection point (panic here to
+	// simulate a worker crash, block on ctx to simulate a hang). Leave
+	// nil in production.
+	BeforeAttempt func(ctx context.Context, jobID, kind string, attempt int)
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +119,31 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 15 * time.Second
+	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = time.Second
+	}
+	if c.WatchdogStall == 0 {
+		c.WatchdogStall = 60 * time.Second
+	} else if c.WatchdogStall < 0 {
+		c.WatchdogStall = 0 // disabled
+	}
 	return c
 }
 
@@ -89,6 +154,7 @@ type Server struct {
 	metrics  *Metrics
 	cache    *resultCache
 	jobs     *jobRunner
+	journal  *journal
 	mux      *http.ServeMux
 	rootCtx  context.Context
 	stopRoot context.CancelFunc
@@ -100,8 +166,11 @@ type Server struct {
 	started      time.Time
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays the journal (if configured), and starts
+// the worker pool. It fails only on an unreadable or unwritable journal
+// path; a corrupt journal is not an error — replay keeps every record
+// up to the first bad line.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	rootCtx, stopRoot := context.WithCancel(context.Background())
 	m := NewMetrics()
@@ -122,21 +191,83 @@ func New(cfg Config) *Server {
 	if s.gridParallel < 1 {
 		s.gridParallel = 1
 	}
-	s.jobs = newJobRunner(rootCtx, cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, m)
+
+	var replayed []replayedJob
+	var maxID uint64
+	if cfg.JournalPath != "" {
+		var err error
+		replayed, maxID, err = replayJournal(cfg.JournalPath)
+		if err != nil {
+			stopRoot()
+			return nil, err
+		}
+		s.journal, err = openJournal(cfg.JournalPath)
+		if err != nil {
+			stopRoot()
+			return nil, err
+		}
+	}
+
+	s.jobs = newJobRunner(rootCtx, runnerConfig{
+		workers:          cfg.Workers,
+		queueDepth:       cfg.QueueDepth,
+		maxJobs:          cfg.MaxJobs,
+		jobTimeout:       cfg.JobTimeout,
+		maxTimeout:       cfg.MaxTimeout,
+		maxRetries:       cfg.MaxRetries,
+		retryBackoff:     cfg.RetryBackoff,
+		retryBackoffMax:  cfg.RetryBackoffMax,
+		watchdogInterval: cfg.WatchdogInterval,
+		watchdogStall:    cfg.WatchdogStall,
+		beforeAttempt:    cfg.BeforeAttempt,
+	}, s.journal, cfg.Logger, m)
+	s.jobs.nextID.Store(maxID)
+	s.adoptJournal(replayed)
+
 	s.metrics.Gauge("reese_serve_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
-	mux.HandleFunc("POST /v1/figure", s.instrument("/v1/figure", s.handleFigure))
-	mux.HandleFunc("POST /v1/faults", s.instrument("/v1/faults", s.handleFaults))
+	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.submitHandler("run")))
+	mux.HandleFunc("POST /v1/figure", s.instrument("/v1/figure", s.submitHandler("figure")))
+	mux.HandleFunc("POST /v1/faults", s.instrument("/v1/faults", s.submitHandler("faults")))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// adoptJournal registers every replayed job and re-enqueues the
+// unfinished ones, their run closures rebuilt from the journaled
+// canonical request. A non-terminal record whose request no longer
+// normalizes (e.g. a renamed workload) is adopted as failed rather than
+// dropped — a replayed job must never silently vanish.
+func (s *Server) adoptJournal(replayed []replayedJob) {
+	var pending []*Job
+	for _, rj := range replayed {
+		var run runFunc
+		if !rj.State.terminal() {
+			_, _, r, err := s.prepareJob(rj.Kind, rj.Req)
+			if err != nil {
+				s.log.Warn("journal replay: cannot rebuild job", "job", rj.ID, "kind", rj.Kind, "err", err)
+				rj.State = StateFailed
+				rj.Cause = fmt.Sprintf("journal replay: cannot rebuild job: %v", err)
+			} else {
+				run = s.withCachePut(rj.Key, r)
+			}
+		}
+		j := s.jobs.adoptReplayed(rj, run)
+		if !rj.State.terminal() {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) > 0 {
+		s.log.Info("journal replay: re-enqueueing unfinished jobs", "count", len(pending))
+	}
+	s.jobs.enqueueReplayed(pending)
 }
 
 // Handler returns the root handler (for http.Server or httptest).
@@ -144,16 +275,42 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown drains gracefully: intake closes (new submits get 503),
 // queued and running jobs are given until ctx expires to finish, then
-// any stragglers are cancelled through the root context. Always call
-// it once; it is what stops the worker goroutines.
+// any stragglers are cancelled through the root context. A clean drain
+// compacts the journal; an expired one kills it first, so the cancelled
+// stragglers keep their last durable state and replay on restart —
+// forced shutdown deliberately has crash semantics. Always call
+// Shutdown once; it is what stops the worker goroutines.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.jobs.drain(ctx)
-	s.stopRoot()
 	if err != nil {
 		s.log.Warn("drain expired; cancelling in-flight jobs", "err", err)
-		return err
+		s.journal.kill()
 	}
-	return nil
+	s.stopRoot()
+	s.jobs.wg.Wait()
+	if err == nil {
+		s.jobs.compactJournal()
+	}
+	s.journal.close()
+	return err
+}
+
+// Crash simulates a SIGKILL for the chaos harness: journal appends stop
+// reaching disk immediately, every job context dies, and the worker
+// pool exits — without compaction, without drain, without touching the
+// on-disk journal. A Server built afterwards on the same JournalPath
+// replays whatever had been acknowledged.
+func (s *Server) Crash() {
+	s.journal.kill()
+	s.jobs.mu.Lock()
+	if !s.jobs.draining {
+		s.jobs.draining = true
+		close(s.jobs.drainNow)
+	}
+	s.jobs.mu.Unlock()
+	s.stopRoot()
+	s.jobs.wg.Wait()
+	s.journal.close()
 }
 
 // statusRecorder captures the response code for logging and metrics.
@@ -197,6 +354,20 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	s.writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
+// writeUnavailable sheds load honestly: 503 with a Retry-After header
+// (whole seconds, rounded up) and the same hint in milliseconds in the
+// JSON envelope, so both curl-level and programmatic clients know when
+// the queue is expected to have drained.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: err.Error(), RetryAfterMS: retryAfter.Milliseconds()})
+}
+
 // parseWait reads the ?wait= query (a Go duration, or bare seconds),
 // capped at MaxWait. 0 means asynchronous.
 func (s *Server) parseWait(r *http.Request) (time.Duration, error) {
@@ -221,7 +392,8 @@ func (s *Server) parseWait(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// parseTimeout reads the ?timeout= query bounding the job's run time.
+// parseTimeout reads the ?timeout= query bounding each attempt of the
+// job (capped at Config.MaxTimeout by submit).
 func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
 	raw := r.URL.Query().Get("timeout")
 	if raw == "" {
@@ -234,8 +406,104 @@ func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// submit is the shared tail of the three POST endpoints: consult the
-// cache, enqueue on miss, then either return 202 immediately or wait.
+// badRequestError marks a prepareJob failure as the client's fault.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// maxRequestBody bounds a submit body; canonical machine configs are a
+// few KB, so 4MB is generous.
+const maxRequestBody = 4 << 20
+
+// prepareJob normalizes a raw request body for the given kind into the
+// canonical form that is journaled, the content address for the cache,
+// and the run closure that executes it. It is the single path shared by
+// live submits and journal replay, which is what makes replay sound:
+// both rebuild the identical runFunc from the identical canonical
+// bytes.
+func (s *Server) prepareJob(kind string, body []byte) (key string, canonical json.RawMessage, run runFunc, err error) {
+	bad := func(e error) (string, json.RawMessage, runFunc, error) {
+		return "", nil, nil, badRequestError{e}
+	}
+	switch kind {
+	case "run":
+		var req RunRequest
+		if jerr := json.Unmarshal(body, &req); jerr != nil {
+			return bad(fmt.Errorf("decode request: %w", jerr))
+		}
+		req, nerr := req.normalize(s.cfg.Limits)
+		if nerr != nil {
+			return bad(nerr)
+		}
+		if key, err = cacheKey(kind, req); err != nil {
+			return "", nil, nil, err
+		}
+		if canonical, err = json.Marshal(req); err != nil {
+			return "", nil, nil, err
+		}
+		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
+			return runSimulation(ctx, req, progress)
+		}
+	case "figure":
+		var req FigureRequest
+		if jerr := json.Unmarshal(body, &req); jerr != nil {
+			return bad(fmt.Errorf("decode request: %w", jerr))
+		}
+		req, nerr := req.normalize(s.cfg.Limits)
+		if nerr != nil {
+			return bad(nerr)
+		}
+		if key, err = cacheKey(kind, req); err != nil {
+			return "", nil, nil, err
+		}
+		if canonical, err = json.Marshal(req); err != nil {
+			return "", nil, nil, err
+		}
+		parallel := s.gridParallel
+		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
+			return runFigure(ctx, req, parallel, progress)
+		}
+	case "faults":
+		var req FaultsRequest
+		if jerr := json.Unmarshal(body, &req); jerr != nil {
+			return bad(fmt.Errorf("decode request: %w", jerr))
+		}
+		req, nerr := req.normalize(s.cfg.Limits)
+		if nerr != nil {
+			return bad(nerr)
+		}
+		if key, err = cacheKey(kind, req); err != nil {
+			return "", nil, nil, err
+		}
+		if canonical, err = json.Marshal(req); err != nil {
+			return "", nil, nil, err
+		}
+		parallel := s.gridParallel
+		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
+			return runFaults(ctx, req, parallel, progress)
+		}
+	default:
+		return "", nil, nil, fmt.Errorf("unknown job kind %q", kind)
+	}
+	return key, canonical, run, nil
+}
+
+// withCachePut wraps a run closure so a successful result lands in the
+// content-addressed cache.
+func (s *Server) withCachePut(key string, run runFunc) runFunc {
+	return func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
+		out, err := run(ctx, progress)
+		if err == nil {
+			s.cache.put(key, out.payload)
+		}
+		return out, err
+	}
+}
+
+// submitHandler builds the POST handler for one job kind: decode +
+// normalize, consult the cache, enqueue on miss, then either return 202
+// immediately or wait.
 //
 // Jobs always derive from the server root context (never the request's:
 // a ?wait= that expires returns 202 and the job must survive the
@@ -243,52 +511,62 @@ func (s *Server) parseTimeout(r *http.Request) (time.Duration, error) {
 // waitAndReply calls Cancel when a waiting submitter disconnects,
 // because nobody is left to read the answer. Asynchronous jobs are
 // bounded only by ?timeout=, DELETE, and Shutdown.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string,
-	run func(ctx context.Context) (jobOutput, error)) {
-
-	wait, err := s.parseWait(r)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	timeout, err := s.parseTimeout(r)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-
-	if payload, ok := s.cache.get(key); ok {
-		j := s.jobs.complete(kind, key, payload)
-		s.log.Info("job served from cache", "job", j.ID, "kind", kind, "key", key[:12])
-		s.writeJSON(w, http.StatusOK, j.snapshot())
-		return
-	}
-
-	wrapped := func(ctx context.Context) (jobOutput, error) {
-		out, err := run(ctx)
-		if err == nil {
-			s.cache.put(key, out.payload)
+func (s *Server) submitHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		wait, err := s.parseWait(r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
 		}
-		return out, err
+		timeout, err := s.parseTimeout(r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+			return
+		}
+		key, canonical, run, err := s.prepareJob(kind, body)
+		if err != nil {
+			var bad badRequestError
+			if errors.As(err, &bad) {
+				s.writeError(w, http.StatusBadRequest, err)
+			} else {
+				s.writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+
+		if payload, ok := s.cache.get(key); ok {
+			j := s.jobs.complete(kind, key, payload)
+			s.log.Info("job served from cache", "job", j.ID, "kind", kind, "key", key[:12])
+			s.writeJSON(w, http.StatusOK, j.snapshot())
+			return
+		}
+
+		j, err := s.jobs.submit(kind, key, canonical, timeout, s.withCachePut(key, run))
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.writeUnavailable(w, err, s.jobs.retryAfter())
+			return
+		case errors.Is(err, errDraining):
+			// Shutting down: the hint tells the client to find another
+			// replica, not to wait for this one's queue.
+			s.writeUnavailable(w, err, 30*time.Second)
+			return
+		case err != nil:
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.log.Info("job queued", "job", j.ID, "kind", kind, "key", key[:12], "wait", wait.String())
+		if wait == 0 {
+			s.writeJSON(w, http.StatusAccepted, j.snapshot())
+			return
+		}
+		s.waitAndReply(w, r, j, wait, true)
 	}
-	j, err := s.jobs.submit(s.rootCtx, kind, key, timeout, wrapped)
-	switch {
-	case errors.Is(err, errQueueFull):
-		s.writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, errDraining):
-		s.writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	s.log.Info("job queued", "job", j.ID, "kind", kind, "key", key[:12], "wait", wait.String())
-	if wait == 0 {
-		s.writeJSON(w, http.StatusAccepted, j.snapshot())
-		return
-	}
-	s.waitAndReply(w, r, j, wait, true)
 }
 
 // waitAndReply blocks until the job finishes, the wait expires (reply
@@ -316,31 +594,9 @@ func (s *Server) waitAndReply(w http.ResponseWriter, r *http.Request, j *Job, wa
 	}
 }
 
-// handleRun serves POST /v1/run.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	req, err := req.normalize(s.cfg.Limits)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	key, err := cacheKey("run", req)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	s.submit(w, r, "run", key, func(ctx context.Context) (jobOutput, error) {
-		return runSimulation(ctx, req)
-	})
-}
-
 // runSimulation executes one RunRequest — the reese-sim code path with
-// a context-aware cycle loop.
-func runSimulation(ctx context.Context, req RunRequest) (jobOutput, error) {
+// a context-aware cycle loop and the watchdog's progress heartbeat.
+func runSimulation(ctx context.Context, req RunRequest, progress *atomic.Uint64) (jobOutput, error) {
 	spec, ok := workload.ByName(req.Workload)
 	if !ok {
 		return jobOutput{}, fmt.Errorf("unknown workload %q", req.Workload)
@@ -357,6 +613,7 @@ func runSimulation(ctx context.Context, req RunRequest) (jobOutput, error) {
 	if err != nil {
 		return jobOutput{}, err
 	}
+	cpu.SetProgress(progress)
 	res, err := cpu.RunContext(ctx, req.Insts)
 	if err != nil {
 		return jobOutput{}, err
@@ -368,32 +625,9 @@ func runSimulation(ctx context.Context, req RunRequest) (jobOutput, error) {
 	return jobOutput{payload: payload, insts: res.Committed}, nil
 }
 
-// handleFigure serves POST /v1/figure.
-func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	var req FigureRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	req, err := req.normalize(s.cfg.Limits)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	key, err := cacheKey("figure", req)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	parallel := s.gridParallel
-	s.submit(w, r, "figure", key, func(ctx context.Context) (jobOutput, error) {
-		return runFigure(ctx, req, parallel)
-	})
-}
-
 // runFigure executes one FigureRequest.
-func runFigure(ctx context.Context, req FigureRequest, parallel int) (jobOutput, error) {
-	opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx}
+func runFigure(ctx context.Context, req FigureRequest, parallel int, progress *atomic.Uint64) (jobOutput, error) {
+	opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx, Progress: progress}
 	var payload FigurePayload
 	var insts uint64
 	switch req.Figure {
@@ -433,40 +667,22 @@ func runFigure(ctx context.Context, req FigureRequest, parallel int) (jobOutput,
 	return jobOutput{payload: raw, insts: insts}, nil
 }
 
-// handleFaults serves POST /v1/faults.
-func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	var req FaultsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	req, err := req.normalize(s.cfg.Limits)
+// runFaults executes one FaultsRequest.
+func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *atomic.Uint64) (jobOutput, error) {
+	opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx, Progress: progress}
+	table, results, err := harness.CampaignAll(req.Interval, opt)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
+		return jobOutput{}, err
 	}
-	key, err := cacheKey("faults", req)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
-		return
+	raw, merr := json.Marshal(FaultsPayload{Results: results, Table: table})
+	if merr != nil {
+		return jobOutput{}, merr
 	}
-	parallel := s.gridParallel
-	s.submit(w, r, "faults", key, func(ctx context.Context) (jobOutput, error) {
-		opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx}
-		table, results, err := harness.CampaignAll(req.Interval, opt)
-		if err != nil {
-			return jobOutput{}, err
-		}
-		raw, merr := json.Marshal(FaultsPayload{Results: results, Table: table})
-		if merr != nil {
-			return jobOutput{}, merr
-		}
-		var insts uint64
-		for range results {
-			insts += 2 * req.Insts // clean + faulty run per campaign row
-		}
-		return jobOutput{payload: raw, insts: insts}, nil
-	})
+	var insts uint64
+	for range results {
+		insts += 2 * req.Insts // clean + faulty run per campaign row
+	}
+	return jobOutput{payload: raw, insts: insts}, nil
 }
 
 // handleJobGet serves GET /v1/jobs/{id} (?wait= to block).
@@ -521,6 +737,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"jobs_running": s.jobs.running.Load(),
 		"cache_hits":   hits,
 		"cache_misses": misses,
+		"journal":      s.cfg.JournalPath,
 		"workloads":    workload.Names(),
 	})
 }

@@ -26,7 +26,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -60,6 +63,30 @@ func postJSON(t *testing.T, url string, body any) JobView {
 		t.Fatalf("POST %s: decode %q: %v", url, data, err)
 	}
 	return v
+}
+
+// postJSONAny is postJSON for jobs expected to end badly: a waited-out
+// failed job answers 500 with the JobView as its body.
+func postJSONAny(t *testing.T, url string, body any) (JobView, int) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("POST %s: decode %q: %v", url, data, err)
+	}
+	return v, resp.StatusCode
 }
 
 func getJob(t *testing.T, base, id string) JobView {
@@ -250,17 +277,120 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 	}
 }
 
-// TestJobTimeout: a ?timeout= bound cancels the run when it expires.
+// TestJobTimeout: a ?timeout= bound expires the attempt; with retries
+// disabled the job fails for good with a deadline cause and a single
+// recorded attempt. (Deadline expiry is a transient failure now — see
+// TestRetryAfterDeadline for the retrying path.)
 func TestJobTimeout(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{MaxRetries: -1})
 	spec, _ := workload.ByName("perl")
-	v := postJSON(t, ts.URL+"/v1/run?timeout=150ms&wait=60s", RunRequest{
+	v, _ := postJSONAny(t, ts.URL+"/v1/run?timeout=150ms&wait=60s", RunRequest{
 		Workload: "perl",
 		Insts:    40_000_000,
 		Iters:    spec.DefaultIters * 400,
 	})
-	if v.State != StateCanceled {
-		t.Errorf("timed-out job state %q, want %q (err: %s)", v.State, StateCanceled, v.Error)
+	if v.State != StateFailed {
+		t.Errorf("timed-out job state %q, want %q (err: %s)", v.State, StateFailed, v.Error)
+	}
+	if !strings.Contains(v.LastCause, "deadline") {
+		t.Errorf("last cause %q, want a deadline cause", v.LastCause)
+	}
+	if v.Attempt != 1 || len(v.Attempts) != 1 {
+		t.Errorf("attempt count %d (%d records), want exactly 1 with retries disabled", v.Attempt, len(v.Attempts))
+	}
+}
+
+// TestRetryAfterDeadline: with a retry budget, a deadline expiry is
+// retried with backoff — attempt history, last cause, and the retried
+// counter are all visible.
+func TestRetryAfterDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		MaxRetries:   1,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	spec, _ := workload.ByName("perl")
+	v, code := postJSONAny(t, ts.URL+"/v1/run?timeout=120ms&wait=60s", RunRequest{
+		Workload: "perl",
+		Insts:    40_000_000,
+		Iters:    spec.DefaultIters * 400,
+	})
+	if code != http.StatusInternalServerError {
+		t.Errorf("waited-out failed job answered %d, want 500", code)
+	}
+	if v.State != StateFailed {
+		t.Fatalf("job state %q, want failed after retries exhausted (err: %s)", v.State, v.Error)
+	}
+	if v.Attempt != 2 || len(v.Attempts) != 2 {
+		t.Errorf("attempt count %d (%d records), want 2 (original + 1 retry)", v.Attempt, len(v.Attempts))
+	}
+	if !strings.Contains(v.Error, "retries exhausted") {
+		t.Errorf("error %q does not mention exhausted retries", v.Error)
+	}
+	for _, a := range v.Attempts {
+		if !strings.Contains(a.Cause, "deadline") {
+			t.Errorf("attempt %d cause %q, want a deadline cause", a.Number, a.Cause)
+		}
+	}
+	metrics := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"reese_serve_jobs_retried_total 1",
+		"reese_serve_jobs_deadline_exceeded_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepMetrics(metrics, "jobs_"))
+		}
+	}
+}
+
+// TestRetryingJobExposesNextRetry: while a job sits out its backoff,
+// GET /v1/jobs/{id} shows state retrying, the attempt count, the last
+// cause, and the next-retry time; cancelling it abandons the retry.
+func TestRetryingJobExposesNextRetry(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:      1,
+		MaxRetries:   1,
+		RetryBackoff: 30 * time.Second, // long enough to observe the retrying state
+		BeforeAttempt: func(ctx context.Context, jobID, kind string, attempt int) {
+			if attempt == 1 {
+				panic("first attempt always fails")
+			}
+		},
+	})
+	v := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "li", Insts: testInsts})
+	deadline := time.Now().Add(10 * time.Second)
+	for v.State != StateRetrying {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never entered retrying (state %q)", v.ID, v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		v = getJob(t, ts.URL, v.ID)
+	}
+	if v.NextRetry == nil || !v.NextRetry.After(time.Now()) {
+		t.Errorf("retrying job next_retry = %v, want a future time", v.NextRetry)
+	}
+	if v.Attempt != 1 || !strings.Contains(v.LastCause, "panic: first attempt always fails") {
+		t.Errorf("retrying job attempt %d cause %q", v.Attempt, v.LastCause)
+	}
+	if v.Attempts[0].Stack == "" {
+		t.Error("panicked attempt record has no stack")
+	}
+
+	// Cancel the parked retry so shutdown doesn't wait out the backoff.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after JobView
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.State != StateCanceled {
+		t.Errorf("cancelled retrying job state %q, want canceled", after.State)
+	}
+	if after.NextRetry != nil {
+		t.Error("terminal job still advertises next_retry")
 	}
 }
 
@@ -323,6 +453,19 @@ func TestQueueBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("third submit status %d, want 503", resp.StatusCode)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 carries no Retry-After header")
+	}
+	var shed errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shed.Error, "queue full") {
+		t.Errorf("503 body %q does not name the queue", shed.Error)
+	}
+	if shed.RetryAfterMS < 1000 {
+		t.Errorf("retry_after_ms %d, want >= 1000 (clamped floor)", shed.RetryAfterMS)
+	}
 
 	for _, id := range []string{first.ID, second.ID} {
 		delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
@@ -356,6 +499,15 @@ func TestGracefulDrain(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-drain submit status %d, want 503", resp.StatusCode)
+	}
+	// Shedding because of shutdown must be distinguishable from
+	// backpressure: the client should fail over, not wait out a queue.
+	var shed errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shed.Error, "shutting down") {
+		t.Errorf("post-drain 503 body %q does not say shutting down", shed.Error)
 	}
 }
 
