@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all figures faults claims serve chaos fuzz clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults claims serve chaos fuzz clean
 
 all: build test
 
@@ -29,6 +29,18 @@ bench:
 # One benchmark per paper table/figure, run once each.
 bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Performance gate: rerun the tracked benchmark (instrumentation
+# compiled in but disabled) and fail if sim-insts/s dropped >5% or
+# allocs/op grew versus the newest entry in BENCH_pipeline.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput' -benchmem . | $(GO) run ./cmd/benchjson -check -out BENCH_pipeline.json
+
+# Observability demo: run a REESE simulation with the flight recorder
+# armed, print the stall attribution report, and dump a Perfetto trace.
+trace:
+	$(GO) run ./cmd/reese-sim -workload gcc -insts 50000 -reese -why -trace-out trace.json
+	@echo "load trace.json at https://ui.perfetto.dev"
 
 # Regenerate every table and figure of the paper.
 figures:

@@ -8,6 +8,12 @@
 // The output file holds {"entries": [...]}; each entry is one benchmark
 // line with its standard metrics (ns/op, B/op, allocs/op) and any
 // custom b.ReportMetric values (e.g. sim-insts/s) keyed by unit.
+//
+// With -check the tool becomes a regression gate instead: stdin is
+// compared against the newest tracked entry per benchmark name, and the
+// exit status is 1 if sim-insts/s dropped more than -max-regress
+// percent or allocs/op grew at all. Nothing is appended in this mode —
+// it is what `make bench-smoke` and CI run on every change.
 package main
 
 import (
@@ -35,11 +41,19 @@ type File struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_pipeline.json", "tracking file to append to")
-		label = flag.String("label", "", "label stored with each entry (e.g. a change description)")
+		out        = flag.String("out", "BENCH_pipeline.json", "tracking file to append to (or compare against with -check)")
+		label      = flag.String("label", "", "label stored with each entry (e.g. a change description)")
+		check      = flag.Bool("check", false, "compare stdin against the newest tracked entry per benchmark; exit 1 on regression, append nothing")
+		maxRegress = flag.Float64("max-regress", 5, "percent sim-insts/s drop tolerated in -check mode")
 	)
 	flag.Parse()
-	if err := run(*out, *label); err != nil {
+	var err error
+	if *check {
+		err = runCheck(*out, *maxRegress)
+	} else {
+		err = run(*out, *label)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -83,6 +97,70 @@ func run(out, label string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d entries to %s\n", added, out)
+	return nil
+}
+
+// runCheck gates a change: each benchmark on stdin is compared against
+// its newest tracked entry. Throughput (sim-insts/s) may drop at most
+// maxRegress percent; allocs/op may not grow at all — the cycle loop is
+// allocation-free by design and a single new allocation per op means
+// something landed on the hot path.
+func runCheck(out string, maxRegress float64) error {
+	data, err := os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %w", out, err)
+	}
+	// Entries are appended chronologically; the last per name wins.
+	base := make(map[string]Entry)
+	for _, e := range f.Entries {
+		base[e.Name] = e
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	checked := 0
+	var failures []string
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no tracked baseline in %s; skipping\n", e.Name, out)
+			continue
+		}
+		checked++
+		if bt, nt := b.Metrics["sim-insts/s"], e.Metrics["sim-insts/s"]; bt > 0 {
+			drop := 100 * (bt - nt) / bt
+			fmt.Fprintf(os.Stderr, "benchjson: %s sim-insts/s %.0f -> %.0f (%+.1f%%)\n", e.Name, bt, nt, -drop)
+			if drop > maxRegress {
+				failures = append(failures, fmt.Sprintf(
+					"%s: sim-insts/s regressed %.1f%% (%.0f -> %.0f, budget %.1f%%)",
+					e.Name, drop, bt, nt, maxRegress))
+			}
+		}
+		if ba, na := b.Metrics["allocs/op"], e.Metrics["allocs/op"]; na > ba {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op grew %.0f -> %.0f (hot path must stay allocation-free)",
+				e.Name, ba, na))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if checked == 0 {
+		return fmt.Errorf("no benchmark lines with a tracked baseline found on stdin")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within budget (max regress %.1f%%, allocs unchanged)\n", checked, maxRegress)
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,12 +58,20 @@ func run() int {
 		maxRetries = flag.Int("max-retries", 2, "retries per job after transient failures (panic, deadline, watchdog kill)")
 		stall      = flag.Duration("watchdog-stall", time.Minute, "kill attempts making no progress for this long (negative disables)")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof (/debug/pprof/) on this address (empty disables)")
 	)
 	flag.Parse()
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "reese-serve: bad -log-level %q: %v\n", *logLevel, err)
+		return 1
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, opts)
 	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+		handler = slog.NewJSONHandler(os.Stderr, opts)
 	}
 	log := slog.New(handler)
 
@@ -89,6 +98,22 @@ func run() int {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof endpoints live on their own listener so profiling access
+	// can be firewalled separately from the API (bind it to localhost).
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Info("debug server listening", "addr", *debugAddr, "endpoints", "/debug/pprof/")
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Warn("debug server", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -21,6 +21,7 @@ import (
 	"reese/internal/asm"
 	"reese/internal/config"
 	"reese/internal/fault"
+	"reese/internal/obs"
 	"reese/internal/pipeline"
 	"reese/internal/program"
 	"reese/internal/workload"
@@ -54,6 +55,9 @@ func run() int {
 		faultBit = flag.Uint("fault-bit", 7, "bit position for -fault-at")
 
 		tracePath = flag.String("trace", "", "write a per-event pipeline trace to this file (- for stdout)")
+		traceOut  = flag.String("trace-out", "", "dump the flight recorder as Chrome trace-event JSON to this file (load in Perfetto)")
+		traceBuf  = flag.Int("trace-buf", 16384, "flight-recorder ring capacity (events) for -trace-out")
+		why       = flag.Bool("why", false, "print the per-cause stall attribution report (where the unused slots went)")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
 	)
 	flag.Parse()
@@ -141,6 +145,11 @@ func run() int {
 		}
 		cpu.SetTrace(w)
 	}
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(*traceBuf)
+		cpu.SetRecorder(rec)
+	}
 	if *fastfwd > 0 {
 		if _, err := cpu.FastForward(*fastfwd); err != nil {
 			fmt.Fprintln(os.Stderr, "reese-sim:", err)
@@ -152,6 +161,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "reese-sim:", err)
 		return 1
 	}
+	if rec != nil {
+		f, cerr := os.Create(*traceOut)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "reese-sim:", cerr)
+			return 1
+		}
+		werr := rec.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "reese-sim:", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "reese-sim: wrote %d flight-recorder events (%d overwritten) to %s; open in https://ui.perfetto.dev\n",
+			rec.Len(), rec.Dropped(), *traceOut)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -161,11 +187,60 @@ func run() int {
 		}
 	} else {
 		printResult(res, cfg.Reese.RSQSize)
+		if *why {
+			printWhy(res)
+		}
 	}
 	if res.PermError {
 		return 2
 	}
 	return 0
+}
+
+// printWhy renders the stall attribution report: for each slot class
+// (dispatch/issue/commit), the share of the run's slot budget that did
+// work and where every unused slot went, one row per cause. The rows of
+// a column sum to 100% by construction (the invariant the pipeline
+// tests check), so this table is a complete answer to "why is it
+// slow?".
+func printWhy(r pipeline.Result) {
+	classes := []struct {
+		name string
+		b    obs.SlotBreakdown
+	}{
+		{"dispatch", r.Stalls.Dispatch},
+		{"issue", r.Stalls.Issue},
+		{"commit", r.Stalls.Commit},
+	}
+	fmt.Printf("\nstall attribution (%% of slot-cycles over %d cycles)\n", r.Stalls.Cycles)
+	fmt.Printf("  %-18s", "cause")
+	for _, cl := range classes {
+		fmt.Printf("  %9s", fmt.Sprintf("%s×%d", cl.name, cl.b.Width))
+	}
+	fmt.Println()
+	fmt.Printf("  %-18s", "(used)")
+	for _, cl := range classes {
+		fmt.Printf("  %8.1f%%", cl.b.UtilPct())
+	}
+	fmt.Println()
+	for cause := obs.StallCause(1); cause < obs.NumCauses; cause++ {
+		all := uint64(0)
+		for _, cl := range classes {
+			all += cl.b.Stalls[cause]
+		}
+		if all == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s", cause.String())
+		for _, cl := range classes {
+			if cl.b.Stalls[cause] == 0 {
+				fmt.Printf("  %9s", "-")
+				continue
+			}
+			fmt.Printf("  %8.1f%%", cl.b.Pct(cause))
+		}
+		fmt.Println()
+	}
 }
 
 func printResult(r pipeline.Result, cfgRSQ int) {

@@ -35,6 +35,7 @@ func run() int {
 		insts      = flag.Uint64("insts", 150_000, "committed-instruction budget per simulation")
 		format     = flag.String("format", "table", "output format for figures 2-5: table or csv")
 		asJSON     = flag.Bool("json", false, "emit the figure series as JSON (figures 2-7 and faults)")
+		why        = flag.Bool("why", false, "append the commit-slot stall attribution table (figures 2-5)")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -116,8 +117,12 @@ func run() int {
 		if *format == "csv" {
 			return emit(harness.FigureCSV(fig), nil)
 		}
-		return emit(fig.Table()+fmt.Sprintf("REESE gap: %.1f%%  with 2 spare ALUs: %.1f%%\n",
-			fig.GapPercent("Baseline", "REESE"), sparedGap(fig)), nil)
+		out := fig.Table() + fmt.Sprintf("REESE gap: %.1f%%  with 2 spare ALUs: %.1f%%\n",
+			fig.GapPercent("Baseline", "REESE"), sparedGap(fig))
+		if *why {
+			out += "\n" + fig.StallTable()
+		}
+		return emit(out, nil)
 	case "6":
 		rows, err := harness.Figure6(opt)
 		if err != nil {

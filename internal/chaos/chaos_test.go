@@ -185,6 +185,21 @@ func TestWatchdogKillsStalledAttempt(t *testing.T) {
 	if got := mustCounter(t, c, "reese_serve_watchdog_kills_total"); got != 1 {
 		t.Errorf("watchdog_kills_total = %d, want 1", got)
 	}
+	// The killed attempt must be visible in the job's span tree exactly
+	// as it happened: attempt 1 closed with the watchdog outcome, a
+	// backoff span between the attempts, and attempt 2 closed ok.
+	if v.Spans == nil {
+		t.Fatal("watchdog-killed job carries no span tree")
+	}
+	if a1 := v.Spans.Find("attempt 1"); a1 == nil || a1.End == nil || a1.Outcome != "watchdog" {
+		t.Errorf("attempt 1 span missing/open/mislabeled: %+v", a1)
+	}
+	if b := v.Spans.Find("backoff 1"); b == nil || b.End == nil {
+		t.Errorf("backoff span missing or open: %+v", b)
+	}
+	if a2 := v.Spans.Find("attempt 2"); a2 == nil || a2.Outcome != "ok" {
+		t.Errorf("attempt 2 span missing or mislabeled: %+v", a2)
+	}
 }
 
 // TestClientDisconnectMidRun: a waiting submitter that vanishes takes

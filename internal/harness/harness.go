@@ -18,6 +18,7 @@ import (
 	"reese/internal/config"
 	"reese/internal/fault"
 	"reese/internal/fu"
+	"reese/internal/obs"
 	"reese/internal/pipeline"
 	"reese/internal/stats"
 	"reese/internal/workload"
@@ -99,6 +100,57 @@ func (f *FigureResult) Average(variant string) float64 {
 // baseline variant's, in percent.
 func (f *FigureResult) GapPercent(baseline, variant string) float64 {
 	return stats.PercentDelta(f.Average(baseline), f.Average(variant))
+}
+
+// Stalls aggregates the slot-attribution ledger for one variant across
+// every workload: summed counts keep the ledger invariant (used +
+// stalls == slots), so percentages over the aggregate are workload-
+// weighted rather than averaged.
+func (f *FigureResult) Stalls(variant string) obs.StallBreakdown {
+	var agg obs.StallBreakdown
+	for _, c := range f.Cells {
+		if c.Variant == variant {
+			agg.Add(c.Result.Stalls)
+		}
+	}
+	return agg
+}
+
+// StallTable renders the commit-slot attribution per variant: why each
+// configuration's unused commit slots went unused, aggregated across
+// workloads. The commit class is the one that explains an IPC gap — a
+// commit slot not used is exactly an instruction not retired.
+func (f *FigureResult) StallTable() string {
+	headers := append([]string{"cause"}, f.Variants...)
+	t := stats.NewTable(fmt.Sprintf("%s: commit-slot stall attribution (%% of slots)", f.ID), headers...)
+	breakdowns := make([]obs.SlotBreakdown, len(f.Variants))
+	for i, v := range f.Variants {
+		breakdowns[i] = f.Stalls(v).Commit
+	}
+	row := []string{"(used)"}
+	for _, b := range breakdowns {
+		row = append(row, fmt.Sprintf("%.1f", b.UtilPct()))
+	}
+	t.AddRow(row...)
+	for cause := obs.StallCause(1); cause < obs.NumCauses; cause++ {
+		var any uint64
+		for _, b := range breakdowns {
+			any += b.Stalls[cause]
+		}
+		if any == 0 {
+			continue
+		}
+		row := []string{cause.String()}
+		for _, b := range breakdowns {
+			if b.Stalls[cause] == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", b.Pct(cause)))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
 }
 
 // Table renders the figure as an aligned text table with the AV row.
@@ -272,6 +324,11 @@ type SummaryRow struct {
 	Spared2IPC   float64 `json:"spared2_ipc"`    // REESE + 2 spare ALUs
 	GapPercent   float64 `json:"gap_pct"`        // baseline -> REESE
 	SparedGapPct float64 `json:"spared_gap_pct"` // baseline -> REESE+2ALU
+	// BaselineStallPct/ReeseStallPct attribute each configuration's
+	// unused commit slots by cause (percent of all commit slots,
+	// aggregated across workloads) — the "why" behind the gap columns.
+	BaselineStallPct map[string]float64 `json:"baseline_stall_pct,omitempty"`
+	ReeseStallPct    map[string]float64 `json:"reese_stall_pct,omitempty"`
 }
 
 // Figure6 regenerates Figure 6, the summary over the four hardware
@@ -293,12 +350,14 @@ func Figure6(opt Options) ([]SummaryRow, error) {
 			return nil, err
 		}
 		row := SummaryRow{
-			Config:       fg.name,
-			BaselineIPC:  fig.Average("Baseline"),
-			ReeseIPC:     fig.Average("REESE"),
-			Spared2IPC:   fig.Average("R+2ALU"),
-			GapPercent:   fig.GapPercent("Baseline", "REESE"),
-			SparedGapPct: fig.GapPercent("Baseline", "R+2ALU"),
+			Config:           fg.name,
+			BaselineIPC:      fig.Average("Baseline"),
+			ReeseIPC:         fig.Average("REESE"),
+			Spared2IPC:       fig.Average("R+2ALU"),
+			GapPercent:       fig.GapPercent("Baseline", "REESE"),
+			SparedGapPct:     fig.GapPercent("Baseline", "R+2ALU"),
+			BaselineStallPct: fig.Stalls("Baseline").Commit.CausePcts(),
+			ReeseStallPct:    fig.Stalls("REESE").Commit.CausePcts(),
 		}
 		rows = append(rows, row)
 	}

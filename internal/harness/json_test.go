@@ -8,9 +8,16 @@ import (
 	"path/filepath"
 	"testing"
 
+	"reese/internal/obs"
 	"reese/internal/pipeline"
 )
 
+// Regenerate goldens with:
+//
+//	go test ./internal/harness/ -run TestFigureJSONGolden -update-golden
+//
+// Only do this after an intentional wire-format change — the diff IS
+// the API change reese-serve clients will see.
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
 // TestFigureJSONGolden locks the wire format of the figure types the
@@ -33,6 +40,15 @@ func TestFigureJSONGolden(t *testing.T) {
 				Config: "table1-starting", Workload: "gcc",
 				Cycles: 80_000, Committed: 100_000, IPC: 1.25, Halted: false,
 				Branches: 12_000, Mispredicts: 600, BranchAcc: 0.95,
+				Stalls: obs.StallBreakdown{
+					Cycles: 80_000,
+					Dispatch: obs.SlotBreakdown{Width: 8, Slots: 640_000, Used: 100_000,
+						Stalls: stallCounts(obs.CauseFetchEmpty, 340_000, obs.CauseDispatchRUUFull, 200_000)},
+					Issue: obs.SlotBreakdown{Width: 8, Slots: 640_000, Used: 100_000,
+						Stalls: stallCounts(obs.CauseIssueWait, 400_000, obs.CauseIssueNoFU, 140_000)},
+					Commit: obs.SlotBreakdown{Width: 8, Slots: 640_000, Used: 100_000,
+						Stalls: stallCounts(obs.CauseExecLatency, 540_000)},
+				},
 			}},
 		},
 	}
@@ -45,6 +61,8 @@ func TestFigureJSONGolden(t *testing.T) {
 		Rows: []SummaryRow{{
 			Config: "None", BaselineIPC: 1.375, ReeseIPC: 1.0625,
 			Spared2IPC: 1.25, GapPercent: 22.7, SparedGapPct: 9.1,
+			BaselineStallPct: map[string]float64{"exec-latency": 84.375},
+			ReeseStallPct:    map[string]float64{"exec-latency": 40.0, "recheck-pending": 44.375},
 		}},
 		Points: []Figure7Point{{
 			Label: "RUU=64", BaselineIPC: 2.0, ReeseIPC: 1.75,
@@ -76,4 +94,13 @@ func TestFigureJSONGolden(t *testing.T) {
 		t.Errorf("figure JSON encoding drifted from %s\n got:\n%s\nwant:\n%s\n(if intentional, rerun with -update-golden)",
 			golden, buf.Bytes(), want)
 	}
+}
+
+// stallCounts builds a per-cause count array from (cause, count) pairs.
+func stallCounts(pairs ...any) [obs.NumCauses]uint64 {
+	var out [obs.NumCauses]uint64
+	for i := 0; i < len(pairs); i += 2 {
+		out[pairs[i].(obs.StallCause)] = uint64(pairs[i+1].(int))
+	}
+	return out
 }

@@ -1,0 +1,289 @@
+// Package obs is the observability layer shared by the simulator and
+// the serving stack: per-cycle stall attribution (this file), a
+// fixed-size flight recorder of instruction lifecycle events
+// (recorder.go), and span trees for reese-serve jobs (span.go).
+//
+// Stall attribution answers the question the REESE paper keeps asking
+// of its figures — *where did the issue and commit slots go?* Every
+// cycle the pipeline charges each unused dispatch, issue, and commit
+// slot to exactly one cause, so the per-cause counts plus the used
+// slots always sum to width × cycles. The bookkeeping is a fixed
+// integer matrix with no maps, pointers, or allocations, cheap enough
+// to stay compiled in and enabled on every run.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// StallCause says why a pipeline slot went unused for one cycle. A
+// slot is charged to exactly one cause, chosen by inspecting the
+// oldest blocked instruction (top-down style accounting): upstream
+// emptiness beats downstream fullness only when the window truly has
+// nothing to offer.
+type StallCause uint8
+
+// Stall causes, ordered roughly front-to-back through the pipeline.
+const (
+	// CauseNone is the zero value; it is never charged.
+	CauseNone StallCause = iota
+	// CauseFetchEmpty: the front end delivered nothing — I-cache miss,
+	// branch-resolution stall, or the fetch queue simply hasn't filled
+	// the window yet.
+	CauseFetchEmpty
+	// CauseDispatchRUUFull: instructions are waiting in the fetch queue
+	// but the RUU (or the REESE R-reserve) has no free window slot.
+	CauseDispatchRUUFull
+	// CauseDispatchLSQFull: a memory instruction is at the head of the
+	// fetch queue and the LSQ is full.
+	CauseDispatchLSQFull
+	// CauseIssueWait: the oldest unissued instruction's operands are
+	// not ready yet (waiting on producers still executing).
+	CauseIssueWait
+	// CauseIssueNoFU: an instruction is ready but every functional unit
+	// of the class it needs is busy — the shortage REESE's spare
+	// elements exist to relieve.
+	CauseIssueNoFU
+	// CauseExecLatency: everything dispatchable has issued; the slot
+	// waits for an in-flight execution to finish.
+	CauseExecLatency
+	// CauseRSQFull: the R-stream Queue is full, back-pressuring commit
+	// (paper §4.3's overflow condition).
+	CauseRSQFull
+	// CauseRecheckPending: the RSQ head has not been re-executed and
+	// verified yet, so nothing may retire (REESE's detection window).
+	CauseRecheckPending
+	// CauseDrain: the program is over — the oracle halted and the
+	// machine is emptying its last instructions.
+	CauseDrain
+
+	// NumCauses sizes per-cause arrays.
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{
+	CauseNone:            "none",
+	CauseFetchEmpty:      "fetch-empty",
+	CauseDispatchRUUFull: "dispatch-ruu-full",
+	CauseDispatchLSQFull: "dispatch-lsq-full",
+	CauseIssueWait:       "issue-wait",
+	CauseIssueNoFU:       "issue-no-fu",
+	CauseExecLatency:     "exec-latency",
+	CauseRSQFull:         "rsq-full",
+	CauseRecheckPending:  "recheck-pending",
+	CauseDrain:           "drain",
+}
+
+func (s StallCause) String() string {
+	if int(s) < len(causeNames) {
+		return causeNames[s]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(s))
+}
+
+// CauseByName resolves a kebab-case cause name (the String form).
+func CauseByName(name string) (StallCause, bool) {
+	for i, n := range causeNames {
+		if n == name {
+			return StallCause(i), true
+		}
+	}
+	return CauseNone, false
+}
+
+// SlotClass names the per-cycle slot budget being accounted: dispatch
+// and commit slots number Width per cycle, issue slots IssueWidth.
+type SlotClass uint8
+
+// Slot classes.
+const (
+	SlotDispatch SlotClass = iota
+	SlotIssue
+	SlotCommit
+
+	// NumSlotClasses sizes per-class arrays.
+	NumSlotClasses
+)
+
+var slotNames = [NumSlotClasses]string{
+	SlotDispatch: "dispatch",
+	SlotIssue:    "issue",
+	SlotCommit:   "commit",
+}
+
+func (s SlotClass) String() string {
+	if int(s) < len(slotNames) {
+		return slotNames[s]
+	}
+	return fmt.Sprintf("slot(%d)", uint8(s))
+}
+
+// Matrix is the zero-allocation stall counter matrix embedded in
+// pipeline.CPU: used-slot totals and per-cause unused-slot totals for
+// every slot class. All methods are O(1) integer arithmetic.
+type Matrix struct {
+	Used   [NumSlotClasses]uint64
+	Stalls [NumSlotClasses][NumCauses]uint64
+}
+
+// Use records n consumed slots of class s this cycle.
+func (m *Matrix) Use(s SlotClass, n int) {
+	m.Used[s] += uint64(n)
+}
+
+// Charge attributes n unused slots of class s to cause. CauseNone is
+// ignored so callers can charge unconditionally.
+func (m *Matrix) Charge(s SlotClass, cause StallCause, n int) {
+	if cause == CauseNone || n <= 0 {
+		return
+	}
+	m.Stalls[s][cause] += uint64(n)
+}
+
+// Breakdown snapshots the matrix into the reportable form. widths maps
+// slot class → slots per cycle.
+func (m *Matrix) Breakdown(cycles uint64, widths [NumSlotClasses]int) StallBreakdown {
+	b := StallBreakdown{Cycles: cycles}
+	for s := SlotClass(0); s < NumSlotClasses; s++ {
+		sb := SlotBreakdown{
+			Width:  widths[s],
+			Slots:  uint64(widths[s]) * cycles,
+			Used:   m.Used[s],
+			Stalls: m.Stalls[s],
+		}
+		switch s {
+		case SlotDispatch:
+			b.Dispatch = sb
+		case SlotIssue:
+			b.Issue = sb
+		case SlotCommit:
+			b.Commit = sb
+		}
+	}
+	return b
+}
+
+// StallBreakdown is the per-run stall attribution report carried on
+// pipeline.Result. Invariant (checked in tests): for every slot class,
+// Used + sum(Stalls) == Width × Cycles.
+type StallBreakdown struct {
+	Cycles   uint64        `json:"cycles"`
+	Dispatch SlotBreakdown `json:"dispatch"`
+	Issue    SlotBreakdown `json:"issue"`
+	Commit   SlotBreakdown `json:"commit"`
+}
+
+// Add accumulates another run's breakdown (for aggregating grids).
+func (b *StallBreakdown) Add(o StallBreakdown) {
+	b.Cycles += o.Cycles
+	b.Dispatch.add(o.Dispatch)
+	b.Issue.add(o.Issue)
+	b.Commit.add(o.Commit)
+}
+
+// SlotBreakdown reports one slot class: the per-cycle width, the total
+// slot budget over the run, how many slots did work, and where the
+// rest went.
+type SlotBreakdown struct {
+	Width  int
+	Slots  uint64
+	Used   uint64
+	Stalls [NumCauses]uint64
+}
+
+func (b *SlotBreakdown) add(o SlotBreakdown) {
+	if b.Width == 0 {
+		b.Width = o.Width
+	}
+	b.Slots += o.Slots
+	b.Used += o.Used
+	for i := range b.Stalls {
+		b.Stalls[i] += o.Stalls[i]
+	}
+}
+
+// Unused returns the slot budget that went idle.
+func (b SlotBreakdown) Unused() uint64 { return b.Slots - b.Used }
+
+// StallSum totals the per-cause counts; it must equal Unused().
+func (b SlotBreakdown) StallSum() uint64 {
+	var t uint64
+	for _, n := range b.Stalls {
+		t += n
+	}
+	return t
+}
+
+// Pct returns cause's share of the total slot budget, in percent.
+func (b SlotBreakdown) Pct(cause StallCause) float64 {
+	if b.Slots == 0 {
+		return 0
+	}
+	return 100 * float64(b.Stalls[cause]) / float64(b.Slots)
+}
+
+// UtilPct returns the fraction of the slot budget that did work, in
+// percent.
+func (b SlotBreakdown) UtilPct() float64 {
+	if b.Slots == 0 {
+		return 0
+	}
+	return 100 * float64(b.Used) / float64(b.Slots)
+}
+
+// CausePcts returns the non-zero causes as a name → percent-of-slots
+// map (the JSON-friendly form used by harness summary rows).
+func (b SlotBreakdown) CausePcts() map[string]float64 {
+	out := make(map[string]float64)
+	for c := StallCause(0); c < NumCauses; c++ {
+		if b.Stalls[c] > 0 {
+			out[c.String()] = b.Pct(c)
+		}
+	}
+	return out
+}
+
+// slotBreakdownJSON is the wire form: causes keyed by name, zero
+// counts omitted. encoding/json sorts map keys, so output is
+// deterministic.
+type slotBreakdownJSON struct {
+	Width  int               `json:"width"`
+	Slots  uint64            `json:"slots"`
+	Used   uint64            `json:"used"`
+	Stalls map[string]uint64 `json:"stalls,omitempty"`
+}
+
+// MarshalJSON emits the cause array as a name-keyed object, omitting
+// zero counts.
+func (b SlotBreakdown) MarshalJSON() ([]byte, error) {
+	w := slotBreakdownJSON{Width: b.Width, Slots: b.Slots, Used: b.Used}
+	for c := StallCause(0); c < NumCauses; c++ {
+		if b.Stalls[c] == 0 {
+			continue
+		}
+		if w.Stalls == nil {
+			w.Stalls = make(map[string]uint64, int(NumCauses))
+		}
+		w.Stalls[c.String()] = b.Stalls[c]
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON inverts MarshalJSON. Unknown cause names are an error
+// so schema drift fails loudly.
+func (b *SlotBreakdown) UnmarshalJSON(data []byte) error {
+	var w slotBreakdownJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*b = SlotBreakdown{Width: w.Width, Slots: w.Slots, Used: w.Used}
+	for name, n := range w.Stalls {
+		c, ok := CauseByName(name)
+		if !ok {
+			return fmt.Errorf("obs: unknown stall cause %q", name)
+		}
+		b.Stalls[c] = n
+	}
+	return nil
+}

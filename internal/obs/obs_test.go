@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCauseNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for c := StallCause(0); c < NumCauses; c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "cause(") {
+			t.Fatalf("cause %d has no name", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate cause name %q", s)
+		}
+		seen[s] = true
+		back, ok := CauseByName(s)
+		if !ok || back != c {
+			t.Fatalf("CauseByName(%q) = %v,%v want %v", s, back, ok, c)
+		}
+	}
+	if _, ok := CauseByName("no-such-cause"); ok {
+		t.Fatal("CauseByName accepted garbage")
+	}
+	if StallCause(200).String() != "cause(200)" {
+		t.Fatal("unknown cause formatting")
+	}
+}
+
+func TestMatrixChargeAndBreakdown(t *testing.T) {
+	var m Matrix
+	// Simulate 10 cycles of a width-4 / issue-2 machine.
+	for i := 0; i < 10; i++ {
+		m.Use(SlotCommit, 3)
+		m.Charge(SlotCommit, CauseRecheckPending, 1)
+		m.Use(SlotIssue, 2) // fully used: nothing to charge
+		m.Use(SlotDispatch, 1)
+		m.Charge(SlotDispatch, CauseFetchEmpty, 3)
+	}
+	m.Charge(SlotCommit, CauseNone, 5) // must be ignored
+	b := m.Breakdown(10, [NumSlotClasses]int{SlotDispatch: 4, SlotIssue: 2, SlotCommit: 4})
+	if b.Cycles != 10 {
+		t.Fatalf("cycles = %d", b.Cycles)
+	}
+	for _, sb := range []SlotBreakdown{b.Dispatch, b.Issue, b.Commit} {
+		if sb.Used+sb.StallSum() != sb.Slots {
+			t.Errorf("slot ledger broken: used %d + stalls %d != slots %d", sb.Used, sb.StallSum(), sb.Slots)
+		}
+	}
+	if got := b.Commit.Stalls[CauseRecheckPending]; got != 10 {
+		t.Errorf("recheck-pending = %d, want 10", got)
+	}
+	if got := b.Dispatch.Pct(CauseFetchEmpty); got != 75 {
+		t.Errorf("dispatch fetch-empty pct = %v, want 75", got)
+	}
+	if got := b.Issue.UtilPct(); got != 100 {
+		t.Errorf("issue util = %v, want 100", got)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	var a, b Matrix
+	a.Use(SlotCommit, 5)
+	a.Charge(SlotCommit, CauseDrain, 3)
+	b.Use(SlotCommit, 7)
+	b.Charge(SlotCommit, CauseDrain, 1)
+	w := [NumSlotClasses]int{SlotDispatch: 4, SlotIssue: 4, SlotCommit: 4}
+	sum := a.Breakdown(2, w)
+	sum.Add(b.Breakdown(2, w))
+	if sum.Cycles != 4 || sum.Commit.Used != 12 || sum.Commit.Stalls[CauseDrain] != 4 {
+		t.Fatalf("aggregate wrong: %+v", sum.Commit)
+	}
+}
+
+func TestSlotBreakdownJSONRoundTrip(t *testing.T) {
+	in := SlotBreakdown{Width: 4, Slots: 400, Used: 123}
+	in.Stalls[CauseFetchEmpty] = 200
+	in.Stalls[CauseRSQFull] = 77
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"fetch-empty":200`) || !strings.Contains(s, `"rsq-full":77`) {
+		t.Fatalf("unexpected JSON: %s", s)
+	}
+	if strings.Contains(s, "recheck-pending") {
+		t.Fatalf("zero causes must be omitted: %s", s)
+	}
+	var out SlotBreakdown
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+	if err := json.Unmarshal([]byte(`{"width":1,"slots":1,"used":0,"stalls":{"bogus":1}}`), &out); err == nil {
+		t.Fatal("unknown cause name must fail to unmarshal")
+	}
+	pcts := in.CausePcts()
+	if len(pcts) != 2 || pcts["fetch-empty"] != 50 {
+		t.Fatalf("CausePcts = %v", pcts)
+	}
+}

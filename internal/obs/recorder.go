@@ -1,0 +1,308 @@
+package obs
+
+// The flight recorder: a fixed-size ring buffer of per-instruction
+// lifecycle events. Recording is a bounds-checked array store — no
+// allocation, no formatting — so it can stay armed on long runs and be
+// dumped only when something interesting happens (a comparator hit, a
+// stall plateau, an operator request). The dump renders as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing, with one
+// lane per pipeline structure and per functional unit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"reese/internal/isa"
+)
+
+// EventKind labels a pipeline lifecycle event. It is shared with
+// package pipeline's line-oriented trace (pipeline.EventKind is an
+// alias of this type).
+type EventKind uint8
+
+// Pipeline lifecycle events.
+const (
+	EvFetch EventKind = iota
+	EvDispatch
+	EvIssue
+	EvWriteback
+	EvEnterRSQ
+	EvDispatchR
+	EvIssueR
+	EvVerify
+	EvCommit
+	EvMispredict
+	EvFaultInjected
+	EvMismatch
+	EvRecovery
+
+	// NumEventKinds sizes per-kind arrays.
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	EvFetch:         "FETCH",
+	EvDispatch:      "DISPATCH",
+	EvIssue:         "ISSUE",
+	EvWriteback:     "WRITEBACK",
+	EvEnterRSQ:      "ENTER-RSQ",
+	EvDispatchR:     "DISPATCH-R",
+	EvIssueR:        "ISSUE-R",
+	EvVerify:        "VERIFY",
+	EvCommit:        "COMMIT",
+	EvMispredict:    "MISPREDICT",
+	EvFaultInjected: "FAULT",
+	EvMismatch:      "MISMATCH",
+	EvRecovery:      "RECOVERY",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one recorded lifecycle point. It is pointer-free and fixed
+// size so the ring buffer is a flat array the GC never scans into.
+type Event struct {
+	Cycle uint64
+	Seq   uint64 // RUU sequence number (0 before dispatch assigns one)
+	PC    uint32
+	Inst  isa.Instruction
+	Kind  EventKind
+	// FU is the functional-unit kind + 1 (0 = no unit involved); Unit
+	// is the instance index within the kind.
+	FU   uint8
+	Unit int16
+}
+
+// Recorder is the ring buffer. Not safe for concurrent use — it
+// belongs to one CPU's cycle loop.
+type Recorder struct {
+	buf     []Event
+	next    int
+	n       int
+	dropped uint64
+}
+
+// NewRecorder allocates a recorder holding the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest when full. O(1), no
+// allocation.
+func (r *Recorder) Record(e Event) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.dropped++
+	}
+}
+
+// Len reports how many events are held.
+func (r *Recorder) Len() int { return r.n }
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int { return len(r.buf) }
+
+// Dropped reports how many events were overwritten by wraparound.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Events returns the held events oldest-first (a copy).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		j := start + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		out = append(out, r.buf[j])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+// Trace lanes (Chrome trace "thread" ids). Functional-unit lanes start
+// at fuLaneBase and encode kind and unit so every physical unit gets
+// its own row.
+const (
+	laneEvents   = 0 // instants: mispredicts, faults, mismatches, recoveries
+	laneFetchQ   = 1 // fetch → dispatch
+	laneWindow   = 2 // dispatch → issue (operand wait + scheduling)
+	laneRSQ      = 3 // RSQ entry → R-dispatch (recheck wait)
+	laneCommit   = 4 // commit instants
+	fuLaneBase   = 16
+	fuLaneStride = 16 // units per kind lane block
+)
+
+// fuKindNames mirrors internal/fu's kind order; obs stays decoupled
+// from that package so the recorder can be tested standalone.
+var fuKindNames = [...]string{"int-alu", "int-mult", "mem-port", "fp-alu", "fp-mult"}
+
+func fuLane(fu uint8, unit int16) int {
+	return fuLaneBase + int(fu-1)*fuLaneStride + int(unit)
+}
+
+func fuLaneName(fu uint8, unit int16) string {
+	kind := "fu"
+	if int(fu-1) < len(fuKindNames) {
+		kind = fuKindNames[fu-1]
+	}
+	return fmt.Sprintf("%s %d", kind, unit)
+}
+
+// chromeEvent is one entry of the trace-event JSON array. Field order
+// matches the Trace Event Format docs; ts/dur are in microseconds,
+// which we map 1:1 to cycles.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// seqState is the per-instruction pairing state the exporter threads
+// between lifecycle events to turn points into duration slices.
+type seqState struct {
+	fetch, dispatch, issue, rsqEnter, rIssue uint64
+	haveFetch, haveDispatch, haveIssue       bool
+	haveRSQEnter, haveRIssue                 bool
+	fu                                       uint8
+	unit                                     int16
+}
+
+// WriteChromeTrace renders the held events as Chrome trace-event JSON
+// ("JSON Object Format"), loadable in Perfetto. One lane per pipeline
+// structure (fetch queue, window, RSQ), one per functional unit, plus
+// instant lanes for commits and notable events. Cycle stamps map to
+// microseconds so a 1-cycle stage shows as 1µs.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events)+8)
+	lanes := map[int]string{
+		laneEvents: "events",
+		laneFetchQ: "fetch-queue",
+		laneWindow: "window",
+		laneCommit: "commit",
+	}
+	states := make(map[uint64]*seqState)
+	st := func(seq uint64) *seqState {
+		s := states[seq]
+		if s == nil {
+			s = &seqState{}
+			states[seq] = s
+		}
+		return s
+	}
+	slice := func(name string, lane int, from, to uint64, args map[string]any) {
+		dur := to - from
+		out = append(out, chromeEvent{
+			Name: name, Ph: "X", Ts: from, Dur: &dur, Pid: 1, Tid: lane, Args: args,
+		})
+	}
+	instant := func(name string, lane int, at uint64, args map[string]any) {
+		out = append(out, chromeEvent{
+			Name: name, Ph: "i", Ts: at, Pid: 1, Tid: lane, S: "t", Args: args,
+		})
+	}
+	for _, e := range events {
+		name := e.Inst.String()
+		args := map[string]any{"seq": e.Seq, "pc": fmt.Sprintf("%#08x", e.PC)}
+		switch e.Kind {
+		case EvFetch:
+			s := st(e.Seq)
+			s.fetch, s.haveFetch = e.Cycle, true
+		case EvDispatch:
+			s := st(e.Seq)
+			if s.haveFetch {
+				slice(name, laneFetchQ, s.fetch, e.Cycle, args)
+			}
+			s.dispatch, s.haveDispatch = e.Cycle, true
+		case EvIssue:
+			s := st(e.Seq)
+			if s.haveDispatch {
+				slice(name, laneWindow, s.dispatch, e.Cycle, args)
+			}
+			s.issue, s.haveIssue = e.Cycle, true
+			s.fu, s.unit = e.FU, e.Unit
+		case EvWriteback:
+			s := st(e.Seq)
+			if s.haveIssue && s.fu > 0 {
+				lane := fuLane(s.fu, s.unit)
+				lanes[lane] = fuLaneName(s.fu, s.unit)
+				slice(name, lane, s.issue, e.Cycle, args)
+			}
+		case EvEnterRSQ:
+			s := st(e.Seq)
+			s.rsqEnter, s.haveRSQEnter = e.Cycle, true
+		case EvDispatchR:
+			s := st(e.Seq)
+			if s.haveRSQEnter {
+				lanes[laneRSQ] = "rsq"
+				slice(name+" (rsq wait)", laneRSQ, s.rsqEnter, e.Cycle, args)
+			}
+		case EvIssueR:
+			s := st(e.Seq)
+			s.rIssue, s.haveRIssue = e.Cycle, true
+			s.fu, s.unit = e.FU, e.Unit
+		case EvVerify:
+			s := st(e.Seq)
+			if s.haveRIssue && s.fu > 0 {
+				lane := fuLane(s.fu, s.unit)
+				lanes[lane] = fuLaneName(s.fu, s.unit)
+				slice(name+" (R)", lane, s.rIssue, e.Cycle, args)
+			}
+		case EvCommit:
+			instant(name, laneCommit, e.Cycle, args)
+		default:
+			instant(e.Kind.String()+" "+name, laneEvents, e.Cycle, args)
+		}
+	}
+
+	// Lane-name metadata, smallest tid first for deterministic output.
+	meta := make([]chromeEvent, 0, len(lanes))
+	for tid := 0; tid < fuLaneBase+len(fuKindNames)*fuLaneStride; tid++ {
+		name, ok := lanes[tid]
+		if !ok {
+			continue
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ms",
+	})
+}

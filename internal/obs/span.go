@@ -1,0 +1,102 @@
+package obs
+
+// Span trees for reese-serve jobs: a lightweight, process-local
+// tracing model (no wire protocol, no sampling) that records where a
+// job's wall-clock time went — queue wait, each attempt, backoff
+// between retries, journal appends, cache lookups. The tree is
+// embedded in the job record and served verbatim from
+// GET /v1/jobs/{id}, so an operator can read a job's whole history
+// from one response.
+//
+// Concurrency: a Span is NOT internally synchronized. The serving
+// layer mutates a job's tree only under the job's lock and hands
+// snapshots (Clone) to readers.
+
+import "time"
+
+// Span is one timed region. End is nil while the region is open.
+type Span struct {
+	Name     string     `json:"name"`
+	Start    time.Time  `json:"start"`
+	End      *time.Time `json:"end,omitempty"`
+	Outcome  string     `json:"outcome,omitempty"`
+	Children []*Span    `json:"children,omitempty"`
+}
+
+// NewSpan opens a root span.
+func NewSpan(name string, at time.Time) *Span {
+	return &Span{Name: name, Start: at}
+}
+
+// StartChild opens and attaches a child span.
+func (s *Span) StartChild(name string, at time.Time) *Span {
+	c := &Span{Name: name, Start: at}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// AddChild attaches an already-finished child region, for work that is
+// measured inline (a journal fsync, a cache probe).
+func (s *Span) AddChild(name string, start, end time.Time, outcome string) *Span {
+	e := end
+	c := &Span{Name: name, Start: start, End: &e, Outcome: outcome}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Finish closes the span with an outcome ("" for uneventful success).
+// Finishing twice keeps the first end time but lets a later, more
+// specific outcome overwrite an empty one.
+func (s *Span) Finish(at time.Time, outcome string) {
+	if s.End == nil {
+		e := at
+		s.End = &e
+	}
+	if s.Outcome == "" {
+		s.Outcome = outcome
+	}
+}
+
+// Duration returns the span's length, using now for open spans.
+func (s *Span) Duration(now time.Time) time.Duration {
+	if s.End != nil {
+		return s.End.Sub(s.Start)
+	}
+	return now.Sub(s.Start)
+}
+
+// Clone deep-copies the tree, so a snapshot can leave the job lock.
+func (s *Span) Clone() *Span {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.End != nil {
+		e := *s.End
+		c.End = &e
+	}
+	if len(s.Children) > 0 {
+		c.Children = make([]*Span, len(s.Children))
+		for i, ch := range s.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return &c
+}
+
+// Find returns the first child (depth-first, including s itself) with
+// the given name, or nil. Test helper more than API.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, ch := range s.Children {
+		if f := ch.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}

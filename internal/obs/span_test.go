@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	root := NewSpan("job run", t0)
+	q := root.StartChild("queue-wait", t0)
+	q.Finish(t0.Add(50*time.Millisecond), "")
+	a := root.StartChild("attempt 1", t0.Add(50*time.Millisecond))
+	root.AddChild("journal-append submit", t0, t0.Add(time.Millisecond), "")
+	a.Finish(t0.Add(250*time.Millisecond), "ok")
+	root.Finish(t0.Add(300*time.Millisecond), "done")
+
+	if d := q.Duration(t0); d != 50*time.Millisecond {
+		t.Fatalf("queue-wait duration %v", d)
+	}
+	if root.Find("attempt 1") != a {
+		t.Fatal("Find missed a child")
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find invented a child")
+	}
+
+	// Finish is first-wins on time, but a later outcome may fill an
+	// empty one.
+	a.Finish(t0.Add(time.Hour), "ignored")
+	if a.End.Sub(t0) != 250*time.Millisecond || a.Outcome != "ok" {
+		t.Fatalf("double finish mutated span: %+v", a)
+	}
+
+	clone := root.Clone()
+	if clone == root || clone.Children[0] == root.Children[0] {
+		t.Fatal("Clone aliases the original")
+	}
+	clone.Children[0].Outcome = "mutated"
+	if root.Children[0].Outcome == "mutated" {
+		t.Fatal("mutating the clone reached the original")
+	}
+
+	// The tree must survive a JSON round trip (it is served verbatim
+	// from GET /v1/jobs/{id} and re-read by the chaos suite).
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Find("queue-wait") == nil || back.Find("attempt 1").Outcome != "ok" {
+		t.Fatalf("round trip lost structure: %s", data)
+	}
+	if back.Find("open-span") != nil {
+		t.Fatal("unexpected child")
+	}
+}
+
+func TestOpenSpanDuration(t *testing.T) {
+	t0 := time.Now()
+	s := NewSpan("open", t0)
+	if d := s.Duration(t0.Add(time.Second)); d != time.Second {
+		t.Fatalf("open duration %v", d)
+	}
+	if s.End != nil {
+		t.Fatal("span closed itself")
+	}
+}

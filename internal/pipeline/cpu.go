@@ -27,6 +27,7 @@ import (
 	"reese/internal/fault"
 	"reese/internal/fu"
 	"reese/internal/mem"
+	"reese/internal/obs"
 	"reese/internal/program"
 	"reese/internal/reese"
 	"reese/internal/ruu"
@@ -50,6 +51,9 @@ type fetchEntry struct {
 	histSnap uint32
 	// bogus marks wrong-path instructions.
 	bogus bool
+	// fetchedAt is the cycle the entry entered the queue, carried so the
+	// flight recorder can backdate the FETCH event at dispatch time.
+	fetchedAt uint64
 }
 
 // CPU is one simulated processor instance. Create with New, run with
@@ -107,8 +111,9 @@ type CPU struct {
 	trScratch emu.Trace
 	wpScratch emu.Trace
 	// dec is prog's pre-decoded text, consulted by wrong-path fetch.
-	dec    *program.DecodedText
-	traceW io.Writer // pipeline event trace sink (nil = off)
+	dec      *program.DecodedText
+	traceW   io.Writer     // pipeline event trace sink (nil = off)
+	recorder *obs.Recorder // flight recorder ring (nil = off)
 
 	cycle        uint64
 	fetchReadyAt uint64 // I-cache miss / redirect gate
@@ -147,11 +152,22 @@ type CPU struct {
 	lastBadPC   uint32
 	lastBadLive bool
 
-	// Stall accounting.
+	// Stall accounting. fetch*/dispatch* are legacy event counters;
+	// stalls is the per-slot attribution matrix (every unused dispatch,
+	// issue, and commit slot charged to exactly one cause per cycle).
 	fetchICacheStallCycles uint64
 	fetchBranchStallCycles uint64
 	dispatchRUUFull        uint64
 	dispatchLSQFull        uint64
+	stalls                 obs.Matrix
+	// Per-cycle attribution scratch, reset in step: dispCause is the
+	// first dispatch-blocking condition seen this cycle; issueNotReady /
+	// issueNoFU record what the issue scans skipped over; commitBlock is
+	// the cause commit() computed for its unused slots.
+	dispCause     obs.StallCause
+	issueNotReady bool
+	issueNoFU     bool
+	commitBlock   obs.StallCause
 
 	// Branch accounting.
 	branches    uint64
@@ -292,6 +308,11 @@ type Result struct {
 	FetchBranchStalls uint64
 	DispatchRUUFull   uint64
 	DispatchLSQFull   uint64
+
+	// Stalls attributes every unused dispatch/issue/commit slot over
+	// the run to one cause (see obs.StallCause; reese-sim -why renders
+	// it as a table).
+	Stalls obs.StallBreakdown
 
 	// ALUUtil etc. are mean functional-unit utilizations over the run.
 	ALUUtil, MultUtil, MemPortUtil float64
@@ -440,12 +461,18 @@ func (c *CPU) reportProgress() {
 
 // step advances one cycle, running stages in reverse pipeline order so
 // every stage sees the previous cycle's state of its upstream neighbour.
+// Each stage reports how many of its slots did work; the remainder is
+// charged to a single stall cause (chargeStalls), so per-cause counts
+// always reconcile against width × cycles.
 func (c *CPU) step() {
-	c.commit()
+	c.dispCause = obs.CauseNone
+	c.issueNotReady, c.issueNoFU = false, false
+	nCommit := c.commit()
 	c.writeback()
-	c.issue()
-	c.dispatch()
+	nIssue := c.issue()
+	nDisp := c.dispatch()
 	c.fetch()
+	c.chargeStalls(nDisp, nIssue, nCommit)
 	if c.rsq != nil {
 		occ := uint64(c.rsq.Len())
 		c.rsqOccSum += occ
@@ -454,6 +481,24 @@ func (c *CPU) step() {
 		}
 	}
 	c.cycle++
+}
+
+// chargeStalls closes the cycle's slot ledger: used slots are banked
+// and every unused slot is charged to the one cause its stage
+// determined. Pure integer arithmetic — no allocation, always on.
+func (c *CPU) chargeStalls(nDisp, nIssue, nCommit int) {
+	c.stalls.Use(obs.SlotDispatch, nDisp)
+	c.stalls.Use(obs.SlotIssue, nIssue)
+	c.stalls.Use(obs.SlotCommit, nCommit)
+	if nDisp < c.cfg.Width {
+		c.stalls.Charge(obs.SlotDispatch, c.dispatchCause(), c.cfg.Width-nDisp)
+	}
+	if nIssue < c.cfg.IssueWidth {
+		c.stalls.Charge(obs.SlotIssue, c.issueCause(), c.cfg.IssueWidth-nIssue)
+	}
+	if nCommit < c.cfg.Width {
+		c.stalls.Charge(obs.SlotCommit, c.commitBlock, c.cfg.Width-nCommit)
+	}
 }
 
 // Cycle returns the current cycle number.
@@ -523,6 +568,11 @@ func (c *CPU) result() Result {
 		res.DetectionLatencyMean = c.detectLat.Mean()
 		res.DetectionLatencyMax = c.detectLat.Max()
 	}
+	res.Stalls = c.stalls.Breakdown(c.cycle, [obs.NumSlotClasses]int{
+		obs.SlotDispatch: c.cfg.Width,
+		obs.SlotIssue:    c.cfg.IssueWidth,
+		obs.SlotCommit:   c.cfg.Width,
+	})
 	res.Mix = c.mix()
 	return res
 }

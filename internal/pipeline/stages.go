@@ -7,6 +7,7 @@ import (
 	"reese/internal/fault"
 	"reese/internal/fu"
 	"reese/internal/isa"
+	"reese/internal/obs"
 	"reese/internal/program"
 	"reese/internal/reese"
 	"reese/internal/ruu"
@@ -111,7 +112,7 @@ func (c *CPU) fetch() {
 				return
 			}
 		}
-		fe := c.fetchQPush(fetchEntry{tr: *tr, bogus: c.wrongPath})
+		fe := c.fetchQPush(fetchEntry{tr: *tr, bogus: c.wrongPath, fetchedAt: c.cycle})
 		c.traceEvent(EvFetch, tr, "")
 		if c.wrongPath {
 			c.wpFetched++
@@ -133,6 +134,9 @@ func (c *CPU) fetch() {
 						c.traceEvent(EvMispredict, tr, "fetching down the wrong path")
 					} else {
 						c.traceEvent(EvMispredict, tr, "fetch stalled until resolution")
+					}
+					if c.recorder != nil {
+						c.record(obs.EvMispredict, 0, tr, 0, -1)
 					}
 				}
 				return
@@ -286,23 +290,49 @@ const rReserve = 2
 // head of the R-stream Queue (paper §4.3): P normally has priority, but
 // once RSQ occupancy crosses the high-water mark the R stream goes
 // first so the queue drains.
-func (c *CPU) dispatch() {
+func (c *CPU) dispatch() int {
 	rFirst := c.rsq != nil && c.rsq.PressureHigh()
 	if rFirst {
 		c.rsq.NotePriorityCycle()
 	}
+	moved := 0
 	for n := 0; n < c.cfg.Width; n++ {
 		if rFirst {
 			if c.dispatchR() || c.dispatchP() {
+				moved++
 				continue
 			}
-			return
+			break
 		}
 		if c.dispatchP() || (c.rsq != nil && c.dispatchR()) {
+			moved++
 			continue
 		}
-		return
+		break
 	}
+	return moved
+}
+
+// noteDispatchBlock records the first structural reason dispatch
+// stopped this cycle, for the slot-attribution matrix. The first
+// blocker wins: it is what actually ended the dispatch group.
+func (c *CPU) noteDispatchBlock(cause obs.StallCause) {
+	if c.dispCause == obs.CauseNone {
+		c.dispCause = cause
+	}
+}
+
+// dispatchCause resolves where this cycle's unused dispatch slots went:
+// a recorded structural block, otherwise an empty front end (or the
+// post-halt drain).
+func (c *CPU) dispatchCause() obs.StallCause {
+	if c.dispCause != obs.CauseNone {
+		return c.dispCause
+	}
+	if c.oracleDone && c.fetchLen == 0 && !c.hasPending && c.replayHead >= len(c.replayQ) {
+		return obs.CauseDrain
+	}
+	return obs.CauseFetchEmpty
 }
 
 // windowFree returns the number of unoccupied window slots. P-stream
@@ -322,6 +352,7 @@ func (c *CPU) dispatchP() bool {
 	free := c.windowFree()
 	if free <= 0 || (c.rsq != nil && free <= rReserve) || c.ruu.Full() {
 		c.dispatchRUUFull++
+		c.noteDispatchBlock(obs.CauseDispatchRUUFull)
 		return false
 	}
 	fe := *c.fetchQFront()
@@ -338,10 +369,12 @@ func (c *CPU) dispatchP() bool {
 		isMem := fe.tr.Inst.Op.IsMem()
 		if c.windowFree() < 2 || c.ruu.Cap()-c.ruu.Len() < 2 {
 			c.dispatchRUUFull++
+			c.noteDispatchBlock(obs.CauseDispatchRUUFull)
 			return false
 		}
 		if isMem && c.lsq.Cap()-c.lsq.Len() < 2 {
 			c.dispatchLSQFull++
+			c.noteDispatchBlock(obs.CauseDispatchLSQFull)
 			return false
 		}
 	}
@@ -349,6 +382,7 @@ func (c *CPU) dispatchP() bool {
 	if fe.tr.Inst.Op.IsMem() {
 		if c.lsq.Full() {
 			c.dispatchLSQFull++
+			c.noteDispatchBlock(obs.CauseDispatchLSQFull)
 			return false
 		}
 		le := c.lsq.Dispatch(fe.tr, c.ruu.NextSeq())
@@ -361,6 +395,12 @@ func (c *CPU) dispatchP() bool {
 	c.fetchQPop()
 	if c.traceW != nil {
 		c.traceEvent(EvDispatch, &e.Trace, fmt.Sprintf("seq=%d", e.Seq))
+	}
+	if c.recorder != nil {
+		// The fetch event is backdated to queue entry: its sequence
+		// number only exists now.
+		c.recordAt(fe.fetchedAt, obs.EvFetch, e.Seq, &e.Trace, 0, -1)
+		c.record(obs.EvDispatch, e.Seq, &e.Trace, 0, -1)
 	}
 	if needDup {
 		dupLSQ := ruu.NoProducer
@@ -388,12 +428,16 @@ func (c *CPU) dispatchR() bool {
 	}
 	if c.windowFree() <= 0 {
 		c.dispatchRUUFull++
+		c.noteDispatchBlock(obs.CauseDispatchRUUFull)
 		return false
 	}
 	c.rLive++
 	c.rsq.MarkDispatched(e)
 	if c.traceW != nil {
 		c.traceEvent(EvDispatchR, &e.Trace, fmt.Sprintf("qseq=%d", e.QSeq))
+	}
+	if c.recorder != nil {
+		c.record(obs.EvDispatchR, e.Seq, &e.Trace, 0, -1)
 	}
 	return true
 }
@@ -406,17 +450,41 @@ func (c *CPU) dispatchR() bool {
 // instructions have priority; R-stream copies fill the remaining slots
 // — unless the R-stream Queue has crossed its high-water mark, in which
 // case the priorities invert so the queue drains (paper §4.3).
-func (c *CPU) issue() {
+func (c *CPU) issue() int {
 	budget := c.cfg.IssueWidth
 	if c.rsq != nil && c.rsq.PressureHigh() {
 		c.issueR(&budget)
 		c.issueP(&budget)
-		return
+		return c.cfg.IssueWidth - budget
 	}
 	c.issueP(&budget)
 	if c.rsq != nil {
 		c.issueR(&budget)
 	}
+	return c.cfg.IssueWidth - budget
+}
+
+// issueCause resolves where this cycle's unused issue slots went. A
+// functional-unit shortage outranks operand waits — it is the signal
+// REESE's spare elements act on; with neither recorded the window is
+// either all in flight (execution latency) or empty (front end).
+func (c *CPU) issueCause() obs.StallCause {
+	if c.issueNoFU {
+		return obs.CauseIssueNoFU
+	}
+	if c.issueNotReady {
+		return obs.CauseIssueWait
+	}
+	if c.ruu.Len() > 0 || c.rLive > 0 {
+		return obs.CauseExecLatency
+	}
+	if c.fetchLen > 0 {
+		return obs.CauseFetchEmpty
+	}
+	if c.oracleDone && !c.hasPending && c.replayHead >= len(c.replayQ) {
+		return obs.CauseDrain
+	}
+	return obs.CauseFetchEmpty
 }
 
 // issueP issues ready P-stream instructions from the RUU, oldest first.
@@ -425,7 +493,11 @@ func (c *CPU) issueP(budget *int) {
 		if *budget <= 0 {
 			return false
 		}
-		if e.Issued || !c.ruu.OperandsReady(e, c.cycle) {
+		if e.Issued {
+			return true
+		}
+		if !c.ruu.OperandsReady(e, c.cycle) {
+			c.issueNotReady = true
 			return true
 		}
 		op := e.Trace.Inst.Op
@@ -435,6 +507,7 @@ func (c *CPU) issueP(budget *int) {
 			// hardware would access speculative state we don't model).
 			unit, ok := c.pool.AcquireUnit(fu.MemPort, c.cycle, op.IssueLatency())
 			if !ok {
+				c.issueNoFU = true
 				return true
 			}
 			e.FUKind, e.FUUnit = uint8(fu.MemPort), unit
@@ -449,18 +522,24 @@ func (c *CPU) issueP(budget *int) {
 		case op.IsLoad():
 			switch c.lsq.CheckLoad(e.LSQSeq) {
 			case ruu.LoadBlocked:
-				return true // wait for earlier store addresses
+				// Waiting for earlier store addresses: a readiness wait,
+				// not an FU shortage.
+				c.issueNotReady = true
+				return true
 			case ruu.LoadForward:
 				// Store-to-load forwarding inside the LSQ: 1 cycle, no
-				// cache port needed.
+				// cache port needed. The port fields are still stamped
+				// (unit -1) so the recorder lanes stay truthful.
 				le := c.lsq.Get(e.LSQSeq)
 				le.Issued = true
 				le.Forwarded = true
+				e.FUKind, e.FUUnit = uint8(fu.MemPort), -1
 				c.markIssued(e, c.cycle+1)
 				*budget--
 			case ruu.LoadFromCache:
 				unit, ok := c.pool.AcquireUnit(fu.MemPort, c.cycle, op.IssueLatency())
 				if !ok {
+					c.issueNoFU = true
 					return true
 				}
 				e.FUKind, e.FUUnit = uint8(fu.MemPort), unit
@@ -472,6 +551,7 @@ func (c *CPU) issueP(budget *int) {
 		case op.IsStore():
 			unit, ok := c.pool.AcquireUnit(fu.MemPort, c.cycle, op.IssueLatency())
 			if !ok {
+				c.issueNoFU = true
 				return true
 			}
 			e.FUKind, e.FUUnit = uint8(fu.MemPort), unit
@@ -489,6 +569,7 @@ func (c *CPU) issueP(budget *int) {
 			kind := fu.KindFor(op.Class())
 			unit, ok := c.pool.AcquireUnit(kind, c.cycle, op.IssueLatency())
 			if !ok {
+				c.issueNoFU = true
 				return true
 			}
 			e.FUKind, e.FUUnit = uint8(kind), unit
@@ -505,6 +586,9 @@ func (c *CPU) markIssued(e *ruu.Entry, doneAt uint64) {
 	e.DoneAt = doneAt
 	if c.traceW != nil {
 		c.traceEvent(EvIssue, &e.Trace, fmt.Sprintf("done@%d", doneAt))
+	}
+	if c.recorder != nil {
+		c.record(obs.EvIssue, e.Seq, &e.Trace, e.FUKind+1, int16(e.FUUnit))
 	}
 }
 
@@ -530,6 +614,7 @@ func (c *CPU) issueR(budget *int) {
 		case op.IsLoad():
 			unit, ok := c.pool.AcquireUnit(fu.MemPort, c.cycle, op.IssueLatency())
 			if !ok {
+				c.issueNoFU = true
 				return true
 			}
 			rUnit = unit
@@ -540,6 +625,7 @@ func (c *CPU) issueR(budget *int) {
 		case op.IsStore():
 			unit, ok := c.pool.AcquireUnit(fu.MemPort, c.cycle, op.IssueLatency())
 			if !ok {
+				c.issueNoFU = true
 				return true
 			}
 			rUnit = unit
@@ -551,6 +637,7 @@ func (c *CPU) issueR(budget *int) {
 			kind := fu.KindFor(op.Class())
 			unit, ok := c.pool.AcquireUnit(kind, c.cycle, op.IssueLatency())
 			if !ok {
+				c.issueNoFU = true
 				return true
 			}
 			rKind, rUnit = kind, unit
@@ -563,6 +650,9 @@ func (c *CPU) issueR(budget *int) {
 		c.rsq.MarkIssued(e, c.cycle, doneAt)
 		if c.traceW != nil {
 			c.traceEvent(EvIssueR, &e.Trace, fmt.Sprintf("done@%d", doneAt))
+		}
+		if c.recorder != nil {
+			c.record(obs.EvIssueR, e.Seq, &e.Trace, uint8(rKind)+1, int16(rUnit))
 		}
 		*budget--
 		return true
@@ -584,6 +674,9 @@ func (c *CPU) writeback() {
 		}
 		e.Completed = true
 		c.traceEvent(EvWriteback, &e.Trace, "")
+		if c.recorder != nil {
+			c.record(obs.EvWriteback, e.Seq, &e.Trace, e.FUKind+1, int16(e.FUUnit))
+		}
 		if e.Bogus {
 			// Wrong-path completions update nothing architectural: no
 			// predictor training, no fault injection.
@@ -611,6 +704,9 @@ func (c *CPU) writeback() {
 			if c.traceW != nil {
 				c.traceEvent(EvFaultInjected, &e.Trace, fmt.Sprintf("bit %d", e.FaultBit))
 			}
+			if c.recorder != nil {
+				c.record(obs.EvFaultInjected, e.Seq, &e.Trace, 0, -1)
+			}
 		}
 		return true
 	})
@@ -630,9 +726,15 @@ func (c *CPU) writeback() {
 		if !c.rsq.Compare(e) {
 			bad = e
 			c.traceEvent(EvMismatch, &e.Trace, "comparator hit: soft error detected")
+			if c.recorder != nil {
+				c.record(obs.EvMismatch, e.Seq, &e.Trace, e.RKind+1, int16(e.RUnit))
+			}
 			return false // recovery flushes everything anyway
 		}
 		c.traceEvent(EvVerify, &e.Trace, "")
+		if c.recorder != nil {
+			c.record(obs.EvVerify, e.Seq, &e.Trace, e.RKind+1, int16(e.RUnit))
+		}
 		return true
 	})
 	if bad != nil {
@@ -701,36 +803,99 @@ func (c *CPU) squashWrongPath(branch *ruu.Entry) {
 // Commit
 // ---------------------------------------------------------------------
 
-// commit retires instructions in program order. Baseline machines retire
-// directly from the RUU head. REESE machines retire verified
-// instructions from the R-stream Queue head and refill the queue from
-// the RUU head (this is the only place a full RSQ back-pressures the
-// P stream).
-func (c *CPU) commit() {
-	if c.dupMode {
-		c.commitDup()
-		return
+// commit retires instructions in program order, returning how many
+// commit slots did work this cycle. Baseline machines retire directly
+// from the RUU head. REESE machines retire verified instructions from
+// the R-stream Queue head and refill the queue from the RUU head (this
+// is the only place a full RSQ back-pressures the P stream). When
+// slots go unused, the blocking cause is resolved from the machine
+// state the moment commit gave up — before writeback and issue mutate
+// it — and charged in chargeStalls at the end of the cycle.
+func (c *CPU) commit() int {
+	var used int
+	switch {
+	case c.dupMode:
+		used = c.commitDup()
+	case c.rsq == nil:
+		used = c.commitBaseline()
+	default:
+		used = c.commitReese()
 	}
-	if c.rsq == nil {
-		c.commitBaseline()
-		return
+	if used < c.cfg.Width {
+		c.commitBlock = c.commitCause()
+	} else {
+		c.commitBlock = obs.CauseNone
 	}
+	return used
+}
 
+// commitCause inspects the oldest blocked instruction and names the one
+// thing stopping commit — top-down accounting in the style of the
+// paper's utilization figures. Precedence runs back-to-front: an
+// unverified RSQ head outranks anything upstream; an empty machine
+// blames the front end (or the post-halt drain).
+func (c *CPU) commitCause() obs.StallCause {
+	if c.done || c.permError {
+		return obs.CauseDrain
+	}
+	if c.rsq != nil && !c.rsq.Empty() {
+		// The RSQ head has not been verified yet. When the queue is also
+		// full it is crammed faster than the R stream can drain it — the
+		// paper's overflow condition (§4.3) — which is the actionable
+		// signal, so it takes the charge.
+		if c.rsq.Full() {
+			return obs.CauseRSQFull
+		}
+		return obs.CauseRecheckPending
+	}
+	if c.ruu.Empty() {
+		if c.fetchLen == 0 && c.oracleDone && !c.hasPending && c.replayHead >= len(c.replayQ) {
+			return obs.CauseDrain
+		}
+		return obs.CauseFetchEmpty
+	}
+	h := c.ruu.Head()
+	if !h.Issued {
+		if c.ruu.OperandsReady(h, c.cycle) {
+			// Ready but never picked: every unit of its class was busy
+			// (or, for loads, the LSQ blocked disambiguation).
+			return obs.CauseIssueNoFU
+		}
+		return obs.CauseIssueWait
+	}
+	if !h.Completed || h.DoneAt > c.cycle {
+		return obs.CauseExecLatency
+	}
+	// Head latched its result but could not move on. In dup mode it
+	// waits for its duplicate; under REESE a latched head failing to
+	// enter the queue means the refill loop hit a full RSQ.
+	if c.rsq != nil {
+		return obs.CauseRSQFull
+	}
+	return obs.CauseExecLatency
+}
+
+func (c *CPU) commitReese() int {
 	// Retire verified instructions from the RSQ head. Their LSQ entries
 	// were already released when they entered the RSQ: the queue entry
 	// carries the operands and result, and unverified stores forward to
 	// younger loads from there (the paper's extra forwarding hardware,
 	// §4.3).
+	used := 0
 	for n := 0; n < c.cfg.Width && !c.rsq.Empty(); n++ {
 		h := c.rsq.Head()
 		if !h.Verified {
 			break
 		}
 		e := c.rsq.RetireHead()
+		used++
 		c.traceEvent(EvCommit, &e.Trace, "verified")
+		if c.recorder != nil {
+			c.record(obs.EvCommit, e.Seq, &e.Trace, 0, -1)
+		}
 		c.retire(e.Trace, false, e.HasFault())
 		if c.done {
-			return
+			return used
 		}
 	}
 
@@ -752,6 +917,9 @@ func (c *CPU) commit() {
 			c.lsq.RemoveHead()
 		}
 		c.traceEvent(EvEnterRSQ, &e.Trace, "")
+		if c.recorder != nil {
+			c.record(obs.EvEnterRSQ, e.Seq, &e.Trace, 0, -1)
+		}
 		c.rsq.Enqueue(reese.Entry{
 			Seq:         e.Seq,
 			Trace:       e.Trace,
@@ -764,9 +932,11 @@ func (c *CPU) commit() {
 			LSQSeq:      e.LSQSeq,
 		}, c.cycle)
 	}
+	return used
 }
 
-func (c *CPU) commitBaseline() {
+func (c *CPU) commitBaseline() int {
+	used := 0
 	for n := 0; n < c.cfg.Width && !c.ruu.Empty(); n++ {
 		h := c.ruu.Head()
 		if !h.Completed || h.DoneAt > c.cycle {
@@ -779,22 +949,28 @@ func (c *CPU) commitBaseline() {
 			// before leaving the window.
 			panic(fmt.Sprintf("pipeline: bogus instruction reached commit: seq=%d pc=%#x %s", e.Seq, e.Trace.PC, e.Trace.Inst))
 		}
+		used++
 		c.traceEvent(EvCommit, &e.Trace, "")
+		if c.recorder != nil {
+			c.record(obs.EvCommit, e.Seq, &e.Trace, 0, -1)
+		}
 		c.retire(e.Trace, e.LSQSeq != ruu.NoProducer, e.HasFault())
 		if c.done {
-			return
+			break
 		}
 	}
+	return used
 }
 
 // commitDup retires (original, duplicate) pairs in order, comparing the
 // two executions' latched outcomes — the Franklin [24] scheme the paper
 // positions REESE against. Both halves consume commit bandwidth.
-func (c *CPU) commitDup() {
+func (c *CPU) commitDup() int {
+	used := 0
 	for n := 0; n+1 < c.cfg.Width && c.ruu.Len() >= 2; n += 2 {
 		h := c.ruu.Head()
 		if !h.Completed || h.DoneAt > c.cycle {
-			return
+			return used
 		}
 		if h.Bogus {
 			// Should be unreachable (squash precedes commit), but a
@@ -806,13 +982,13 @@ func (c *CPU) commitDup() {
 			panic(fmt.Sprintf("pipeline: dup pairing broken at seq %d", h.Seq))
 		}
 		if !d.Completed || d.DoneAt > c.cycle {
-			return
+			return used
 		}
 		match := h.ResultP == d.ResultP && h.NextPCP == d.NextPCP &&
 			h.AddrP == d.AddrP && h.StoreValueP == d.StoreValueP
 		if !match {
 			c.onMismatchDup(h, d)
-			return
+			return used
 		}
 		// A fault that corrupted BOTH copies identically (a common-mode
 		// or permanent fault hitting the same computation twice) passes
@@ -826,12 +1002,17 @@ func (c *CPU) commitDup() {
 			c.lsq.RemoveHead()
 			c.lsq.RemoveHead() // the duplicate's entry is adjacent
 		}
+		used += 2 // both halves of the pair consume commit bandwidth
 		c.traceEvent(EvCommit, &e.Trace, "pair verified")
+		if c.recorder != nil {
+			c.record(obs.EvCommit, e.Seq, &e.Trace, 0, -1)
+		}
 		c.retire(e.Trace, false, commonMode)
 		if c.done {
-			return
+			return used
 		}
 	}
+	return used
 }
 
 // onMismatchDup handles a failed pair comparison: account the
@@ -839,6 +1020,9 @@ func (c *CPU) commitDup() {
 func (c *CPU) onMismatchDup(orig, dup *ruu.Entry) {
 	c.detected++
 	c.traceEvent(EvMismatch, &orig.Trace, "pair comparator hit")
+	if c.recorder != nil {
+		c.record(obs.EvMismatch, orig.Seq, &orig.Trace, 0, -1)
+	}
 	switch {
 	case orig.HasFault():
 		c.detectLat.Add(c.cycle - orig.FaultCycle)
@@ -922,6 +1106,10 @@ func (c *CPU) recover(faultSeq uint64) {
 	c.recoveries++
 	if c.traceW != nil {
 		fmt.Fprintf(c.traceW, "%8d RECOVERY   flush + replay from seq %d\n", c.cycle, faultSeq)
+	}
+	if c.recorder != nil {
+		tr := emu.Trace{PC: c.lastBadPC}
+		c.record(obs.EvRecovery, faultSeq, &tr, 0, -1)
 	}
 
 	// Rebuild the replay queue into the spare buffer, then swap the two

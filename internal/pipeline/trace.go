@@ -5,56 +5,41 @@ package pipeline
 // issue, writeback, RSQ entry, R-dispatch, verify, commit, recovery) to
 // an io.Writer, letting a developer watch instructions move through the
 // machine cycle by cycle.
+//
+// The event vocabulary is shared with the flight recorder
+// (internal/obs.Recorder): the same lifecycle points feed both the
+// line-oriented trace and the ring buffer, and both are nil-gated so a
+// run with neither enabled pays only a pointer test per event site.
 
 import (
 	"fmt"
 	"io"
 
 	"reese/internal/emu"
+	"reese/internal/obs"
 )
 
-// EventKind labels a pipeline trace event.
-type EventKind uint8
+// EventKind labels a pipeline trace event. It is an alias of
+// obs.EventKind so the trace and the flight recorder share one
+// vocabulary.
+type EventKind = obs.EventKind
 
-// Pipeline trace events.
+// Pipeline trace events, re-exported for compatibility.
 const (
-	EvFetch EventKind = iota
-	EvDispatch
-	EvIssue
-	EvWriteback
-	EvEnterRSQ
-	EvDispatchR
-	EvIssueR
-	EvVerify
-	EvCommit
-	EvMispredict
-	EvFaultInjected
-	EvMismatch
-	EvRecovery
+	EvFetch         = obs.EvFetch
+	EvDispatch      = obs.EvDispatch
+	EvIssue         = obs.EvIssue
+	EvWriteback     = obs.EvWriteback
+	EvEnterRSQ      = obs.EvEnterRSQ
+	EvDispatchR     = obs.EvDispatchR
+	EvIssueR        = obs.EvIssueR
+	EvVerify        = obs.EvVerify
+	EvCommit        = obs.EvCommit
+	EvMispredict    = obs.EvMispredict
+	EvFaultInjected = obs.EvFaultInjected
+	EvMismatch      = obs.EvMismatch
+	EvRecovery      = obs.EvRecovery
 )
-
-var eventNames = [...]string{
-	EvFetch:         "FETCH",
-	EvDispatch:      "DISPATCH",
-	EvIssue:         "ISSUE",
-	EvWriteback:     "WRITEBACK",
-	EvEnterRSQ:      "ENTER-RSQ",
-	EvDispatchR:     "DISPATCH-R",
-	EvIssueR:        "ISSUE-R",
-	EvVerify:        "VERIFY",
-	EvCommit:        "COMMIT",
-	EvMispredict:    "MISPREDICT",
-	EvFaultInjected: "FAULT",
-	EvMismatch:      "MISMATCH",
-	EvRecovery:      "RECOVERY",
-}
-
-func (k EventKind) String() string {
-	if int(k) < len(eventNames) {
-		return eventNames[k]
-	}
-	return fmt.Sprintf("event(%d)", uint8(k))
-}
 
 // SetTrace directs pipeline event lines to w (nil disables tracing).
 // Call before Run; tracing large runs produces a lot of output.
@@ -70,4 +55,37 @@ func (c *CPU) traceEvent(kind EventKind, tr *emu.Trace, detail string) {
 		return
 	}
 	fmt.Fprintf(c.traceW, "%8d %-10s %#08x %s\n", c.cycle, kind, tr.PC, tr.Inst.String())
+}
+
+// SetRecorder arms the flight recorder: every lifecycle event is also
+// appended to r's ring buffer (fixed cost, no allocation). Call before
+// Run; nil disarms. Dump with r.WriteChromeTrace after the run.
+func (c *CPU) SetRecorder(r *obs.Recorder) { c.recorder = r }
+
+// Recorder returns the armed flight recorder (nil when off).
+func (c *CPU) Recorder() *obs.Recorder { return c.recorder }
+
+// record appends one flight-recorder event stamped with the current
+// cycle. Callers on the hot path guard with `c.recorder != nil` first,
+// like the traceW gate, so the disabled cost is one pointer test.
+func (c *CPU) record(kind obs.EventKind, seq uint64, tr *emu.Trace, fuKind uint8, unit int16) {
+	c.recordAt(c.cycle, kind, seq, tr, fuKind, unit)
+}
+
+// recordAt is record with an explicit cycle stamp — used to backdate
+// the fetch event to the cycle the instruction actually entered the
+// fetch queue (its sequence number only exists from dispatch on).
+func (c *CPU) recordAt(cycle uint64, kind obs.EventKind, seq uint64, tr *emu.Trace, fuKind uint8, unit int16) {
+	if c.recorder == nil {
+		return
+	}
+	c.recorder.Record(obs.Event{
+		Cycle: cycle,
+		Seq:   seq,
+		PC:    tr.PC,
+		Inst:  tr.Inst,
+		Kind:  kind,
+		FU:    fuKind,
+		Unit:  unit,
+	})
 }

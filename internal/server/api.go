@@ -13,6 +13,7 @@ import (
 
 	"reese/internal/config"
 	"reese/internal/harness"
+	"reese/internal/obs"
 	"reese/internal/workload"
 )
 
@@ -166,6 +167,10 @@ type JobView struct {
 	// Result is the kind-specific payload (RunPayload, FigurePayload,
 	// FaultsPayload), present once State is "done".
 	Result json.RawMessage `json:"result,omitempty"`
+	// Spans is the job's trace: a root span from submit to terminal
+	// state with a child per phase (queue-wait, attempt N, backoff N,
+	// journal appends), each carrying start/end times and an outcome.
+	Spans *obs.Span `json:"spans,omitempty"`
 }
 
 // AttemptView is one execution attempt of a job: when it ran and, if it

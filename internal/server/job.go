@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"reese/internal/obs"
 )
 
 // JobState is a job's position in its lifecycle.
@@ -115,6 +117,13 @@ type Job struct {
 	watchdogKilled bool
 	lastProgress   uint64
 	lastProgressAt time.Time
+	// spans is the job's trace: a root span covering submit→terminal
+	// with a child per phase (queue-wait, each attempt, backoff, journal
+	// appends). waitSpan/backoffSpan point at the currently open phase.
+	// All three are guarded by mu; snapshots deep-Clone.
+	spans       *obs.Span
+	waitSpan    *obs.Span
+	backoffSpan *obs.Span
 }
 
 // snapshot returns a consistent JobView of the current state.
@@ -153,6 +162,9 @@ func (j *Job) snapshot() JobView {
 	if j.state == StateRetrying && !j.nextRetry.IsZero() {
 		t := j.nextRetry
 		v.NextRetry = &t
+	}
+	if j.spans != nil {
+		v.Spans = j.spans.Clone()
 	}
 	return v
 }
@@ -231,6 +243,11 @@ type jobRunner struct {
 	completed *counterFamily
 	simInsts  *Counter
 	fail      *failureCounters
+	// queueWait observes how long each run of a job sat queued before a
+	// worker picked it up; attemptSecs observes attempt wall time by
+	// outcome (ok, panic, watchdog, deadline, canceled, error).
+	queueWait   *Histogram
+	attemptSecs *histogramFamily
 
 	// svcEWMA tracks mean attempt seconds, feeding the Retry-After
 	// estimate on 503 (load shedding with an honest hint).
@@ -254,6 +271,10 @@ func newJobRunner(rootCtx context.Context, cfg runnerConfig, jl *journal, log *s
 		completed: m.CounterFamily("reese_serve_jobs_completed_total", "Jobs finished, by kind and terminal state.", "kind", "state"),
 		simInsts:  m.Counter("reese_serve_sim_insts_total", "Committed simulated instructions across all jobs (rate() of this is sim-insts/s)."),
 		fail:      newFailureCounters(m),
+		queueWait: m.HistogramFamily("reese_serve_job_queue_wait_seconds",
+			"Time a job spent queued before a worker picked it up (per attempt cycle).", DefaultLatencyBounds).With(),
+		attemptSecs: m.HistogramFamily("reese_serve_job_attempt_seconds",
+			"Job attempt wall time, by outcome.", DefaultLatencyBounds, "outcome"),
 	}
 	m.Gauge("reese_serve_jobs_queued", "Jobs waiting in the queue.", func() float64 { return float64(r.queued.Load()) })
 	m.Gauge("reese_serve_jobs_running", "Jobs currently simulating.", func() float64 { return float64(r.running.Load()) })
@@ -299,6 +320,7 @@ func (r *jobRunner) submit(kind, cacheKey string, rawReq json.RawMessage, timeou
 		created:    time.Now(),
 	}
 	j.ctx, j.cancel = context.WithCancel(r.rootCtx)
+	j.spans = obs.NewSpan("job "+kind, j.created)
 
 	r.mu.Lock()
 	if r.draining {
@@ -309,8 +331,13 @@ func (r *jobRunner) submit(kind, cacheKey string, rawReq json.RawMessage, timeou
 	// Journal the submit before the job becomes runnable, so a start
 	// record can never precede its submit in the log. The fsync happens
 	// under the registry lock: throughput bows to durability here.
+	jstart := time.Now()
 	r.journalAppend(journalRecord{T: recSubmit, Job: j.ID, Kind: kind, Key: cacheKey,
 		Req: rawReq, TimeoutMS: timeout.Milliseconds()})
+	if r.journal != nil {
+		j.spans.AddChild("journal-append submit", jstart, time.Now(), "")
+	}
+	j.waitSpan = j.spans.StartChild("queue-wait", time.Now())
 	select {
 	case r.queue <- j:
 	default:
@@ -350,6 +377,9 @@ func (r *jobRunner) complete(kind, cacheKey string, payload json.RawMessage) *Jo
 		finalized: true,
 		payload:   payload,
 	}
+	j.spans = obs.NewSpan("job "+kind, j.created)
+	j.spans.AddChild("cache-lookup", j.created, j.finished, "hit")
+	j.spans.Finish(j.finished, string(StateDone))
 	close(j.done)
 	r.mu.Lock()
 	r.jobs[j.ID] = j
@@ -394,6 +424,12 @@ func (r *jobRunner) adoptReplayed(rj replayedJob, run runFunc) *Job {
 		// it restarts from the queue with a fresh retry budget.
 		j.state = StateQueued
 		j.ctx, j.cancel = context.WithCancel(r.rootCtx)
+		// The pre-crash span tree is gone with the process; start a fresh
+		// one marking where it came from.
+		now := time.Now()
+		j.spans = obs.NewSpan("job "+rj.Kind, now)
+		j.spans.AddChild("journal-replay", rj.Created, now, "")
+		j.waitSpan = j.spans.StartChild("queue-wait", now)
 	}
 	r.mu.Lock()
 	if !j.state.terminal() {
@@ -504,6 +540,17 @@ func (r *jobRunner) finalize(j *Job, state JobState, errMsg string, out *jobOutp
 	if out != nil {
 		j.payload = out.payload
 	}
+	if j.waitSpan != nil {
+		j.waitSpan.Finish(j.finished, "")
+		j.waitSpan = nil
+	}
+	if j.backoffSpan != nil {
+		j.backoffSpan.Finish(j.finished, "")
+		j.backoffSpan = nil
+	}
+	if j.spans != nil {
+		j.spans.Finish(j.finished, string(state))
+	}
 	attempts := len(j.attempts)
 	j.mu.Unlock()
 
@@ -545,6 +592,15 @@ func (r *jobRunner) runJob(j *Job) {
 	j.lastProgress = j.progress.Load()
 	j.lastProgressAt = now
 	j.attempts = append(j.attempts, AttemptView{Number: attemptNo, Started: now})
+	if j.waitSpan != nil {
+		j.waitSpan.Finish(now, "")
+		r.queueWait.Observe(j.waitSpan.Duration(now).Seconds())
+		j.waitSpan = nil
+	}
+	var attSpan *obs.Span
+	if j.spans != nil {
+		attSpan = j.spans.StartChild(fmt.Sprintf("attempt %d", attemptNo), now)
+	}
 	j.mu.Unlock()
 
 	r.journalAppend(journalRecord{T: recStart, Job: j.ID, Attempt: attemptNo})
@@ -570,27 +626,50 @@ func (r *jobRunner) runJob(j *Job) {
 		j.mu.Unlock()
 	}
 
+	// Classify the attempt once; the outcome labels the attempt span and
+	// the latency histogram, and drives the retry decision below.
 	var pe *panicError
+	outcome := "ok"
 	switch {
 	case err == nil:
-		r.finalize(j, StateDone, "", &out)
 	case errors.As(err, &pe):
+		outcome = "panic"
+	case j.ctx.Err() != nil:
+		outcome = "canceled"
+	case watchdogKilled:
+		outcome = "watchdog"
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome = "deadline"
+	default:
+		outcome = "error"
+	}
+	if attSpan != nil {
+		j.mu.Lock()
+		attSpan.Finish(finished, outcome)
+		j.mu.Unlock()
+	}
+	r.attemptSecs.With(outcome).Observe(finished.Sub(now).Seconds())
+
+	switch outcome {
+	case "ok":
+		r.finalize(j, StateDone, "", &out)
+	case "panic":
 		r.fail.panicked.Inc()
 		cause := pe.Error()
 		closeAttempt(cause, pe.stack)
 		r.retryOrFail(j, attemptNo, cause)
-	case j.ctx.Err() != nil:
+	case "canceled":
 		// The whole job was cancelled (DELETE, disconnected waiter,
 		// shutdown) — terminal, never retried.
 		closeAttempt(err.Error(), "")
 		r.finalize(j, StateCanceled, err.Error(), nil)
-	case watchdogKilled:
+	case "watchdog":
 		r.fail.watchdogKills.Inc()
 		cause := fmt.Sprintf("watchdog: no progress for %s at %d committed insts",
 			r.cfg.watchdogStall, j.progress.Load())
 		closeAttempt(cause, "")
 		r.retryOrFail(j, attemptNo, cause)
-	case errors.Is(err, context.DeadlineExceeded):
+	case "deadline":
 		r.fail.deadlineExceeded.Inc()
 		cause := fmt.Sprintf("deadline: attempt exceeded %s: %v", j.timeout, err)
 		closeAttempt(cause, "")
@@ -645,6 +724,9 @@ func (r *jobRunner) retryOrFail(j *Job, attemptNo int, cause string) {
 	j.state = StateRetrying
 	j.errMsg = cause
 	j.nextRetry = time.Now().Add(delay)
+	if j.spans != nil {
+		j.backoffSpan = j.spans.StartChild(fmt.Sprintf("backoff %d", attemptNo), time.Now())
+	}
 	j.mu.Unlock()
 	r.fail.retried.Inc()
 	r.journalAppend(journalRecord{T: recRetry, Job: j.ID, Attempt: attemptNo, Cause: cause})
@@ -698,6 +780,14 @@ func (r *jobRunner) scheduleRetry(j *Job, delay time.Duration) {
 		}
 		j.state = StateQueued
 		j.nextRetry = time.Time{}
+		now := time.Now()
+		if j.backoffSpan != nil {
+			j.backoffSpan.Finish(now, "")
+			j.backoffSpan = nil
+		}
+		if j.spans != nil {
+			j.waitSpan = j.spans.StartChild("queue-wait", now)
+		}
 		j.mu.Unlock()
 		select {
 		case r.queue <- j:

@@ -10,10 +10,12 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric (one child of a family,
@@ -182,6 +184,43 @@ func newFailureCounters(m *Metrics) *failureCounters {
 		journalReplayed: m.Counter("reese_serve_journal_replayed_jobs_total",
 			"Unfinished jobs re-enqueued from the journal at startup."),
 	}
+}
+
+// memSampler caches runtime.ReadMemStats between scrapes:
+// ReadMemStats stops the world, so a scrape storm must not turn the
+// metrics endpoint into a GC-pressure amplifier.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (s *memSampler) stats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.at) > time.Second {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+	}
+	return s.ms
+}
+
+// registerRuntimeMetrics exposes Go runtime health — goroutine count,
+// heap in use, and cumulative GC cost — alongside the serving metrics,
+// so a leak or GC death spiral shows up on the same dashboard as queue
+// depth.
+func registerRuntimeMetrics(m *Metrics) {
+	s := &memSampler{}
+	m.Gauge("go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	m.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects (sampled at most once per second).",
+		func() float64 { return float64(s.stats().HeapAlloc) })
+	m.Gauge("go_heap_objects", "Number of allocated heap objects (sampled at most once per second).",
+		func() float64 { return float64(s.stats().HeapObjects) })
+	m.Gauge("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(s.stats().PauseTotalNs) / 1e9 })
+	m.Gauge("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(s.stats().NumGC) })
 }
 
 // DefaultLatencyBounds are the upper bounds (seconds) for request

@@ -226,6 +226,23 @@ func New(cfg Config) (*Server, error) {
 
 	s.metrics.Gauge("reese_serve_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
+	registerRuntimeMetrics(s.metrics)
+
+	// Log the effective configuration (defaults applied) once at
+	// startup, so an operator can read what the process is actually
+	// running with without reverse-engineering flags and defaults.
+	cfg.Logger.Info("reese-serve configured",
+		"workers", cfg.Workers,
+		"queue_depth", cfg.QueueDepth,
+		"cache_entries", cfg.CacheEntries,
+		"max_jobs", cfg.MaxJobs,
+		"journal", cfg.JournalPath,
+		"job_timeout", cfg.JobTimeout.String(),
+		"max_timeout", cfg.MaxTimeout.String(),
+		"max_retries", cfg.MaxRetries,
+		"watchdog_stall", cfg.WatchdogStall.String(),
+		"max_insts", cfg.Limits.MaxInsts,
+		"grid_parallel", s.gridParallel)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.submitHandler("run")))

@@ -579,6 +579,13 @@ func TestMetricsExposition(t *testing.T) {
 		"# TYPE reese_serve_http_request_duration_seconds histogram",
 		`reese_serve_http_requests_total{path="/v1/run",code="200"} 1`,
 		`reese_serve_http_request_duration_seconds_bucket{path="/v1/run",le="+Inf"} 1`,
+		"# TYPE reese_serve_job_queue_wait_seconds histogram",
+		"reese_serve_job_queue_wait_seconds_count 1",
+		"# TYPE reese_serve_job_attempt_seconds histogram",
+		`reese_serve_job_attempt_seconds_count{outcome="ok"} 1`,
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_alloc_bytes gauge",
+		"# TYPE go_gc_pause_seconds_total gauge",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q", want)
@@ -593,6 +600,61 @@ func TestMetricsExposition(t *testing.T) {
 	// can overshoot by a cycle's worth.
 	if insts == 0 || insts > testInsts+64 {
 		t.Errorf("sim_insts_total %d, want (0, %d]", insts, testInsts+64)
+	}
+}
+
+// TestJobSpans locks the span tree served from GET /v1/jobs/{id}: a
+// completed job carries a closed root span with a queue-wait child and
+// one attempt child per execution, outcomes filled in; a cache hit
+// carries its cache-lookup span instead.
+func TestJobSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req := RunRequest{Workload: "perl", Insts: testInsts}
+	v := postJSON(t, ts.URL+"/v1/run?wait=120s", req)
+	if v.State != StateDone {
+		t.Fatalf("run finished %q: %s", v.State, v.Error)
+	}
+	if v.Spans == nil {
+		t.Fatal("done job has no span tree")
+	}
+	if v.Spans.Name != "job run" || v.Spans.End == nil || v.Spans.Outcome != string(StateDone) {
+		t.Errorf("root span %q end=%v outcome=%q, want closed 'job run' with outcome done",
+			v.Spans.Name, v.Spans.End, v.Spans.Outcome)
+	}
+	qw := v.Spans.Find("queue-wait")
+	if qw == nil || qw.End == nil {
+		t.Errorf("queue-wait span missing or open: %+v", qw)
+	}
+	att := v.Spans.Find("attempt 1")
+	if att == nil || att.End == nil || att.Outcome != "ok" {
+		t.Errorf("attempt 1 span missing/open/mislabeled: %+v", att)
+	}
+	if att != nil && qw != nil && att.Start.Before(qw.Start) {
+		t.Error("attempt started before the job was queued")
+	}
+
+	// The same spans must come back on a later poll (snapshot clones,
+	// not aliases).
+	polled := getJob(t, ts.URL, v.ID)
+	if polled.Spans == nil || polled.Spans.Find("attempt 1") == nil {
+		t.Error("polled job view lost its span tree")
+	}
+
+	// A cache hit is a different trace: no queue-wait, a cache-lookup
+	// child with outcome "hit".
+	hit := postJSON(t, ts.URL+"/v1/run?wait=120s", req)
+	if !hit.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	if hit.Spans == nil {
+		t.Fatal("cached job has no span tree")
+	}
+	if cl := hit.Spans.Find("cache-lookup"); cl == nil || cl.Outcome != "hit" {
+		t.Errorf("cache-lookup span missing or mislabeled: %+v", cl)
+	}
+	if hit.Spans.Find("queue-wait") != nil {
+		t.Error("cached job claims to have waited in the queue")
 	}
 }
 
