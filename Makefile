@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults claims serve chaos fuzz clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke claims serve chaos fuzz clean
 
 all: build test
 
@@ -48,6 +48,12 @@ figures:
 
 faults:
 	$(GO) run ./cmd/reese-faults
+
+# Fault-model gate: a small seeded campaign that fails unless every
+# injection is classified, result-target faults are 100% detected, and
+# no in-sphere fault hangs the machine (see DESIGN §13).
+faults-smoke:
+	$(GO) run ./cmd/reese-faults -smoke
 
 # Run the HTTP simulation service (see README "Serving" and DESIGN §10).
 serve:

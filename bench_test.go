@@ -129,7 +129,12 @@ func BenchmarkFigure7(b *testing.B) {
 
 func BenchmarkFaultCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := harness.Campaign(config.Starting().WithReese(), "gcc", 10_000, benchOptions())
+		r, err := harness.Campaign(harness.CampaignSpec{
+			Workload:   "gcc",
+			Machine:    config.Starting().WithReese(),
+			Injections: 40,
+			Seed:       1,
+		}, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

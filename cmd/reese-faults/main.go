@@ -1,20 +1,28 @@
-// Command reese-faults runs fault-injection campaigns: transient bit
-// flips into P-stream results, measuring REESE's coverage, detection
-// latency, and recovery cost against the undefended baseline.
+// Command reese-faults runs statistical fault-injection campaigns:
+// seeded random samples over (victim instruction, target structure, bit
+// position), each injected run classified against an uninjected golden
+// execution as detected, recovered, SDC, masked, or hang — with
+// per-structure coverage and Wilson 95% confidence intervals.
 //
 // Usage:
 //
-//	reese-faults                       # all six workloads, REESE vs baseline
-//	reese-faults -workload li          # one workload, detailed
-//	reese-faults -interval 2000        # denser faults
+//	reese-faults                         # all six workloads, REESE vs baseline
+//	reese-faults -workload li -n 1000    # one workload, 1000 injections
+//	reese-faults -structures result,fetch-pc
+//	reese-faults -jsonl trials.jsonl     # stream per-trial records
+//	reese-faults -smoke                  # tiny seeded campaign with assertions
+//	reese-faults -grid                   # sweep all 32 bit positions at one point
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"reese/internal/config"
+	"reese/internal/fault"
 	"reese/internal/harness"
 )
 
@@ -25,64 +33,229 @@ func main() {
 func run() int {
 	var (
 		workloadName = flag.String("workload", "", "single workload (default: all six)")
-		interval     = flag.Uint64("interval", 10_000, "instructions between injected faults")
-		insts        = flag.Uint64("insts", 150_000, "committed-instruction budget")
+		injections   = flag.Int("n", 400, "injections per campaign")
+		seed         = flag.Uint64("seed", 1, "campaign seed (same seed = byte-identical results)")
+		structures   = flag.String("structures", "", "comma-separated fault structures (default: all for the machine)")
+		targetInsts  = flag.Uint64("target-insts", 0, "approximate golden-run length in instructions (0 = default)")
+		jsonOut      = flag.Bool("json", false, "emit campaign reports as JSON instead of tables")
+		jsonlPath    = flag.String("jsonl", "", "stream per-trial JSONL records to this file (\"-\" = stdout)")
+		parallel     = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		smoke        = flag.Bool("smoke", false, "tiny seeded campaign; exits non-zero unless in-sphere coverage is 100% with no hangs")
 		grid         = flag.Bool("grid", false, "sweep all 32 bit positions at one injection point")
 		gridAt       = flag.Uint64("grid-at", 5_000, "injection point (instruction #) for -grid")
 	)
 	flag.Parse()
-	opt := harness.Options{Insts: *insts}
+	opt := harness.Options{Parallel: *parallel}
 
-	if *grid {
-		w := *workloadName
-		if w == "" {
-			w = "gcc"
-		}
-		cells, err := harness.BitGrid(config.Starting().WithReese(), w, *gridAt, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "reese-faults:", err)
-			return 1
-		}
-		fmt.Println(harness.BitGridTable(cells))
-		missed := 0
-		for _, c := range cells {
-			if !c.Detected {
-				missed++
-			}
-		}
-		fmt.Printf("%d/32 bit positions detected\n", 32-missed)
-		if missed > 0 {
-			return 3
-		}
-		return 0
+	structs, err := parseStructures(*structures)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-faults:", err)
+		return 2
 	}
 
+	if *grid {
+		return runGrid(*workloadName, *gridAt, opt)
+	}
+	if *smoke {
+		return runSmoke(*seed, opt)
+	}
+
+	workloads := []string{*workloadName}
 	if *workloadName == "" {
-		tbl, _, err := harness.CampaignAll(*interval, opt)
+		// No single workload selected: run the full REESE-vs-baseline
+		// comparison across all six.
+		tbl, reports, err := harness.CampaignAll(*injections, *seed, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reese-faults:", err)
 			return 1
+		}
+		if *jsonOut {
+			return emitJSON(reports)
 		}
 		fmt.Println(tbl)
 		return 0
 	}
 
-	for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
-		r, err := harness.Campaign(cfg, *workloadName, *interval, opt)
-		if err != nil {
+	var reports []harness.CampaignReport
+	for _, w := range workloads {
+		for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
+			spec := harness.CampaignSpec{
+				Workload:    w,
+				Machine:     cfg,
+				Injections:  *injections,
+				Seed:        *seed,
+				TargetInsts: *targetInsts,
+			}
+			if len(structs) > 0 {
+				spec.Structures = usable(structs, cfg)
+			}
+			r, err := harness.Campaign(spec, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reese-faults:", err)
+				return 1
+			}
+			reports = append(reports, *r)
+		}
+	}
+	if *jsonlPath != "" {
+		if err := writeJSONL(*jsonlPath, reports); err != nil {
 			fmt.Fprintln(os.Stderr, "reese-faults:", err)
 			return 1
 		}
-		fmt.Printf("%s on %s:\n", r.Workload, r.Config)
-		fmt.Printf("  injected:   %d\n", r.Injected)
-		fmt.Printf("  detected:   %d (coverage %.1f%%)\n", r.Detected, r.Coverage*100)
-		fmt.Printf("  silent:     %d\n", r.Silent)
-		fmt.Printf("  recoveries: %d\n", r.Recovered)
-		if r.Detected > 0 {
-			fmt.Printf("  detection latency: mean %.1f, p95 %d, max %d cycles\n",
-				r.DetectionLatencyMean, r.DetectionLatencyP95, r.DetectionLatencyMax)
+	}
+	if *jsonOut {
+		return emitJSON(reports)
+	}
+	for i := range reports {
+		fmt.Println(reports[i].Table())
+		if reports[i].Detected+reports[i].Recovered > 0 {
+			fmt.Printf("detection latency: mean %.1f, p95 %d, max %d cycles\n\n",
+				reports[i].DetectionLatencyMean, reports[i].DetectionLatencyP95, reports[i].DetectionLatencyMax)
 		}
-		fmt.Printf("  IPC: clean %.3f, under faults %.3f\n\n", r.CleanIPC, r.FaultyIPC)
+	}
+	return 0
+}
+
+// parseStructures turns "result,fetch-pc" into fault structures.
+func parseStructures(s string) ([]fault.Struct, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []fault.Struct
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		st, ok := fault.ParseStruct(name)
+		if !ok {
+			var have []string
+			for _, k := range fault.Structures(true) {
+				have = append(have, k.String())
+			}
+			return nil, fmt.Errorf("unknown structure %q (have %s)", name, strings.Join(have, ", "))
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// usable drops RSQ-only structures when cfg has no R-stream Queue, so
+// one -structures list works for both halves of the comparison.
+func usable(structs []fault.Struct, cfg config.Machine) []fault.Struct {
+	rsq := cfg.Reese.Enabled && cfg.Reese.Mode != config.ModeDupDispatch
+	var out []fault.Struct
+	for _, st := range structs {
+		if st.NeedsRSQ() && !rsq {
+			continue
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		// Only RSQ structures were requested and this machine has none;
+		// fall back to the result structure so the campaign is non-empty.
+		out = []fault.Struct{fault.StructResult}
+	}
+	return out
+}
+
+func emitJSON(reports []harness.CampaignReport) int {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		fmt.Fprintln(os.Stderr, "reese-faults:", err)
+		return 1
+	}
+	return 0
+}
+
+func writeJSONL(path string, reports []harness.CampaignReport) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for i := range reports {
+		if err := reports[i].WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSmoke is the CI gate: a small seeded campaign on the REESE machine
+// asserting the invariants the fault model promises — every injection
+// classified (counts sum to injected), 100% coverage for result-target
+// faults, and no in-sphere fault able to hang the machine.
+func runSmoke(seed uint64, opt harness.Options) int {
+	rep, err := harness.Campaign(harness.CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting().WithReese(),
+		Injections: 120,
+		Seed:       seed,
+	}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-faults:", err)
+		return 1
+	}
+	fmt.Println(rep.Table())
+	failed := false
+	if got := rep.Total(); got != rep.Injected {
+		fmt.Fprintf(os.Stderr, "FAIL: outcome counts sum to %d, want %d injected\n", got, rep.Injected)
+		failed = true
+	}
+	for _, s := range rep.Structures {
+		if s.Structure == fault.StructResult.String() && s.Coverage < 1 {
+			fmt.Fprintf(os.Stderr, "FAIL: result-structure coverage %.1f%%, want 100%%\n", s.Coverage*100)
+			failed = true
+		}
+		if s.InSphere && s.SDC > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: in-sphere structure %s let %d faults through as SDC\n", s.Structure, s.SDC)
+			failed = true
+		}
+		if s.InSphere && s.Hang > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: in-sphere structure %s hung %d runs\n", s.Structure, s.Hang)
+			failed = true
+		}
+	}
+	if failed {
+		return 3
+	}
+	fmt.Println("smoke OK: all injections classified, result coverage 100%, no in-sphere SDC or hangs")
+	return 0
+}
+
+func runGrid(workloadName string, gridAt uint64, opt harness.Options) int {
+	w := workloadName
+	if w == "" {
+		w = "gcc"
+	}
+	// Say which workload the grid runs on — an unset -workload used to
+	// silently mean gcc.
+	fmt.Printf("bit grid: workload %s, injection at instruction %d\n", w, gridAt)
+	cells, err := harness.BitGrid(config.Starting().WithReese(), w, gridAt, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-faults:", err)
+		return 1
+	}
+	fmt.Println(harness.BitGridTable(cells))
+	missed, notFired := 0, 0
+	for _, c := range cells {
+		switch {
+		case c.NotFired:
+			notFired++
+		case !c.Detected:
+			missed++
+		}
+	}
+	if notFired > 0 {
+		fmt.Fprintf(os.Stderr, "reese-faults: %d/32 injections never fired (is -grid-at %d beyond the program's end?)\n", notFired, gridAt)
+		return 3
+	}
+	fmt.Printf("%d/32 bit positions detected\n", 32-missed)
+	if missed > 0 {
+		return 3
 	}
 	return 0
 }

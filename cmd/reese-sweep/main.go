@@ -142,9 +142,9 @@ func run() int {
 		}
 		return emit(harness.Figure7Table(points), nil)
 	case "faults":
-		tbl, results, err := harness.CampaignAll(10_000, opt)
+		tbl, reports, err := harness.CampaignAll(200, 1, opt)
 		if *asJSON {
-			return emitJSON(results, err)
+			return emitJSON(reports, err)
 		}
 		return emit(tbl, err)
 	case "ablations":

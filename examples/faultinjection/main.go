@@ -48,14 +48,21 @@ func main() {
 		res.FaultsDetected, res.FaultsInjected, res.Recoveries, res.IPC)
 	fmt.Printf("program still completed %d instructions correctly\n", res.Committed)
 
-	// The structured campaign API compares clean and faulty runs.
+	// The statistical campaign API samples faults over (instruction,
+	// structure, bit) and classifies each against a golden run.
 	fmt.Println("\n== campaign (REESE vs baseline on vortex) ==")
 	for _, cfg := range []reese.Config{reese.StartingConfig().WithReese(), reese.StartingConfig()} {
-		c, err := reese.Campaign(cfg, "vortex", 10_000, reese.DefaultOptions())
+		c, err := reese.Campaign(reese.CampaignSpec{
+			Workload:   "vortex",
+			Machine:    cfg,
+			Injections: 60,
+			Seed:       7,
+		}, reese.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-28s coverage %.0f%%  clean IPC %.3f  faulty IPC %.3f\n",
-			c.Config, c.Coverage*100, c.CleanIPC, c.FaultyIPC)
+		fmt.Printf("%-28s coverage %.0f%% [%.0f%%, %.0f%%]  detected=%d recovered=%d sdc=%d masked=%d hang=%d\n",
+			c.Config, c.Coverage*100, c.CoverageLo*100, c.CoverageHi*100,
+			c.Detected, c.Recovered, c.SDC, c.Masked, c.Hang)
 	}
 }

@@ -33,6 +33,10 @@ type Machine struct {
 	halted bool
 	icount uint64
 	output []byte
+
+	// Running digest of the committed-store sequence (see Digest).
+	storeHash  uint64
+	storeCount uint64
 }
 
 // New loads prog into a fresh machine. The stack pointer starts at
@@ -42,7 +46,7 @@ func New(prog *program.Program) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{prog: prog, dec: prog.Decoded(), mem: mem, pc: prog.Entry}
+	m := &Machine{prog: prog, dec: prog.Decoded(), mem: mem, pc: prog.Entry, storeHash: DigestSeed}
 	m.regs[isa.RegSP] = program.StackTop
 	return m, nil
 }
@@ -50,7 +54,7 @@ func New(prog *program.Program) (*Machine, error) {
 // NewWithMemory wraps existing architectural state (used by the pipeline
 // to share a memory image with its oracle).
 func NewWithMemory(prog *program.Program, mem *program.Memory) *Machine {
-	m := &Machine{prog: prog, dec: prog.Decoded(), mem: mem, pc: prog.Entry}
+	m := &Machine{prog: prog, dec: prog.Decoded(), mem: mem, pc: prog.Entry, storeHash: DigestSeed}
 	m.regs[isa.RegSP] = program.StackTop
 	return m
 }
@@ -176,6 +180,8 @@ func (m *Machine) Step() (Trace, error) {
 		if err := m.mem.Write(tr.Addr, tr.MemWidth, tr.B); err != nil {
 			return Trace{}, fmt.Errorf("emu: at pc %#08x (%s): %w", m.pc, in, err)
 		}
+		m.storeHash = MixStore(m.storeHash, tr.Addr, tr.MemWidth, tr.B)
+		m.storeCount++
 	case in.Op.IsBranch():
 		tr.Taken = isa.BranchTaken(in.Op, tr.A, tr.B)
 		if tr.Taken {

@@ -1,13 +1,14 @@
-// Package fault injects soft errors into the simulated pipeline: single
-// bit flips in the outcome of a P-stream instruction, the fault model
-// the REESE paper assumes (arbitrary short-lived transients that affect
-// an instruction's result, §2 and §4.2).
-//
-// An Injector is consulted by the pipeline when a P-stream instruction
-// completes execution; if it fires, the latched result (the value that
-// would be written back and carried into the R-stream Queue) has one bit
-// flipped. REESE detects the corruption at the comparator; a baseline
-// machine silently propagates it.
+// Package fault injects soft errors into the simulated pipeline. The
+// original REESE model (§2, §4.2) is a single bit flip in the latched
+// outcome of a P-stream instruction — exactly the fault the R-stream
+// comparator catches by construction. This package generalizes that to a
+// structure-addressed model: an Injection names the microarchitectural
+// structure the transient lands in, and the pipeline exposes a narrow
+// hook at each site. Structures inside the sphere of replication
+// (latched results, LSQ entries, RSQ operand copies) are covered by the
+// comparator; structures outside it (the architectural register file
+// after commit, the fetch PC, the comparator itself) are not — measuring
+// that boundary is the point of a campaign.
 package fault
 
 import "reese/internal/emu"
@@ -15,23 +16,114 @@ import "reese/internal/emu"
 // NoBit is the FaultBit value meaning "no fault".
 const NoBit uint8 = 255
 
-// Target selects which latched outcome of an instruction a fault
-// corrupts.
-type Target uint8
+// Struct names the microarchitectural structure a fault corrupts.
+type Struct uint8
 
-// Fault targets.
+// Fault target structures. StructResult is the zero value so legacy
+// Injection literals keep their meaning (a latched-result flip).
 const (
-	// TargetResult flips a bit in the destination-register value (or the
-	// next-PC for branches/jumps, the store value for stores).
-	TargetResult Target = iota
-	// TargetAddress flips a bit in a load/store effective address.
-	TargetAddress
+	// StructResult flips a bit in the latched P-stream outcome: the
+	// destination-register value, or the next-PC for result-less control
+	// transfers, or the store value for stores. In-sphere: the paper's
+	// original model.
+	StructResult Struct = iota
+	// StructLSQAddr flips a bit in a load/store effective address held in
+	// the LSQ. In-sphere: the R-stream recomputes the address.
+	StructLSQAddr
+	// StructLSQStoreData flips a bit in the store data held in the LSQ
+	// until commit. In-sphere: the comparator checks store values.
+	StructLSQStoreData
+	// StructRegFile flips a bit in one architectural register after
+	// commit. Outside the sphere: both streams read the same corrupted
+	// value, so they agree on wrong results.
+	StructRegFile
+	// StructFetchPC flips a bit in the fetch PC. Outside the sphere: both
+	// streams execute the same wrong instruction path.
+	StructFetchPC
+	// StructRSQOperand flips a bit in an operand value copied into the
+	// R-stream Queue at enqueue. The P-stream used the clean value, so the
+	// recomputation diverges and the comparator fires — unless the flip is
+	// logically masked (e.g. a branch whose direction is unchanged).
+	StructRSQOperand
+	// StructRSQResult flips a bit in the P-stream outcome stored in the
+	// RSQ awaiting comparison — the copy that both feeds the comparator
+	// and commits after verification. The recomputation disagrees with
+	// it, so the fault is detected and recovery replays the clean trace.
+	StructRSQResult
+	// StructComparator disables one bit lane of the comparator while
+	// corrupting that bit of the checked value — a fault in the checker
+	// itself. Outside the sphere: the corruption commits unchecked.
+	StructComparator
+
+	// NumStructs counts the structures above.
+	NumStructs
 )
 
-// Injection describes one fault to apply.
+var structNames = [NumStructs]string{
+	"result", "lsq-addr", "lsq-store-data", "regfile", "fetch-pc",
+	"rsq-operand", "rsq-result", "comparator",
+}
+
+// String returns the campaign-table name of the structure.
+func (s Struct) String() string {
+	if s < NumStructs {
+		return structNames[s]
+	}
+	return "unknown"
+}
+
+// ParseStruct maps a structure name (as printed by String) back to its
+// value.
+func ParseStruct(name string) (Struct, bool) {
+	for i, n := range structNames {
+		if n == name {
+			return Struct(i), true
+		}
+	}
+	return 0, false
+}
+
+// InSphere reports whether the structure lies inside REESE's sphere of
+// replication, i.e. whether the comparator is expected to observe a
+// corruption there. Campaign smoke tests assert 100% coverage only for
+// in-sphere structures.
+func (s Struct) InSphere() bool {
+	switch s {
+	case StructResult, StructLSQAddr, StructLSQStoreData, StructRSQOperand, StructRSQResult:
+		return true
+	}
+	return false
+}
+
+// NeedsRSQ reports whether the structure only exists on a machine with
+// an R-stream Queue (REESE mode).
+func (s Struct) NeedsRSQ() bool {
+	switch s {
+	case StructRSQOperand, StructRSQResult, StructComparator:
+		return true
+	}
+	return false
+}
+
+// Structures returns the fault targets that exist on a machine,
+// depending on whether it has an R-stream Queue.
+func Structures(rsq bool) []Struct {
+	out := make([]Struct, 0, int(NumStructs))
+	for s := Struct(0); s < NumStructs; s++ {
+		if s.NeedsRSQ() && !rsq {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Injection describes one fault applied at the writeback latch site.
 type Injection struct {
+	Struct Struct
 	Bit    uint8
-	Target Target
+	// Reg selects the victim register for StructRegFile.
+	Reg uint8
 }
 
 // Injector decides, per completing P-stream instruction, whether to
@@ -43,18 +135,189 @@ type Injector interface {
 	Decide(seq uint64, tr emu.Trace) (Injection, bool)
 }
 
+// ArchState is the slice of architectural state an oracle-site fault can
+// corrupt. *emu.Machine implements it.
+type ArchState interface {
+	// CorruptPC XORs mask into the fetch PC.
+	CorruptPC(mask uint32)
+	// CorruptReg XORs mask into register r (r0 stays hardwired to zero).
+	CorruptReg(r uint8, mask uint32)
+}
+
+// RSQCorruption describes a fault landing in an R-stream Queue entry at
+// enqueue time. Masks are XORed into the stored copies; CompIgnoreMask
+// blinds the comparator to those bit lanes (a checker fault). Operand
+// masks corrupt only the RSQ's operand copies — the architectural values
+// the P-stream used stay clean, so recovery replay is exact.
+type RSQCorruption struct {
+	OperandAMask   uint32
+	OperandBMask   uint32
+	ResultMask     uint32
+	NextPCMask     uint32
+	AddrMask       uint32
+	StoreMask      uint32
+	CompIgnoreMask uint32
+	Bit            uint8
+}
+
+// SiteInjector extends Injector with the structure-addressed hook sites.
+// The pipeline type-asserts its injector once at construction; plain
+// Injectors only see the writeback latch site.
+type SiteInjector interface {
+	Injector
+	// OracleStep is called before each oracle instruction executes, with
+	// the oracle's instruction count; a fired fault corrupts architectural
+	// state directly (regfile, fetch PC).
+	OracleStep(icount uint64, arch ArchState) bool
+	// RSQEnqueue is called as each instruction's entry is appended to the
+	// R-stream Queue; a fired fault corrupts the stored copies.
+	RSQEnqueue(seq uint64, tr emu.Trace) (RSQCorruption, bool)
+}
+
 // None never injects. The zero value is ready to use.
 type None struct{}
 
 // Decide implements Injector.
 func (None) Decide(uint64, emu.Trace) (Injection, bool) { return Injection{}, false }
 
+// ComparatorObserves reports whether the RSQ comparator has anything to
+// check for tr: a register result, a store value, or a control-transfer
+// target. halt/out have no comparable outcome. Campaign victim sampling
+// uses this to aim comparable-outcome faults at eligible instructions.
+func ComparatorObserves(tr emu.Trace) bool {
+	op := tr.Inst.Op
+	return tr.HasResult || op.IsStore() || op.IsControl()
+}
+
+// AtStruct injects one fault into structure Struct at the first eligible
+// victim instruction at or after sequence number Seq. "Eligible" depends
+// on the structure (a store-data fault needs a store, an address fault a
+// memory op, a comparable-outcome fault an instruction the comparator
+// observes); skipping forward keeps the injector robust when Seq points
+// at an ineligible instruction. Oracle-site structures key on the
+// oracle's instruction count instead of the dispatch sequence.
+type AtStruct struct {
+	Struct Struct
+	Seq    uint64
+	Bit    uint8
+	// Reg is the victim register for StructRegFile (r0 never fires).
+	Reg uint8
+
+	fired    bool
+	firedSeq uint64
+}
+
+// Fired reports whether the fault has been injected.
+func (a *AtStruct) Fired() bool { return a.fired }
+
+// FiredSeq returns the sequence number (or oracle instruction count) the
+// fault actually landed on; valid only once Fired.
+func (a *AtStruct) FiredSeq() uint64 { return a.firedSeq }
+
+func (a *AtStruct) mask() uint32 { return 1 << (a.Bit % 32) }
+
+// Decide implements the writeback latch site (result, LSQ address, LSQ
+// store data).
+func (a *AtStruct) Decide(seq uint64, tr emu.Trace) (Injection, bool) {
+	if a.fired || seq < a.Seq {
+		return Injection{}, false
+	}
+	op := tr.Inst.Op
+	switch a.Struct {
+	case StructResult:
+		if !ComparatorObserves(tr) {
+			return Injection{}, false
+		}
+	case StructLSQAddr:
+		if !op.IsMem() {
+			return Injection{}, false
+		}
+	case StructLSQStoreData:
+		if !op.IsStore() {
+			return Injection{}, false
+		}
+	default:
+		return Injection{}, false
+	}
+	a.fired = true
+	a.firedSeq = seq
+	return Injection{Struct: a.Struct, Bit: a.Bit % 32}, true
+}
+
+// OracleStep implements the architectural site (regfile, fetch PC).
+func (a *AtStruct) OracleStep(icount uint64, arch ArchState) bool {
+	if a.fired || icount < a.Seq {
+		return false
+	}
+	switch a.Struct {
+	case StructFetchPC:
+		arch.CorruptPC(a.mask())
+	case StructRegFile:
+		if a.Reg%32 == 0 {
+			return false // r0 is hardwired; nothing to corrupt
+		}
+		arch.CorruptReg(a.Reg%32, a.mask())
+	default:
+		return false
+	}
+	a.fired = true
+	a.firedSeq = icount
+	return true
+}
+
+// RSQEnqueue implements the RSQ site (operand copy, stored P-result,
+// comparator lane).
+func (a *AtStruct) RSQEnqueue(seq uint64, tr emu.Trace) (RSQCorruption, bool) {
+	var c RSQCorruption
+	if a.fired || seq < a.Seq || !ComparatorObserves(tr) {
+		return c, false
+	}
+	m := a.mask()
+	c.Bit = a.Bit % 32
+	op := tr.Inst.Op
+	switch a.Struct {
+	case StructRSQOperand:
+		// Corrupt whichever operand slot the instruction actually reads;
+		// when it reads both, the bit's parity picks one.
+		r1, r2 := op.ReadsRs1(), op.ReadsRs2()
+		switch {
+		case r1 && r2 && a.Bit&1 == 1:
+			c.OperandBMask = m
+		case r2 && !r1:
+			c.OperandBMask = m
+		default:
+			c.OperandAMask = m
+		}
+	case StructRSQResult, StructComparator:
+		// Corrupt the stored copy of whatever field the comparator checks
+		// for this instruction kind.
+		switch {
+		case tr.HasResult:
+			c.ResultMask = m
+		case op.IsStore():
+			c.StoreMask = m
+		default: // result-less control transfer
+			c.NextPCMask = m
+		}
+		if a.Struct == StructComparator {
+			// A dead comparator lane: the same bit is corrupted AND excluded
+			// from the comparison, so the corruption sails through.
+			c.CompIgnoreMask = m
+		}
+	default:
+		return RSQCorruption{}, false
+	}
+	a.fired = true
+	a.firedSeq = seq
+	return c, true
+}
+
 // AtSeq injects a single fault into the instruction with the given
 // sequence number. The zero Bit flips bit 0.
 type AtSeq struct {
 	Seq    uint64
 	Bit    uint8
-	Target Target
+	Struct Struct
 
 	fired bool
 }
@@ -65,7 +328,7 @@ func (a *AtSeq) Decide(seq uint64, tr emu.Trace) (Injection, bool) {
 		return Injection{}, false
 	}
 	a.fired = true
-	return Injection{Bit: a.Bit % 32, Target: a.Target}, true
+	return Injection{Bit: a.Bit % 32, Struct: a.Struct}, true
 }
 
 // Fired reports whether the fault has been injected.
@@ -81,7 +344,7 @@ func (a *AtSeq) Fired() bool { return a.fired }
 type Window struct {
 	Lo, Hi uint64
 	Bit    uint8
-	Target Target
+	Struct Struct
 
 	seq   uint64
 	fired bool
@@ -118,7 +381,7 @@ func (w *Window) Decide(seq uint64, tr emu.Trace) (Injection, bool) {
 		return Injection{}, false
 	}
 	w.fired = true
-	return Injection{Bit: w.Bit % 32, Target: w.Target}, true
+	return Injection{Bit: w.Bit % 32, Struct: w.Struct}, true
 }
 
 // Periodic injects a fault every Interval instructions, cycling through
@@ -213,10 +476,48 @@ func (s StuckUnit) Hits(kind uint8, unit int) bool {
 	return unit >= 0 && s.Kind == kind && s.Unit == unit
 }
 
+// Outcome classifies one injected run against its golden reference.
+// Every injection lands in exactly one outcome.
+type Outcome uint8
+
+// Outcomes, in classification-precedence order: a hang trumps
+// detection (the machine never finished), detection splits into
+// recovered/not by final-state agreement, and undetected runs split
+// into masked/SDC the same way.
+const (
+	// OutcomeDetected: the comparator fired but the run did not end in
+	// the golden architectural state (detection without clean recovery).
+	OutcomeDetected Outcome = iota
+	// OutcomeRecovered: detected, recovered, and the final state matches
+	// the golden run exactly — REESE's full success path.
+	OutcomeRecovered
+	// OutcomeSDC: silent data corruption — no detection, final state
+	// differs from golden.
+	OutcomeSDC
+	// OutcomeMasked: no detection and no architectural effect; the flip
+	// was logically or microarchitecturally masked.
+	OutcomeMasked
+	// OutcomeHang: the no-commit watchdog terminated the run.
+	OutcomeHang
+
+	// NumOutcomes counts the outcomes above.
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{"detected", "recovered", "sdc", "masked", "hang"}
+
+// String returns the campaign-table name of the outcome.
+func (o Outcome) String() string {
+	if o < NumOutcomes {
+		return outcomeNames[o]
+	}
+	return "unknown"
+}
+
 // Apply corrupts the latched P-stream outcomes of tr according to inj,
 // returning the corrupted (result, nextPC, addr, storeValue) tuple. The
-// faulted field depends on the instruction kind, mirroring where a
-// transient in the datapath would land.
+// faulted field depends on the target structure and instruction kind,
+// mirroring where a transient in the datapath would land.
 func Apply(inj Injection, tr emu.Trace) (result, nextPC, addr, storeValue uint32) {
 	result = tr.Result
 	nextPC = tr.NextPC
@@ -225,17 +526,38 @@ func Apply(inj Injection, tr emu.Trace) (result, nextPC, addr, storeValue uint32
 	mask := uint32(1) << (inj.Bit % 32)
 	op := tr.Inst.Op
 	switch {
-	case inj.Target == TargetAddress && op.IsMem():
+	case inj.Struct == StructLSQAddr && op.IsMem():
 		addr ^= mask
-	case op.IsStore():
+	case inj.Struct == StructLSQStoreData && op.IsStore():
 		storeValue ^= mask
-	case op.IsControl() && !tr.HasResult:
-		nextPC ^= mask
-	case tr.HasResult:
-		result ^= mask
+	case inj.Struct == StructLSQAddr || inj.Struct == StructLSQStoreData:
+		// An LSQ fault aimed at a non-memory instruction: nothing to
+		// corrupt in the latch plane; fall through to the result so the
+		// injection is never silently dropped.
+		fallthrough
+	case inj.Struct == StructResult:
+		switch {
+		case op.IsStore():
+			storeValue ^= mask
+		case op.IsControl() && !tr.HasResult:
+			nextPC ^= mask
+		case tr.HasResult:
+			result ^= mask
+		default:
+			// halt/out and friends: fault the next PC (control corruption).
+			nextPC ^= mask
+		}
 	default:
-		// halt/out and friends: fault the next PC (control corruption).
-		nextPC ^= mask
+		// Oracle- and RSQ-site structures never reach Apply; treat any
+		// stray injection as a result fault.
+		switch {
+		case op.IsStore():
+			storeValue ^= mask
+		case tr.HasResult:
+			result ^= mask
+		default:
+			nextPC ^= mask
+		}
 	}
 	return result, nextPC, addr, storeValue
 }

@@ -181,7 +181,7 @@ func TestApplyTargetsAddress(t *testing.T) {
 		Inst: isa.Instruction{Op: isa.OpLw},
 		Addr: 0x100,
 	}
-	_, _, addr, _ := Apply(Injection{Bit: 2, Target: TargetAddress}, tr)
+	_, _, addr, _ := Apply(Injection{Bit: 2, Struct: StructLSQAddr}, tr)
 	if addr != 0x104 {
 		t.Errorf("addr = %#x", addr)
 	}
@@ -239,7 +239,7 @@ func TestApplyFlipsExactlyOneBit(t *testing.T) {
 		}
 		inj := Injection{Bit: bit % 32}
 		if tgt && op.IsMem() {
-			inj.Target = TargetAddress
+			inj.Struct = StructLSQAddr
 		}
 		r2, n2, a2, s2 := Apply(inj, tr)
 		flips := popcount(r2^tr.Result) + popcount(n2^tr.NextPC) + popcount(a2^tr.Addr) + popcount(s2^tr.StoreValue)

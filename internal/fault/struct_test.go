@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"testing"
+
+	"reese/internal/emu"
+	"reese/internal/isa"
+)
+
+func TestStructNamesRoundTrip(t *testing.T) {
+	for _, st := range Structures(true) {
+		got, ok := ParseStruct(st.String())
+		if !ok || got != st {
+			t.Errorf("ParseStruct(%q) = %v, %v; want %v, true", st.String(), got, ok, st)
+		}
+	}
+	if _, ok := ParseStruct("no-such-structure"); ok {
+		t.Error("ParseStruct accepted garbage")
+	}
+}
+
+func TestSphereMembership(t *testing.T) {
+	in := map[Struct]bool{
+		StructResult:       true,
+		StructLSQAddr:      true,
+		StructLSQStoreData: true,
+		StructRSQOperand:   true,
+		StructRSQResult:    true,
+		StructRegFile:      false,
+		StructFetchPC:      false,
+		StructComparator:   false,
+	}
+	for st, want := range in {
+		if st.InSphere() != want {
+			t.Errorf("%s.InSphere() = %v, want %v", st, st.InSphere(), want)
+		}
+	}
+}
+
+func TestStructuresExcludeRSQWithoutQueue(t *testing.T) {
+	for _, st := range Structures(false) {
+		if st.NeedsRSQ() {
+			t.Errorf("Structures(false) includes RSQ-only structure %s", st)
+		}
+	}
+	have := map[Struct]bool{}
+	for _, st := range Structures(true) {
+		have[st] = true
+	}
+	for _, want := range []Struct{StructRSQOperand, StructRSQResult, StructComparator} {
+		if !have[want] {
+			t.Errorf("Structures(true) missing %s", want)
+		}
+	}
+}
+
+// aluTrace is a comparable-outcome instruction; storeTrace a store.
+func aluTrace() emu.Trace {
+	return emu.Trace{Inst: isa.Instruction{Op: isa.OpAdd}, Result: 42, HasResult: true}
+}
+
+func storeTrace() emu.Trace {
+	return emu.Trace{Inst: isa.Instruction{Op: isa.OpSw}, Addr: 0x100, StoreValue: 7}
+}
+
+func TestAtStructSkipsForwardToEligibleVictim(t *testing.T) {
+	// A store-data fault aimed at seq 0 must hold fire across non-store
+	// instructions and land on the first store.
+	inj := &AtStruct{Struct: StructLSQStoreData, Seq: 0, Bit: 3}
+	for seq := uint64(0); seq < 4; seq++ {
+		if _, fired := inj.Decide(seq, aluTrace()); fired {
+			t.Fatalf("fired on non-store at seq %d", seq)
+		}
+	}
+	got, fired := inj.Decide(4, storeTrace())
+	if !fired {
+		t.Fatal("did not fire on the first store")
+	}
+	if got.Struct != StructLSQStoreData || got.Bit != 3 {
+		t.Errorf("injection = %+v", got)
+	}
+	if !inj.Fired() || inj.FiredSeq() != 4 {
+		t.Errorf("Fired = %v, FiredSeq = %d; want true, 4", inj.Fired(), inj.FiredSeq())
+	}
+	// One-shot: it must never fire again, even on eligible victims (the
+	// recovery replay re-presents the same sequence numbers).
+	if _, again := inj.Decide(5, storeTrace()); again {
+		t.Error("fired twice")
+	}
+}
+
+// recordingArch captures the architectural corruption calls.
+type recordingArch struct {
+	pcMask  uint32
+	reg     uint8
+	regMask uint32
+}
+
+func (r *recordingArch) CorruptPC(mask uint32)          { r.pcMask = mask }
+func (r *recordingArch) CorruptReg(reg uint8, m uint32) { r.reg, r.regMask = reg, m }
+
+func TestAtStructOracleSites(t *testing.T) {
+	arch := &recordingArch{}
+	inj := &AtStruct{Struct: StructFetchPC, Seq: 10, Bit: 31}
+	if inj.OracleStep(9, arch) {
+		t.Error("fired before Seq")
+	}
+	if !inj.OracleStep(10, arch) {
+		t.Fatal("did not fire at Seq")
+	}
+	if arch.pcMask != 1<<31 {
+		t.Errorf("pc mask = %#x, want bit 31", arch.pcMask)
+	}
+	if inj.OracleStep(11, arch) {
+		t.Error("fired twice")
+	}
+
+	arch = &recordingArch{}
+	reg := &AtStruct{Struct: StructRegFile, Seq: 0, Bit: 5, Reg: 17}
+	if !reg.OracleStep(0, arch) {
+		t.Fatal("regfile fault did not fire")
+	}
+	if arch.reg != 17 || arch.regMask != 1<<5 {
+		t.Errorf("corrupted r%d with %#x, want r17 with bit 5", arch.reg, arch.regMask)
+	}
+
+	// r0 is hardwired zero: a fault aimed there must never fire.
+	zero := &AtStruct{Struct: StructRegFile, Seq: 0, Bit: 5, Reg: 0}
+	for i := uint64(0); i < 8; i++ {
+		if zero.OracleStep(i, &recordingArch{}) {
+			t.Fatal("fired on r0")
+		}
+	}
+}
+
+func TestAtStructComparatorFaultBlindsTheLane(t *testing.T) {
+	// A comparator fault corrupts the checked copy AND masks the same
+	// bit out of the comparison — the defining pairing that makes the
+	// corruption commit undetected.
+	inj := &AtStruct{Struct: StructComparator, Seq: 0, Bit: 9}
+	cor, fired := inj.RSQEnqueue(0, aluTrace())
+	if !fired {
+		t.Fatal("did not fire")
+	}
+	if cor.ResultMask != 1<<9 || cor.CompIgnoreMask != 1<<9 {
+		t.Errorf("result mask %#x, ignore mask %#x; want bit 9 in both", cor.ResultMask, cor.CompIgnoreMask)
+	}
+
+	// A plain RSQ-result fault corrupts the copy but leaves the
+	// comparator intact, so the mismatch is catchable.
+	res := &AtStruct{Struct: StructRSQResult, Seq: 0, Bit: 9}
+	cor, fired = res.RSQEnqueue(0, aluTrace())
+	if !fired {
+		t.Fatal("rsq-result did not fire")
+	}
+	if cor.ResultMask != 1<<9 || cor.CompIgnoreMask != 0 {
+		t.Errorf("rsq-result masks = %+v, want corrupt bit 9, no ignore", cor)
+	}
+}
+
+func TestAtStructOperandSlotFollowsReads(t *testing.T) {
+	// sw reads rs1 (base) and rs2 (data); the bit parity picks the slot.
+	even := &AtStruct{Struct: StructRSQOperand, Seq: 0, Bit: 2}
+	cor, fired := even.RSQEnqueue(0, storeTrace())
+	if !fired || cor.OperandAMask == 0 || cor.OperandBMask != 0 {
+		t.Errorf("even bit: %+v, want operand A corrupted", cor)
+	}
+	odd := &AtStruct{Struct: StructRSQOperand, Seq: 0, Bit: 3}
+	cor, fired = odd.RSQEnqueue(0, storeTrace())
+	if !fired || cor.OperandBMask == 0 || cor.OperandAMask != 0 {
+		t.Errorf("odd bit: %+v, want operand B corrupted", cor)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeDetected:  "detected",
+		OutcomeRecovered: "recovered",
+		OutcomeSDC:       "sdc",
+		OutcomeMasked:    "masked",
+		OutcomeHang:      "hang",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}

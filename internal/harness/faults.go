@@ -1,27 +1,159 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"reese/internal/config"
+	"reese/internal/emu"
 	"reese/internal/fault"
 	"reese/internal/pipeline"
+	"reese/internal/program"
 	"reese/internal/stats"
 	"reese/internal/workload"
 )
 
-// CampaignResult summarises a fault-injection campaign on one workload.
-type CampaignResult struct {
+// CampaignSpec configures a statistical fault-injection campaign: a
+// seeded random sample over (victim instruction, target structure, bit)
+// on one workload/machine pair, every injected run classified against an
+// uninjected golden execution. The same spec always produces the same
+// trials and the same report, byte for byte, regardless of parallelism.
+type CampaignSpec struct {
+	// Workload names a Table 2 benchmark.
+	Workload string `json:"workload"`
+	// Machine is the configuration under test.
+	Machine config.Machine `json:"machine"`
+	// Structures are the fault targets to sample from; empty selects
+	// every structure that exists on Machine (RSQ structures only on a
+	// REESE machine in RSQ mode).
+	Structures []fault.Struct `json:"structures,omitempty"`
+	// Injections is the number of trials (0 = 100).
+	Injections int `json:"injections,omitempty"`
+	// Seed drives victim sampling; equal seeds reproduce exactly.
+	Seed uint64 `json:"seed,omitempty"`
+	// TargetInsts sizes the program: the workload's iteration count is
+	// grown until the golden run commits at least this many instructions
+	// before halting (0 = 8000). Runs go to halt, not to a budget, so
+	// clean and recovered runs end in identical architectural state.
+	TargetInsts uint64 `json:"target_insts,omitempty"`
+}
+
+// withDefaults fills the zero fields. defaulted reports whether the
+// structure list was inferred rather than requested: inferred lists may
+// silently drop structures the workload has no victims for (a storeless
+// program cannot host a store-data fault), requested ones must not.
+func (s CampaignSpec) withDefaults() (_ CampaignSpec, defaulted bool) {
+	if s.Injections == 0 {
+		s.Injections = 100
+	}
+	if s.TargetInsts == 0 {
+		s.TargetInsts = 8_000
+	}
+	if len(s.Structures) == 0 {
+		s.Structures = fault.Structures(s.rsq())
+		defaulted = true
+	}
+	return s, defaulted
+}
+
+// rsq reports whether the machine has an R-stream Queue (the RSQ fault
+// structures only exist there).
+func (s CampaignSpec) rsq() bool {
+	return s.Machine.Reese.Enabled && s.Machine.Reese.Mode != config.ModeDupDispatch
+}
+
+// Trial is one injected run: where the fault landed and what became of
+// it. Campaign reports stream one Trial per line as JSONL.
+type Trial struct {
+	Index     int    `json:"trial"`
+	Structure string `json:"structure"`
+	// Seq is the victim: the dynamic instruction index (or, for
+	// oracle-site structures, the instruction count at corruption).
+	Seq uint64 `json:"seq"`
+	Bit uint8  `json:"bit"`
+	Reg uint8  `json:"reg,omitempty"`
+	// Fired reports the injector actually placed the fault (a fault
+	// aimed past the end of execution never fires and counts as masked).
+	Fired   bool   `json:"fired"`
+	Outcome string `json:"outcome"`
+	// Latency is injection-to-detection in cycles, for detected trials.
+	Latency   uint64 `json:"latency_cycles,omitempty"`
+	Cycles    uint64 `json:"cycles"`
+	Committed uint64 `json:"committed"`
+
+	outcome fault.Outcome
+}
+
+// OutcomeCounts tallies trials per outcome; the five counts always sum
+// to the number of injections classified into them.
+type OutcomeCounts struct {
+	Detected  uint64 `json:"detected"`
+	Recovered uint64 `json:"recovered"`
+	SDC       uint64 `json:"sdc"`
+	Masked    uint64 `json:"masked"`
+	Hang      uint64 `json:"hang"`
+}
+
+func (o *OutcomeCounts) add(c fault.Outcome) {
+	switch c {
+	case fault.OutcomeDetected:
+		o.Detected++
+	case fault.OutcomeRecovered:
+		o.Recovered++
+	case fault.OutcomeSDC:
+		o.SDC++
+	case fault.OutcomeMasked:
+		o.Masked++
+	case fault.OutcomeHang:
+		o.Hang++
+	}
+}
+
+// Total sums the five outcome counts.
+func (o OutcomeCounts) Total() uint64 {
+	return o.Detected + o.Recovered + o.SDC + o.Masked + o.Hang
+}
+
+// StructureCoverage is the per-structure slice of a campaign report.
+type StructureCoverage struct {
+	Structure string `json:"structure"`
+	InSphere  bool   `json:"in_sphere"`
+	Injected  uint64 `json:"injected"`
+	Fired     uint64 `json:"fired"`
+	// Effective is the trials whose fault mattered: injected minus
+	// masked. A masked trial's flipped bit was architecturally dead
+	// (overwritten result, shifted-out operand bit) — there was nothing
+	// to catch, so it belongs in neither coverage numerator nor
+	// denominator.
+	Effective uint64 `json:"effective"`
+	OutcomeCounts
+	// Coverage is (detected+recovered)/effective with its Wilson 95%
+	// confidence interval — the probability a consequential fault in
+	// this structure is caught before it matters. Zero effective trials
+	// give coverage 0 with the vacuous interval [0, 1]: no evidence.
+	Coverage   float64 `json:"coverage"`
+	CoverageLo float64 `json:"coverage_ci_lo"`
+	CoverageHi float64 `json:"coverage_ci_hi"`
+}
+
+// CampaignReport is the outcome of a fault-injection campaign.
+type CampaignReport struct {
 	Workload string `json:"workload"`
 	Config   string `json:"config"`
+	Seed     uint64 `json:"seed"`
+	// GoldenInsts is the golden run's committed-instruction count (the
+	// sampled victim space).
+	GoldenInsts uint64 `json:"golden_insts"`
 
 	Injected  uint64 `json:"injected"`
-	Detected  uint64 `json:"detected"`
-	Silent    uint64 `json:"silent"`
-	Recovered uint64 `json:"recovered"`
+	Fired     uint64 `json:"fired"`
+	Effective uint64 `json:"effective"`
+	OutcomeCounts
+	Coverage   float64 `json:"coverage"`
+	CoverageLo float64 `json:"coverage_ci_lo"`
+	CoverageHi float64 `json:"coverage_ci_hi"`
 
-	// Coverage is detected/injected.
-	Coverage float64 `json:"coverage"`
 	// DetectionLatencyMean/P95/Max summarise cycles from fault injection
 	// (P-stream writeback) to comparator detection. This is the paper's
 	// Δt argument (§2): the RSQ transit time separates the two
@@ -30,76 +162,325 @@ type CampaignResult struct {
 	DetectionLatencyP95  uint64  `json:"detection_latency_p95"`
 	DetectionLatencyMax  uint64  `json:"detection_latency_max"`
 
-	// CleanIPC and FaultyIPC show the performance cost of recoveries.
-	CleanIPC  float64 `json:"clean_ipc"`
-	FaultyIPC float64 `json:"faulty_ipc"`
+	Structures []StructureCoverage `json:"structures"`
+
+	// Trials carries the raw per-injection records (use WriteJSONL to
+	// stream them); excluded from the report's own JSON form.
+	Trials []Trial `json:"-"`
 }
 
-// Campaign injects a fault every interval committed instructions into
-// workloadName running on cfg, and reports coverage and detection
-// latency. A REESE machine should detect every result fault; a baseline
-// machine detects none.
-func Campaign(cfg config.Machine, workloadName string, interval uint64, opt Options) (CampaignResult, error) {
+// WriteJSONL streams one JSON object per trial to w. Output is
+// byte-identical for equal specs.
+func (r *CampaignReport) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Trials {
+		if err := enc.Encode(&r.Trials[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders the per-structure coverage breakdown.
+func (r *CampaignReport) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Fault campaign: %s on %s (%d injections, seed %d)",
+			r.Workload, r.Config, r.Injected, r.Seed),
+		"structure", "sphere", "inj", "eff", "det", "rec", "sdc", "mask", "hang", "coverage", "95% CI")
+	for _, s := range r.Structures {
+		sphere := "outside"
+		if s.InSphere {
+			sphere = "in"
+		}
+		t.AddRow(s.Structure, sphere,
+			fmt.Sprint(s.Injected), fmt.Sprint(s.Effective),
+			fmt.Sprint(s.Detected), fmt.Sprint(s.Recovered),
+			fmt.Sprint(s.SDC), fmt.Sprint(s.Masked), fmt.Sprint(s.Hang),
+			fmt.Sprintf("%.1f%%", s.Coverage*100),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", s.CoverageLo*100, s.CoverageHi*100))
+	}
+	return t.String()
+}
+
+// golden is the uninjected reference execution: its final architectural
+// digest plus the eligibility lists trial sampling draws victims from.
+type golden struct {
+	digest emu.Digest
+	total  uint64
+	// observable lists dynamic instruction indices the comparator has an
+	// outcome for; mems/stores the memory and store subsets.
+	observable []uint64
+	mems       []uint64
+	stores     []uint64
+}
+
+// goldenScan sizes the program (growing the workload's iteration count
+// until the golden run commits at least target instructions) and runs
+// it once on the emulator, recording digest and eligibility.
+func goldenScan(spec workload.Spec, target uint64) (*golden, *program.Program, error) {
+	limit := 4*target + 200_000
+	iters := 1
+	for {
+		prog, err := spec.Build(iters)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := emu.New(prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		g := &golden{}
+		for !m.Halted() {
+			if m.InstCount() >= limit {
+				return nil, nil, fmt.Errorf("harness: workload %s (iters=%d) did not halt within %d insts", spec.Name, iters, limit)
+			}
+			seq := m.InstCount()
+			tr, err := m.Step()
+			if err != nil {
+				return nil, nil, fmt.Errorf("harness: golden run of %s: %w", spec.Name, err)
+			}
+			op := tr.Inst.Op
+			if fault.ComparatorObserves(tr) {
+				g.observable = append(g.observable, seq)
+			}
+			if op.IsMem() {
+				g.mems = append(g.mems, seq)
+			}
+			if op.IsStore() {
+				g.stores = append(g.stores, seq)
+			}
+		}
+		g.digest = m.Digest()
+		g.total = m.InstCount()
+		if g.total >= target || iters >= 4096 {
+			return g, prog, nil
+		}
+		// Grow geometrically toward the target; the extrapolated guess
+		// overshoots slightly rather than creeping up one doubling at a
+		// time.
+		next := iters * 2
+		if g.total > 0 {
+			if est := int(uint64(iters)*target/g.total) + 1; est > next {
+				next = est
+			}
+		}
+		iters = next
+	}
+}
+
+// classify buckets one injected run against the golden reference. The
+// precedence is fixed: a hang trumps everything (the machine never
+// finished); a comparator detection splits into recovered/detected by
+// whether the final state is exactly golden; an undetected run splits
+// into masked/SDC the same way. Both the committed (shadow) digest and
+// the oracle digest must match: latch-plane corruption shows up in the
+// former, architectural-site corruption in the latter.
+func classify(res pipeline.Result, commit, oracle, gold emu.Digest) fault.Outcome {
+	clean := commit == gold && oracle == gold
+	switch {
+	case res.Hanged:
+		return fault.OutcomeHang
+	case res.FaultsDetected > 0:
+		if clean && !res.PermError {
+			return fault.OutcomeRecovered
+		}
+		return fault.OutcomeDetected
+	case clean:
+		return fault.OutcomeMasked
+	default:
+		return fault.OutcomeSDC
+	}
+}
+
+// campaignRNG is the xorshift64* stream behind trial sampling.
+type campaignRNG struct{ state uint64 }
+
+func newCampaignRNG(seed uint64) *campaignRNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &campaignRNG{state: seed}
+}
+
+func (r *campaignRNG) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *campaignRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Campaign runs a statistical fault-injection campaign. Trials are
+// planned sequentially from the seed, executed on the shared worker
+// pool (opt.Parallel), and reported in plan order, so the report is
+// byte-identical however it is scheduled. opt.Insts is ignored — runs
+// go to halt, sized by spec.TargetInsts.
+func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 	opt = opt.normalize()
-	spec, ok := workload.ByName(workloadName)
+	spec, defaulted := spec.withDefaults()
+	wspec, ok := workload.ByName(spec.Workload)
 	if !ok {
-		return CampaignResult{}, fmt.Errorf("unknown workload %q", workloadName)
+		return nil, fmt.Errorf("unknown workload %q", spec.Workload)
 	}
-	prog, err := spec.Build(spec.DefaultIters * 2)
-	if err != nil {
-		return CampaignResult{}, err
+	if err := spec.Machine.Validate(); err != nil {
+		return nil, err
 	}
-
-	clean, err := pipeline.New(cfg, prog, fault.None{})
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	clean.SetProgress(opt.Progress)
-	cleanRes, err := clean.RunContext(opt.Ctx, opt.Insts)
-	if err != nil {
-		return CampaignResult{}, err
+	for _, st := range spec.Structures {
+		if st >= fault.NumStructs {
+			return nil, fmt.Errorf("harness: unknown fault structure %d", st)
+		}
+		if st.NeedsRSQ() && !spec.rsq() {
+			return nil, fmt.Errorf("harness: structure %s requires an R-stream Queue; machine %s has none", st, spec.Machine.Name)
+		}
 	}
 
-	prog2, err := spec.Build(spec.DefaultIters * 2)
+	g, prog, err := goldenScan(wspec, spec.TargetInsts)
 	if err != nil {
-		return CampaignResult{}, err
-	}
-	inj := &fault.Periodic{Interval: interval, Start: interval / 2}
-	cpu, err := pipeline.New(cfg, prog2, inj)
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	cpu.SetProgress(opt.Progress)
-	res, err := cpu.RunContext(opt.Ctx, opt.Insts)
-	if err != nil {
-		return CampaignResult{}, err
+		return nil, err
 	}
 
-	out := CampaignResult{
-		Workload:             workloadName,
-		Config:               cfg.Name,
-		Injected:             res.FaultsInjected,
-		Detected:             res.FaultsDetected,
-		Silent:               res.FaultsSilent,
-		Recovered:            res.Recoveries,
-		DetectionLatencyMean: res.DetectionLatencyMean,
-		DetectionLatencyMax:  res.DetectionLatencyMax,
-		CleanIPC:             cleanRes.IPC,
-		FaultyIPC:            res.IPC,
+	// victimsFor is the structure's eligible-victim list; sampled is
+	// false for the architectural sites (regfile, fetch PC), which can
+	// strike at any point in the instruction stream.
+	victimsFor := func(st fault.Struct) (victims []uint64, sampled bool) {
+		switch st {
+		case fault.StructResult, fault.StructRSQOperand, fault.StructRSQResult, fault.StructComparator:
+			return g.observable, true
+		case fault.StructLSQAddr:
+			return g.mems, true
+		case fault.StructLSQStoreData:
+			return g.stores, true
+		}
+		return nil, false
 	}
-	if h := cpu.DetectionLatencies(); h.Count() > 0 {
-		out.DetectionLatencyP95 = h.Percentile(95)
+	// A structure with no victims in this workload cannot host a fault.
+	// Drop it when the list was inferred; reject it when it was asked
+	// for explicitly (silently sampling nothing would misreport).
+	kept := spec.Structures[:0]
+	for _, st := range spec.Structures {
+		if v, sampled := victimsFor(st); sampled && len(v) == 0 {
+			if !defaulted {
+				return nil, fmt.Errorf("harness: workload %s has no eligible victims for structure %s", spec.Workload, st)
+			}
+			continue
+		}
+		kept = append(kept, st)
 	}
-	if res.FaultsInjected > 0 {
-		out.Coverage = float64(res.FaultsDetected) / float64(res.FaultsInjected)
+	spec.Structures = kept
+
+	// Plan every trial up front from one sequential PRNG stream: the
+	// plan (and therefore the whole report) depends only on the spec.
+	rng := newCampaignRNG(spec.Seed)
+	trials := make([]Trial, spec.Injections)
+	for i := range trials {
+		st := spec.Structures[rng.intn(len(spec.Structures))]
+		var seq uint64
+		if victims, sampled := victimsFor(st); sampled {
+			seq = victims[rng.intn(len(victims))]
+		} else {
+			seq = rng.next() % g.total
+		}
+		trials[i] = Trial{
+			Index:     i,
+			Structure: st.String(),
+			Seq:       seq,
+			Bit:       uint8(rng.intn(32)),
+		}
+		if st == fault.StructRegFile {
+			trials[i].Reg = uint8(1 + rng.intn(31))
+		}
 	}
-	return out, nil
+
+	// Execute. Each trial is independent; results land in plan order.
+	budget := 2*g.total + 20_000
+	err = forEach(len(trials), opt.Parallel, func(i int) error {
+		t := &trials[i]
+		st, _ := fault.ParseStruct(t.Structure)
+		inj := &fault.AtStruct{Struct: st, Seq: t.Seq, Bit: t.Bit, Reg: t.Reg}
+		cpu, err := pipeline.New(spec.Machine, prog, inj)
+		if err != nil {
+			return err
+		}
+		cpu.SetProgress(opt.Progress)
+		res, err := cpu.RunContext(opt.Ctx, budget)
+		if err != nil {
+			return err
+		}
+		t.Fired = inj.Fired()
+		t.outcome = classify(res, cpu.CommitDigest(), cpu.OracleDigest(), g.digest)
+		t.Outcome = t.outcome.String()
+		t.Cycles = res.Cycles
+		t.Committed = res.Committed
+		if t.outcome == fault.OutcomeDetected || t.outcome == fault.OutcomeRecovered {
+			t.Latency = res.DetectionLatencyMax
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate in plan order.
+	rep := &CampaignReport{
+		Workload:    spec.Workload,
+		Config:      spec.Machine.Name,
+		Seed:        spec.Seed,
+		GoldenInsts: g.total,
+		Injected:    uint64(len(trials)),
+		Trials:      trials,
+	}
+	perStruct := make(map[string]*StructureCoverage, len(spec.Structures))
+	for _, st := range spec.Structures {
+		sc := &StructureCoverage{Structure: st.String(), InSphere: st.InSphere()}
+		perStruct[st.String()] = sc
+	}
+	lat := stats.NewHistogram(1)
+	for i := range trials {
+		t := &trials[i]
+		sc := perStruct[t.Structure]
+		sc.Injected++
+		if t.Fired {
+			sc.Fired++
+			rep.Fired++
+		}
+		sc.add(t.outcome)
+		rep.add(t.outcome)
+		if t.outcome == fault.OutcomeDetected || t.outcome == fault.OutcomeRecovered {
+			lat.Add(t.Latency)
+		}
+	}
+	for _, st := range spec.Structures {
+		sc := perStruct[st.String()]
+		sc.Effective = sc.Injected - sc.Masked
+		caught := sc.Detected + sc.Recovered
+		if sc.Effective > 0 {
+			sc.Coverage = float64(caught) / float64(sc.Effective)
+		}
+		sc.CoverageLo, sc.CoverageHi = stats.Wilson95(caught, sc.Effective)
+		rep.Structures = append(rep.Structures, *sc)
+	}
+	rep.Effective = rep.Injected - rep.Masked
+	caught := rep.Detected + rep.Recovered
+	if rep.Effective > 0 {
+		rep.Coverage = float64(caught) / float64(rep.Effective)
+	}
+	rep.CoverageLo, rep.CoverageHi = stats.Wilson95(caught, rep.Effective)
+	if lat.Count() > 0 {
+		rep.DetectionLatencyMean = lat.Mean()
+		rep.DetectionLatencyP95 = lat.Percentile(95)
+		rep.DetectionLatencyMax = lat.Max()
+	}
+	return rep, nil
 }
 
-// CampaignAll runs the fault campaign on every workload for both the
-// REESE machine and the baseline — in parallel on the shared worker
-// pool — and renders the comparison.
-func CampaignAll(interval uint64, opt Options) (string, []CampaignResult, error) {
+// CampaignAll runs the campaign on every workload for both the REESE
+// machine and the baseline, and renders the comparison. Campaigns run
+// one after another; each parallelizes its own trials on the shared
+// pool.
+func CampaignAll(injections int, seed uint64, opt Options) (string, []CampaignReport, error) {
 	type job struct {
 		name string
 		cfg  config.Machine
@@ -109,31 +490,34 @@ func CampaignAll(interval uint64, opt Options) (string, []CampaignResult, error)
 		jobs = append(jobs, job{name, config.Starting().WithReese()})
 		jobs = append(jobs, job{name, config.Starting()})
 	}
-	all := make([]CampaignResult, len(jobs))
-	err := forEach(len(jobs), opt.Parallel, func(i int) error {
-		r, err := Campaign(jobs[i].cfg, jobs[i].name, interval, opt)
+	all := make([]CampaignReport, 0, len(jobs))
+	for _, j := range jobs {
+		r, err := Campaign(CampaignSpec{
+			Workload:   j.name,
+			Machine:    j.cfg,
+			Injections: injections,
+			Seed:       seed,
+		}, opt)
 		if err != nil {
-			return err
+			return "", nil, err
 		}
-		all[i] = r
-		return nil
-	})
-	if err != nil {
-		return "", nil, err
+		all = append(all, *r)
 	}
-	t := stats.NewTable("Fault injection: coverage and detection latency (REESE vs baseline)",
-		"bench", "machine", "injected", "detected", "silent", "coverage", "lat-mean", "lat-p95", "IPC clean", "IPC faulty")
+	t := stats.NewTable("Fault injection: outcome taxonomy by structure (REESE vs baseline)",
+		"bench", "machine", "structure", "inj", "eff", "det", "rec", "sdc", "mask", "hang", "coverage", "95% CI")
 	for i, r := range all {
 		machine := "baseline"
 		if jobs[i].cfg.Reese.Enabled {
 			machine = "REESE"
 		}
-		t.AddRow(r.Workload, machine,
-			fmt.Sprint(r.Injected), fmt.Sprint(r.Detected), fmt.Sprint(r.Silent),
-			fmt.Sprintf("%.0f%%", r.Coverage*100),
-			fmt.Sprintf("%.1f", r.DetectionLatencyMean),
-			fmt.Sprint(r.DetectionLatencyP95),
-			fmt.Sprintf("%.3f", r.CleanIPC), fmt.Sprintf("%.3f", r.FaultyIPC))
+		for _, s := range r.Structures {
+			t.AddRow(r.Workload, machine, s.Structure,
+				fmt.Sprint(s.Injected), fmt.Sprint(s.Effective),
+				fmt.Sprint(s.Detected), fmt.Sprint(s.Recovered),
+				fmt.Sprint(s.SDC), fmt.Sprint(s.Masked), fmt.Sprint(s.Hang),
+				fmt.Sprintf("%.0f%%", s.Coverage*100),
+				fmt.Sprintf("[%.0f%%, %.0f%%]", s.CoverageLo*100, s.CoverageHi*100))
+		}
 	}
 	return t.String(), all, nil
 }
@@ -298,6 +682,10 @@ type BitGridResult struct {
 	Bit      uint8
 	Detected bool
 	Latency  uint64
+	// NotFired marks a cell whose injection never happened — the
+	// injection point lay beyond the instructions the run committed — so
+	// "not detected" would be meaningless.
+	NotFired bool
 }
 
 // BitGrid injects one fault per bit position (0-31) at a fixed point in
@@ -326,8 +714,14 @@ func BitGrid(cfg config.Machine, workloadName string, atSeq uint64, opt Options)
 		if err != nil {
 			return err
 		}
-		cell := BitGridResult{Bit: bit, Detected: res.FaultsDetected == 1}
-		if cell.Detected {
+		cell := BitGridResult{Bit: bit}
+		if !inj.Fired() {
+			// The program ended before the injection point: there is no
+			// fault to detect, and reporting a missed detection would be
+			// a lie.
+			cell.NotFired = true
+		} else if res.FaultsDetected == 1 {
+			cell.Detected = true
 			cell.Latency = uint64(res.DetectionLatencyMean)
 		}
 		out[i] = cell
@@ -346,7 +740,10 @@ func BitGridTable(grid []BitGridResult) string {
 	for _, c := range grid {
 		det := "no"
 		lat := "-"
-		if c.Detected {
+		switch {
+		case c.NotFired:
+			det = "not fired"
+		case c.Detected:
 			det = "yes"
 			lat = fmt.Sprint(c.Latency)
 		}

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+)
+
+// The accounting invariant the whole report rests on: every injection
+// lands in exactly one outcome bucket, globally and per structure.
+func TestCampaignOutcomeAccounting(t *testing.T) {
+	rep, err := Campaign(CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting().WithReese(),
+		Injections: 160,
+		Seed:       7,
+	}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != 160 {
+		t.Fatalf("injected %d, want 160", rep.Injected)
+	}
+	if got := rep.Total(); got != rep.Injected {
+		t.Errorf("outcome counts sum to %d, want %d", got, rep.Injected)
+	}
+	var perStruct uint64
+	for _, s := range rep.Structures {
+		if got := s.Total(); got != s.Injected {
+			t.Errorf("%s: outcome counts sum to %d, want %d injected", s.Structure, got, s.Injected)
+		}
+		if s.Fired > s.Injected {
+			t.Errorf("%s: fired %d > injected %d", s.Structure, s.Fired, s.Injected)
+		}
+		if s.CoverageLo > s.Coverage || s.Coverage > s.CoverageHi {
+			t.Errorf("%s: coverage %.3f outside its own CI [%.3f, %.3f]",
+				s.Structure, s.Coverage, s.CoverageLo, s.CoverageHi)
+		}
+		perStruct += s.Injected
+	}
+	if perStruct != rep.Injected {
+		t.Errorf("per-structure injections sum to %d, want %d", perStruct, rep.Injected)
+	}
+	if len(rep.Structures) < 4 {
+		t.Errorf("sampled %d structures, want at least 4", len(rep.Structures))
+	}
+
+	// The sphere of replication argument, measured: in-sphere result
+	// faults are fully covered; the comparator's own faults — outside
+	// the sphere by construction — are not.
+	for _, s := range rep.Structures {
+		switch s.Structure {
+		case fault.StructResult.String():
+			if s.Coverage < 1 {
+				t.Errorf("result-structure coverage %.2f, want 1.0", s.Coverage)
+			}
+		case fault.StructComparator.String():
+			if s.Injected > 0 && s.Coverage >= 1 {
+				t.Errorf("comparator faults fully covered (%.2f) — the dead-lane model is broken", s.Coverage)
+			}
+		}
+	}
+}
+
+// The report must be a pure function of the spec: byte-identical JSONL
+// and table whether trials run sequentially or on the pool.
+func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
+	spec := CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting().WithReese(),
+		Injections: 60,
+		Seed:       0xFACE,
+	}
+	render := func(parallel int) (string, string) {
+		rep, err := Campaign(spec, Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep.Table()
+	}
+	seqJSONL, seqTable := render(1)
+	parJSONL, parTable := render(8)
+	if seqJSONL != parJSONL {
+		t.Error("JSONL differs between sequential and parallel execution")
+	}
+	if seqTable != parTable {
+		t.Error("table differs between sequential and parallel execution")
+	}
+	if got := strings.Count(seqJSONL, "\n"); got != 60 {
+		t.Errorf("JSONL has %d lines, want one per injection (60)", got)
+	}
+}
+
+func TestCampaignRejectsRSQStructuresOnBaseline(t *testing.T) {
+	_, err := Campaign(CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting(),
+		Structures: []fault.Struct{fault.StructRSQOperand},
+		Injections: 5,
+	}, testOptions())
+	if err == nil {
+		t.Fatal("baseline accepted an RSQ-only fault structure")
+	}
+}
+
+// The baseline has no comparator: every fired fault must end silent
+// (SDC or masked) or hung — never detected or recovered. gcc is
+// store-heavy, so some corruption must reach architectural state.
+func TestCampaignBaselineIsSilent(t *testing.T) {
+	rep, err := Campaign(CampaignSpec{
+		Workload:   "gcc",
+		Machine:    config.Starting(),
+		Injections: 60,
+		Seed:       99,
+	}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected != 0 || rep.Recovered != 0 {
+		t.Errorf("baseline detected %d / recovered %d; it has no comparator", rep.Detected, rep.Recovered)
+	}
+	if rep.SDC+rep.Masked+rep.Hang != rep.Injected {
+		t.Errorf("baseline outcomes %+v do not account for all %d injections", rep.OutcomeCounts, rep.Injected)
+	}
+	if rep.SDC == 0 {
+		t.Error("no SDC on the unprotected baseline — faults are not reaching architectural state")
+	}
+}
+
+// A structure the workload cannot host must be dropped when the list
+// was inferred and rejected when it was explicit. li (at campaign
+// scale) executes no stores, making it the natural probe.
+func TestCampaignStructuresWithoutVictims(t *testing.T) {
+	_, err := Campaign(CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting(),
+		Structures: []fault.Struct{fault.StructLSQStoreData},
+		Injections: 5,
+	}, testOptions())
+	if err == nil {
+		t.Error("explicitly requesting store-data faults on a storeless workload should error")
+	}
+
+	rep, err := Campaign(CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting(),
+		Injections: 30,
+		Seed:       3,
+	}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Structures {
+		if s.Structure == fault.StructLSQStoreData.String() {
+			t.Error("defaulted structure list kept a structure with no victims")
+		}
+	}
+	if got := rep.Total(); got != rep.Injected {
+		t.Errorf("outcome counts sum to %d, want %d", got, rep.Injected)
+	}
+}

@@ -66,11 +66,11 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Errorf("Figure2 differs between sequential and parallel runs:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
 	}
 
-	campSeq, _, err := CampaignAll(5_000, seq)
+	campSeq, _, err := CampaignAll(20, 42, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	campPar, _, err := CampaignAll(5_000, par)
+	campPar, _, err := CampaignAll(20, 42, par)
 	if err != nil {
 		t.Fatal(err)
 	}

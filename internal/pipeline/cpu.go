@@ -26,6 +26,7 @@ import (
 	"reese/internal/emu"
 	"reese/internal/fault"
 	"reese/internal/fu"
+	"reese/internal/isa"
 	"reese/internal/mem"
 	"reese/internal/obs"
 	"reese/internal/program"
@@ -41,6 +42,15 @@ const redirectPenalty = 2
 // recoveryPenalty is the pipeline-drain cost charged when a detected
 // fault flushes the machine.
 const recoveryPenalty = 4
+
+// DefaultHangLimit is the no-commit watchdog threshold: a run that goes
+// this many cycles without retiring a single instruction is declared
+// hung and terminated cleanly (Result.Hanged). Even the deepest
+// realistic stall (a full window behind an L2-missing load) resolves in
+// hundreds of cycles, so 100k cycles of commit silence means a fault
+// wedged the machine — e.g. a corrupted fetch PC marching off the text
+// segment. SetHangLimit overrides it (tests use small values).
+const DefaultHangLimit = 100_000
 
 // fetchEntry is one instruction waiting in the fetch queue.
 type fetchEntry struct {
@@ -81,6 +91,10 @@ type CPU struct {
 	rLive int
 
 	injector fault.Injector
+	// sites is non-nil when injector also implements the
+	// structure-addressed hook sites (oracle step, RSQ enqueue); set once
+	// in New so the hot path pays a nil check, not a type assertion.
+	sites fault.SiteInjector
 	// stuck, when non-nil, is a permanent single-unit fault (see
 	// fault.StuckUnit and SetStuckUnit).
 	stuck *fault.StuckUnit
@@ -136,6 +150,21 @@ type CPU struct {
 	committed     uint64
 	instLimit     uint64
 	fastForwarded uint64
+
+	// No-commit watchdog: if hangLimit cycles pass without a single
+	// commit, the run terminates cleanly with Result.Hanged set (a fault
+	// can wedge the machine; a campaign worker must not wedge with it).
+	hangLimit uint64
+	hanged    bool
+
+	// Shadow architectural state rebuilt from latched commit values
+	// (what the timing machine actually retired, as opposed to the
+	// oracle's always-clean state). CommitDigest summarizes it; fault
+	// campaigns compare it against a golden run to detect SDC.
+	shadowRegs  [isa.NumRegs]uint32
+	shadowFRegs [isa.NumRegs]uint32
+	storeHash   uint64
+	storeCount  uint64
 
 	// progress, when non-nil, receives committed-instruction deltas at
 	// every context-check interval — a liveness heartbeat an external
@@ -269,9 +298,15 @@ func New(cfg config.Machine, prog *program.Program, injector fault.Injector) (*C
 		lsq:       lsq,
 		injector:  injector,
 		detectLat: stats.NewHistogram(1),
+		hangLimit: DefaultHangLimit,
+		storeHash: emu.DigestSeed,
 	}
+	c.shadowRegs[isa.RegSP] = program.StackTop
 	if injector == nil {
 		c.injector = fault.None{}
+	}
+	if s, ok := c.injector.(fault.SiteInjector); ok {
+		c.sites = s
 	}
 	if cfg.Reese.Enabled {
 		if cfg.Reese.Mode == config.ModeDupDispatch {
@@ -297,6 +332,10 @@ type Result struct {
 
 	Halted    bool
 	PermError bool
+	// Hanged reports that the no-commit watchdog terminated the run:
+	// the machine went DefaultHangLimit (or SetHangLimit) cycles
+	// without retiring an instruction.
+	Hanged bool
 	// FastForwarded is the number of instructions skipped functionally
 	// before timing began.
 	FastForwarded uint64
@@ -425,6 +464,9 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 		capCycles = 200*maxInsts + 1_000_000
 	}
 	nextCtxCheck := c.cycle + ctxCheckInterval
+	// No-commit watchdog state: the cycle of the last observed commit.
+	lastCommitted := c.committed
+	lastCommitCycle := c.cycle
 	for !c.done && !c.permError {
 		if c.instLimit > 0 && c.committed >= c.instLimit {
 			break
@@ -440,10 +482,25 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 			nextCtxCheck = c.cycle + ctxCheckInterval
 		}
 		c.step()
+		if c.committed != lastCommitted {
+			lastCommitted = c.committed
+			lastCommitCycle = c.cycle
+		} else if c.hangLimit > 0 && c.cycle-lastCommitCycle >= c.hangLimit {
+			// The machine is wedged (an injected fault can do this — a
+			// corrupted fetch PC off the text segment ends the oracle
+			// stream, and nothing will ever commit again). Terminate
+			// cleanly: Hanged is a classifiable outcome, not an error.
+			c.hanged = true
+			break
+		}
 	}
 	c.reportProgress()
 	return c.result(), nil
 }
+
+// SetHangLimit overrides the no-commit watchdog threshold (0 disables
+// it). Call before Run.
+func (c *CPU) SetHangLimit(cycles uint64) { c.hangLimit = cycles }
 
 // SetProgress installs a shared committed-instruction counter: the
 // cycle loop adds its commit deltas to p at every context-check
@@ -524,6 +581,7 @@ func (c *CPU) result() Result {
 		Committed:     c.committed,
 		Halted:        c.done,
 		PermError:     c.permError,
+		Hanged:        c.hanged,
 		FastForwarded: c.fastForwarded,
 
 		Branches:    c.branches,
@@ -580,6 +638,33 @@ func (c *CPU) result() Result {
 // DetectionLatencies exposes the detection-latency histogram for
 // campaign analysis.
 func (c *CPU) DetectionLatencies() *stats.Histogram { return c.detectLat }
+
+// CommitDigest summarizes the architectural work the timing machine
+// actually committed: shadow register files rebuilt from latched
+// writeback values and a running hash of the committed-store sequence.
+// Unlike the oracle (which always executes cleanly unless an
+// oracle-site fault corrupts it), the shadow state sees latch-plane
+// corruption that slipped past detection — comparing this digest
+// against an uninjected golden run's is how a campaign finds SDC.
+// Output bytes come from the oracle stream (out executes at oracle
+// time); for runs that reach halt the two agree.
+func (c *CPU) CommitDigest() emu.Digest {
+	return emu.Digest{
+		Committed:  c.committed,
+		Halted:     c.done,
+		Regs:       c.shadowRegs,
+		FRegs:      c.shadowFRegs,
+		OutLen:     uint64(len(c.oracle.Output())),
+		OutHash:    emu.HashBytes(c.oracle.Output()),
+		StoreCount: c.storeCount,
+		StoreHash:  c.storeHash,
+	}
+}
+
+// OracleDigest summarizes the oracle's own final architectural state.
+// Oracle-site faults (regfile, fetch PC) corrupt this plane; latch
+// faults never do. Campaigns compare both digests against golden.
+func (c *CPU) OracleDigest() emu.Digest { return c.oracle.Digest() }
 
 // InstructionMix is the dynamic mix of committed instructions, as
 // fractions of the total.

@@ -150,10 +150,15 @@ func TestMachineWithoutFPUnitsRejectsFPProgramGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The FP instructions can never issue; the run must hit the cycle
-	// cap and report an error instead of spinning forever.
-	if _, err := cpu.Run(1000); err == nil {
-		t.Error("running FP code with no FP units should error out, not hang")
+	// The FP instructions can never issue, so nothing commits past the
+	// integer prologue; the no-commit watchdog must terminate the run
+	// and flag it as hanged instead of spinning to the cycle cap.
+	res, err := cpu.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hanged {
+		t.Error("running FP code with no FP units should trip the no-commit watchdog (Result.Hanged)")
 	}
 }
 

@@ -41,6 +41,12 @@ func (c *CPU) nextTrace() *emu.Trace {
 	if c.oracleDone {
 		return nil
 	}
+	if c.sites != nil && c.sites.OracleStep(c.oracle.InstCount(), c.oracle) {
+		// An architectural-site fault (regfile, fetch PC) corrupted the
+		// oracle directly; from here the machine executes the corrupted
+		// program state — both streams, so the comparator sees nothing.
+		c.injected++
+	}
 	tr, err := c.oracle.Step()
 	if err != nil {
 		// Off-the-end fetch or a memory fault in the workload itself:
@@ -893,7 +899,7 @@ func (c *CPU) commitReese() int {
 		if c.recorder != nil {
 			c.record(obs.EvCommit, e.Seq, &e.Trace, 0, -1)
 		}
-		c.retire(e.Trace, false, e.HasFault())
+		c.retire(e.Trace, false, e.HasFault(), e.ResultP, e.AddrP, e.StoreValueP)
 		if c.done {
 			return used
 		}
@@ -920,7 +926,7 @@ func (c *CPU) commitReese() int {
 		if c.recorder != nil {
 			c.record(obs.EvEnterRSQ, e.Seq, &e.Trace, 0, -1)
 		}
-		c.rsq.Enqueue(reese.Entry{
+		ent := reese.Entry{
 			Seq:         e.Seq,
 			Trace:       e.Trace,
 			ResultP:     e.ResultP,
@@ -930,7 +936,31 @@ func (c *CPU) commitReese() int {
 			FaultBit:    e.FaultBit,
 			FaultCycle:  e.FaultCycle,
 			LSQSeq:      e.LSQSeq,
-		}, c.cycle)
+		}
+		if c.sites != nil {
+			if cor, ok := c.sites.RSQEnqueue(e.Seq, e.Trace); ok {
+				// A transient in the RSQ itself: the stored copies are
+				// corrupted while e.Trace (what recovery replays) stays
+				// clean, so a detected RSQ fault recovers cleanly.
+				ent.ResultP ^= cor.ResultMask
+				ent.NextPCP ^= cor.NextPCMask
+				ent.AddrP ^= cor.AddrMask
+				ent.StoreValueP ^= cor.StoreMask
+				ent.OperandAMask = cor.OperandAMask
+				ent.OperandBMask = cor.OperandBMask
+				ent.CompIgnore = cor.CompIgnoreMask
+				ent.FaultBit = cor.Bit % 32
+				ent.FaultCycle = c.cycle
+				c.injected++
+				if c.traceW != nil {
+					c.traceEvent(EvFaultInjected, &e.Trace, fmt.Sprintf("rsq bit %d", ent.FaultBit))
+				}
+				if c.recorder != nil {
+					c.record(obs.EvFaultInjected, e.Seq, &e.Trace, 0, -1)
+				}
+			}
+		}
+		c.rsq.Enqueue(ent, c.cycle)
 	}
 	return used
 }
@@ -954,7 +984,7 @@ func (c *CPU) commitBaseline() int {
 		if c.recorder != nil {
 			c.record(obs.EvCommit, e.Seq, &e.Trace, 0, -1)
 		}
-		c.retire(e.Trace, e.LSQSeq != ruu.NoProducer, e.HasFault())
+		c.retire(e.Trace, e.LSQSeq != ruu.NoProducer, e.HasFault(), e.ResultP, e.AddrP, e.StoreValueP)
 		if c.done {
 			break
 		}
@@ -1007,7 +1037,7 @@ func (c *CPU) commitDup() int {
 		if c.recorder != nil {
 			c.record(obs.EvCommit, e.Seq, &e.Trace, 0, -1)
 		}
-		c.retire(e.Trace, false, commonMode)
+		c.retire(e.Trace, false, commonMode, e.ResultP, e.AddrP, e.StoreValueP)
 		if c.done {
 			return used
 		}
@@ -1040,8 +1070,23 @@ func (c *CPU) onMismatchDup(orig, dup *ruu.Entry) {
 
 // retire performs the architectural retirement bookkeeping shared by
 // both machines.
-func (c *CPU) retire(tr emu.Trace, isMem, hadFault bool) {
+// retire commits one instruction architecturally. resultP, addrP and
+// storeValueP are the latched values that actually commit (possibly
+// corrupted by an undetected fault); they feed the shadow register file
+// and store hash behind CommitDigest.
+func (c *CPU) retire(tr emu.Trace, isMem, hadFault bool, resultP, addrP, storeValueP uint32) {
 	c.committed++
+	if r, fp, ok := tr.DestReg(); ok {
+		if fp {
+			c.shadowFRegs[r] = resultP
+		} else if r != isa.RegZero {
+			c.shadowRegs[r] = resultP
+		}
+	}
+	if tr.Inst.Op.IsStore() {
+		c.storeHash = emu.MixStore(c.storeHash, addrP, tr.MemWidth, storeValueP)
+		c.storeCount++
+	}
 	op := tr.Inst.Op
 	switch {
 	case op.IsControl():
@@ -1124,7 +1169,7 @@ func (c *CPU) recover(faultSeq uint64) {
 				// Older than the fault: already executed; it retires
 				// with the flush (its verification outcome is what it
 				// is).
-				c.retire(e.Trace, false, false)
+				c.retire(e.Trace, false, false, e.ResultP, e.AddrP, e.StoreValueP)
 			}
 			return true
 		})

@@ -79,6 +79,15 @@ type Entry struct {
 	// shifted operands, so the same stuck bit lands one position lower
 	// after unshifting — which is what makes the fault visible.
 	RFaultMask uint32
+
+	// OperandAMask/OperandBMask model a transient in the RSQ's operand
+	// copies: the recomputation reads the corrupted operand while
+	// Trace.A/B (what the P-stream used, and what recovery replays)
+	// stay clean. CompIgnore blinds the comparator to those bit lanes —
+	// a fault in the checker itself.
+	OperandAMask uint32
+	OperandBMask uint32
+	CompIgnore   uint32
 }
 
 // HasFault reports whether a fault was injected into this instruction's
@@ -309,6 +318,14 @@ func (q *Queue) Compare(e *Entry) bool {
 	if q.reso {
 		rMask >>= 1
 	}
+	// The R-stream reads its operands from the RSQ's stored copies; a
+	// transient in those slots corrupts the recomputation while the
+	// architectural values (and recovery replay) stay clean.
+	a := tr.A ^ e.OperandAMask
+	b := tr.B ^ e.OperandBMask
+	// eq is the comparator: bit lanes in CompIgnore are dead (a fault in
+	// the checker itself), so corruption there passes unnoticed.
+	eq := func(p, r uint32) bool { return (p^r)&^e.CompIgnore == 0 }
 	ok := true
 	switch {
 	case op == isa.OpHalt || op == isa.OpOut:
@@ -317,31 +334,31 @@ func (q *Queue) Compare(e *Entry) bool {
 		// The R-stream load re-reads the cache; memory is unchanged
 		// between the two executions (stores drain in order), so the
 		// true value is the oracle's. Verify both address and value.
-		ok = e.AddrP == isa.EffectiveAddress(tr.A, tr.Inst.Imm) &&
-			e.ResultP == tr.Result^rMask
+		ok = eq(e.AddrP, isa.EffectiveAddress(a, tr.Inst.Imm)) &&
+			eq(e.ResultP, tr.Result^rMask)
 	case op.IsStore():
-		ok = e.AddrP == isa.EffectiveAddress(tr.A, tr.Inst.Imm) &&
-			e.StoreValueP == tr.B^rMask
+		ok = eq(e.AddrP, isa.EffectiveAddress(a, tr.Inst.Imm)) &&
+			eq(e.StoreValueP, b^rMask)
 	case op.IsBranch():
-		taken := isa.BranchTaken(op, tr.A, tr.B)
+		taken := isa.BranchTaken(op, a, b)
 		next := tr.PC + isa.WordBytes
 		if taken {
 			next = tr.Inst.BranchTarget(tr.PC)
 		}
-		ok = e.NextPCP == next
+		ok = eq(e.NextPCP, next)
 	case op.IsJump():
 		next := tr.Inst.BranchTarget(tr.PC)
 		if op.IsIndirect() {
-			next = tr.A
+			next = a
 		}
-		ok = e.NextPCP == next
+		ok = eq(e.NextPCP, next)
 		if op == isa.OpJal || op == isa.OpJalr {
-			ok = ok && e.ResultP == tr.PC+isa.WordBytes
+			ok = ok && eq(e.ResultP, tr.PC+isa.WordBytes)
 		}
 	case op.IsFP():
-		ok = e.ResultP == isa.EvalFP(op, tr.A, tr.B)^rMask
+		ok = eq(e.ResultP, isa.EvalFP(op, a, b)^rMask)
 	default:
-		ok = e.ResultP == isa.EvalALU(op, tr.A, tr.B, tr.Inst.Imm)^rMask
+		ok = eq(e.ResultP, isa.EvalALU(op, a, b, tr.Inst.Imm)^rMask)
 	}
 	e.Done = true
 	if ok {

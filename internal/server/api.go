@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"reese/internal/config"
+	"reese/internal/fault"
 	"reese/internal/harness"
 	"reese/internal/obs"
 	"reese/internal/workload"
@@ -114,25 +115,58 @@ func (r FigureRequest) normalize(lim Limits) (FigureRequest, error) {
 	return r, nil
 }
 
-// FaultsRequest asks for the fault-injection campaign (reese-sweep
-// -figure faults).
+// FaultsRequest asks for a statistical fault-injection campaign: seeded
+// random faults over (instruction, structure, bit), each classified
+// against a golden run (see harness.Campaign).
 type FaultsRequest struct {
-	// Interval is the committed-instruction spacing between injected
-	// faults (0 = 10000, the CLI default).
-	Interval uint64 `json:"interval,omitempty"`
-	// Insts is the per-run committed-instruction budget.
-	Insts uint64 `json:"insts,omitempty"`
+	// Workload limits the campaign to one benchmark; empty runs all six
+	// (REESE vs baseline on each).
+	Workload string `json:"workload,omitempty"`
+	// Injections is the number of trials per campaign (0 = 200).
+	Injections int `json:"injections,omitempty"`
+	// Seed drives victim sampling; equal requests reproduce exactly
+	// (which is what makes the result cache sound). 0 means 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Structures names the fault targets to sample (fault.ParseStruct
+	// spellings, e.g. "result", "fetch-pc"); empty selects every
+	// structure each machine supports.
+	Structures []string `json:"structures,omitempty"`
+	// TargetInsts is the approximate golden-run length per trial (0 =
+	// the harness default).
+	TargetInsts uint64 `json:"target_insts,omitempty"`
 }
 
+// maxFaultInjections bounds campaign size per request; at the default
+// run length this is roughly the cost of one large figure.
+const maxFaultInjections = 5_000
+
 func (r FaultsRequest) normalize(lim Limits) (FaultsRequest, error) {
-	if r.Interval == 0 {
-		r.Interval = 10_000
+	if r.Workload != "" {
+		if _, ok := workload.ByName(r.Workload); !ok {
+			return r, fmt.Errorf("unknown workload %q (have %v)", r.Workload, workload.Names())
+		}
 	}
-	if r.Insts == 0 {
-		r.Insts = lim.DefaultFigureInsts
+	if r.Injections == 0 {
+		r.Injections = 200
 	}
-	if r.Insts > lim.MaxInsts {
-		return r, fmt.Errorf("insts %d exceeds server limit %d", r.Insts, lim.MaxInsts)
+	if r.Injections < 0 || r.Injections > maxFaultInjections {
+		return r, fmt.Errorf("injections %d out of range [1,%d]", r.Injections, maxFaultInjections)
+	}
+	if r.Seed == 0 {
+		// Canonicalize so sparse and explicit spellings of the default
+		// share one cache key.
+		r.Seed = 1
+	}
+	for _, name := range r.Structures {
+		if _, ok := fault.ParseStruct(name); !ok {
+			return r, fmt.Errorf("unknown fault structure %q", name)
+		}
+	}
+	if r.TargetInsts == 0 {
+		r.TargetInsts = 8_000
+	}
+	if r.TargetInsts > lim.MaxInsts {
+		return r, fmt.Errorf("target_insts %d exceeds server limit %d", r.TargetInsts, lim.MaxInsts)
 	}
 	return r, nil
 }
@@ -193,9 +227,11 @@ type FigurePayload struct {
 	Table  string                 `json:"table"`
 }
 
-// FaultsPayload is the /v1/faults result.
+// FaultsPayload is the /v1/faults result: one CampaignReport per
+// (workload, machine) pair with per-structure coverage and confidence
+// intervals, plus the rendered table.
 type FaultsPayload struct {
-	Results []harness.CampaignResult `json:"results"`
+	Reports []harness.CampaignReport `json:"reports"`
 	Table   string                   `json:"table"`
 }
 

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reese/internal/config"
 	"reese/internal/fault"
 	"reese/internal/harness"
 	"reese/internal/pipeline"
@@ -686,18 +687,56 @@ func runFigure(ctx context.Context, req FigureRequest, parallel int, progress *a
 
 // runFaults executes one FaultsRequest.
 func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *atomic.Uint64) (jobOutput, error) {
-	opt := harness.Options{Insts: req.Insts, Parallel: parallel, Ctx: ctx, Progress: progress}
-	table, results, err := harness.CampaignAll(req.Interval, opt)
-	if err != nil {
-		return jobOutput{}, err
+	opt := harness.Options{Parallel: parallel, Ctx: ctx, Progress: progress}
+	var payload FaultsPayload
+	if req.Workload == "" {
+		table, reports, err := harness.CampaignAll(req.Injections, req.Seed, opt)
+		if err != nil {
+			return jobOutput{}, err
+		}
+		payload = FaultsPayload{Reports: reports, Table: table}
+	} else {
+		// One workload: REESE vs baseline, RSQ-only structures dropped on
+		// the machine that has no R-stream Queue.
+		var b strings.Builder
+		for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
+			spec := harness.CampaignSpec{
+				Workload:    req.Workload,
+				Machine:     cfg,
+				Injections:  req.Injections,
+				Seed:        req.Seed,
+				TargetInsts: req.TargetInsts,
+			}
+			rsq := cfg.Reese.Enabled && cfg.Reese.Mode != config.ModeDupDispatch
+			for _, name := range req.Structures {
+				st, ok := fault.ParseStruct(name)
+				if !ok || (st.NeedsRSQ() && !rsq) {
+					continue
+				}
+				spec.Structures = append(spec.Structures, st)
+			}
+			if len(req.Structures) > 0 && len(spec.Structures) == 0 {
+				// Only RSQ structures were requested; keep the baseline half
+				// non-empty so the comparison still renders.
+				spec.Structures = []fault.Struct{fault.StructResult}
+			}
+			rep, err := harness.Campaign(spec, opt)
+			if err != nil {
+				return jobOutput{}, err
+			}
+			payload.Reports = append(payload.Reports, *rep)
+			b.WriteString(rep.Table())
+			b.WriteByte('\n')
+		}
+		payload.Table = b.String()
 	}
-	raw, merr := json.Marshal(FaultsPayload{Results: results, Table: table})
+	raw, merr := json.Marshal(payload)
 	if merr != nil {
 		return jobOutput{}, merr
 	}
 	var insts uint64
-	for range results {
-		insts += 2 * req.Insts // clean + faulty run per campaign row
+	for i := range payload.Reports {
+		insts += payload.Reports[i].Injected * payload.Reports[i].GoldenInsts
 	}
 	return jobOutput{payload: raw, insts: insts}, nil
 }

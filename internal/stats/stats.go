@@ -197,3 +197,39 @@ func Mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// Z95 is the standard-normal quantile for a two-sided 95% confidence
+// interval.
+const Z95 = 1.959963984540054
+
+// Wilson returns the Wilson score interval [lo, hi] for a binomial
+// proportion: successes out of n trials at confidence level z (use Z95
+// for 95%). Unlike the normal approximation it behaves sensibly at the
+// extremes — 0/n and n/n give intervals that don't collapse to a point,
+// and n=0 returns the vacuous [0, 1].
+func Wilson(successes, n uint64, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	nn := float64(n)
+	p := float64(successes) / nn
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := p + z2/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	// Pin the degenerate endpoints exactly: algebraically lo is 0 at zero
+	// successes (and hi is 1 at n of n), but the float evaluation leaves
+	// ±1e-18 residue that would make "coverage CI excludes 0" tests lie.
+	if successes == 0 {
+		lo = 0
+	}
+	if successes == n {
+		hi = 1
+	}
+	return math.Max(0, lo), math.Min(1, hi)
+}
+
+// Wilson95 is Wilson at 95% confidence.
+func Wilson95(successes, n uint64) (lo, hi float64) { return Wilson(successes, n, Z95) }

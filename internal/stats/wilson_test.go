@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonDegenerateCases(t *testing.T) {
+	// No observations: the interval must be vacuous, not NaN.
+	lo, hi := Wilson95(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("Wilson95(0, 0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+
+	// Zero successes pin the lower bound to 0 exactly; the upper bound
+	// must still be positive (we cannot rule the event out).
+	lo, hi = Wilson95(0, 50)
+	if lo != 0 {
+		t.Errorf("Wilson95(0, 50) lo = %v, want 0", lo)
+	}
+	if hi <= 0 || hi >= 0.2 {
+		t.Errorf("Wilson95(0, 50) hi = %v, want small positive", hi)
+	}
+
+	// All successes mirror that at the top.
+	lo, hi = Wilson95(50, 50)
+	if math.Abs(hi-1) > 1e-12 {
+		t.Errorf("Wilson95(50, 50) hi = %v, want 1", hi)
+	}
+	if lo >= 1 || lo <= 0.8 {
+		t.Errorf("Wilson95(50, 50) lo = %v, want just below 1", lo)
+	}
+}
+
+func TestWilsonContainsPointEstimate(t *testing.T) {
+	for _, tc := range []struct{ k, n uint64 }{
+		{1, 10}, {5, 10}, {9, 10}, {50, 100}, {997, 1000},
+	} {
+		lo, hi := Wilson95(tc.k, tc.n)
+		p := float64(tc.k) / float64(tc.n)
+		if p < lo || p > hi {
+			t.Errorf("Wilson95(%d, %d) = [%v, %v] excludes p̂=%v", tc.k, tc.n, lo, hi, p)
+		}
+		if lo < 0 || hi > 1 {
+			t.Errorf("Wilson95(%d, %d) = [%v, %v] escapes [0,1]", tc.k, tc.n, lo, hi)
+		}
+	}
+}
+
+func TestWilsonNarrowsWithSampleSize(t *testing.T) {
+	lo1, hi1 := Wilson95(8, 10)
+	lo2, hi2 := Wilson95(800, 1000)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Errorf("interval should narrow with n: n=10 width %v, n=1000 width %v", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestWilsonKnownValue(t *testing.T) {
+	// Classic reference point: 50% at n=100 with z=1.96 gives roughly
+	// [0.404, 0.596].
+	lo, hi := Wilson(50, 100, Z95)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Errorf("Wilson(50, 100) = [%v, %v], want ≈[0.404, 0.596]", lo, hi)
+	}
+}

@@ -163,10 +163,25 @@ func Table1() string { return harness.Table1() }
 // Table2 renders the paper's Table 2 (benchmarks and inputs).
 func Table2() string { return harness.Table2() }
 
-// Campaign runs a fault-injection campaign on one workload.
-func Campaign(cfg Config, workloadName string, interval uint64, opt Options) (harness.CampaignResult, error) {
-	return harness.Campaign(cfg, workloadName, interval, opt)
+// CampaignSpec configures a statistical fault-injection campaign; see
+// harness.Campaign.
+type CampaignSpec = harness.CampaignSpec
+
+// CampaignReport is a campaign's outcome: per-structure coverage with
+// Wilson 95% confidence intervals, every injection classified as
+// detected, recovered, SDC, masked, or hang against a golden run.
+type CampaignReport = harness.CampaignReport
+
+// Campaign runs a seeded statistical fault-injection campaign on one
+// workload: faults sampled over (instruction, structure, bit), each
+// injected run classified against an uninjected golden execution.
+func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
+	return harness.Campaign(spec, opt)
 }
+
+// FaultStructures returns the fault-target structures that exist on a
+// machine (RSQ structures only when it has an R-stream Queue).
+func FaultStructures(rsq bool) []fault.Struct { return fault.Structures(rsq) }
 
 // SpareSearch finds the number of spare integer ALUs needed to bring the
 // REESE machine within tolerance of the baseline — the paper's central
