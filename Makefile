@@ -24,7 +24,7 @@ test-race: vet
 # The tracked hot-path benchmark; results are appended to
 # BENCH_pipeline.json so the perf trajectory accumulates across commits.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pipeline.json -label "$(BENCH_LABEL)"
+	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkCampaignThroughput' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pipeline.json -label "$(BENCH_LABEL)"
 
 # One benchmark per paper table/figure, run once each.
 bench-all:
@@ -34,7 +34,7 @@ bench-all:
 # compiled in but disabled) and fail if sim-insts/s dropped >5% or
 # allocs/op grew versus the newest entry in BENCH_pipeline.json.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput' -benchmem . | $(GO) run ./cmd/benchjson -check -out BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkCampaignThroughput' -benchmem . | $(GO) run ./cmd/benchjson -check -out BENCH_pipeline.json
 
 # Observability demo: run a REESE simulation with the flight recorder
 # armed, print the stall attribution report, and dump a Perfetto trace.

@@ -228,6 +228,47 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignThroughput is the second tracked benchmark:
+// fault-injection trials per wall-clock second through the
+// checkpoint/fork replay engine (golden run memoized, so the steady
+// state measured here is pure per-trial cost — fork, suffix simulation,
+// splice). `make bench` appends it to BENCH_pipeline.json next to
+// BenchmarkSimThroughput.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	for _, bm := range []struct {
+		name string
+		cfg  config.Machine
+	}{
+		{"baseline", config.Starting()},
+		{"reese", config.Starting().WithReese()},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			spec := harness.CampaignSpec{
+				Workload:   "gcc",
+				Machine:    bm.cfg,
+				Injections: 200,
+				Seed:       7,
+			}
+			// Warm the golden-run memo so iteration 0 doesn't pay (or
+			// allocate) the instrumented golden simulation.
+			if _, err := harness.Campaign(spec, harness.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var injected uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := harness.Campaign(spec, harness.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				injected += uint64(rep.Injected)
+			}
+			b.ReportMetric(float64(injected)/b.Elapsed().Seconds(), "injections/s")
+		})
+	}
+}
+
 func BenchmarkSimBaselineGcc(b *testing.B) { benchSimulator(b, config.Starting(), "gcc") }
 
 func BenchmarkSimReeseGcc(b *testing.B) { benchSimulator(b, config.Starting().WithReese(), "gcc") }

@@ -104,7 +104,9 @@ func run(out, label string) error {
 // its newest tracked entry. Throughput (sim-insts/s) may drop at most
 // maxRegress percent; allocs/op may not grow at all — the cycle loop is
 // allocation-free by design and a single new allocation per op means
-// something landed on the hot path.
+// something landed on the hot path. Campaign benches (those reporting
+// injections/s) get a percent allocs budget instead, and their
+// throughput delta is reported without gating.
 func runCheck(out string, maxRegress float64) error {
 	data, err := os.ReadFile(out)
 	if err != nil {
@@ -145,7 +147,22 @@ func runCheck(out string, maxRegress float64) error {
 					e.Name, drop, bt, nt, maxRegress))
 			}
 		}
-		if ba, na := b.Metrics["allocs/op"], e.Metrics["allocs/op"]; na > ba {
+		campaign := e.Metrics["injections/s"] > 0
+		if bt, nt := b.Metrics["injections/s"], e.Metrics["injections/s"]; bt > 0 {
+			// Informational only: campaign wall time on a loaded runner is
+			// too noisy to gate, but the trajectory is tracked.
+			fmt.Fprintf(os.Stderr, "benchjson: %s injections/s %.0f -> %.0f (%+.1f%%)\n",
+				e.Name, bt, nt, 100*(nt-bt)/bt)
+		}
+		// The cycle loop is allocation-free by design, so hot-path benches
+		// get zero allocs/op growth. Campaign benches allocate per trial
+		// and recycle workers through a sync.Pool whose hit rate depends
+		// on GC timing; hold those to a percent budget instead.
+		allocBudget := 0.0
+		if campaign {
+			allocBudget = maxRegress
+		}
+		if ba, na := b.Metrics["allocs/op"], e.Metrics["allocs/op"]; na > ba*(1+allocBudget/100) {
 			failures = append(failures, fmt.Sprintf(
 				"%s: allocs/op grew %.0f -> %.0f (hot path must stay allocation-free)",
 				e.Name, ba, na))

@@ -39,6 +39,7 @@ func run() int {
 		targetInsts  = flag.Uint64("target-insts", 0, "approximate golden-run length in instructions (0 = default)")
 		jsonOut      = flag.Bool("json", false, "emit campaign reports as JSON instead of tables")
 		jsonlPath    = flag.String("jsonl", "", "stream per-trial JSONL records to this file (\"-\" = stdout)")
+		ckInterval   = flag.Uint64("checkpoint-interval", 0, "golden-run snapshot spacing in committed instructions (0 = default)")
 		parallel     = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		smoke        = flag.Bool("smoke", false, "tiny seeded campaign; exits non-zero unless in-sphere coverage is 100% with no hangs")
 		grid         = flag.Bool("grid", false, "sweep all 32 bit positions at one injection point")
@@ -76,18 +77,40 @@ func run() int {
 		return 0
 	}
 
+	// Trials stream to the sink as they complete rather than being
+	// buffered until every campaign finishes: a killed or wedged run
+	// keeps everything already classified.
+	var sink *json.Encoder
+	if *jsonlPath != "" {
+		w := os.Stdout
+		if *jsonlPath != "-" {
+			f, err := os.Create(*jsonlPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reese-faults:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		sink = json.NewEncoder(w)
+	}
+
 	var reports []harness.CampaignReport
 	for _, w := range workloads {
 		for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
 			spec := harness.CampaignSpec{
-				Workload:    w,
-				Machine:     cfg,
-				Injections:  *injections,
-				Seed:        *seed,
-				TargetInsts: *targetInsts,
+				Workload:           w,
+				Machine:            cfg,
+				Injections:         *injections,
+				Seed:               *seed,
+				TargetInsts:        *targetInsts,
+				CheckpointInterval: *ckInterval,
 			}
 			if len(structs) > 0 {
 				spec.Structures = usable(structs, cfg)
+			}
+			if sink != nil {
+				spec.TrialSink = func(t harness.Trial) error { return sink.Encode(&t) }
 			}
 			r, err := harness.Campaign(spec, opt)
 			if err != nil {
@@ -97,21 +120,17 @@ func run() int {
 			reports = append(reports, *r)
 		}
 	}
-	if *jsonlPath != "" {
-		if err := writeJSONL(*jsonlPath, reports); err != nil {
-			fmt.Fprintln(os.Stderr, "reese-faults:", err)
-			return 1
-		}
-	}
 	if *jsonOut {
 		return emitJSON(reports)
 	}
 	for i := range reports {
 		fmt.Println(reports[i].Table())
 		if reports[i].Detected+reports[i].Recovered > 0 {
-			fmt.Printf("detection latency: mean %.1f, p95 %d, max %d cycles\n\n",
+			fmt.Printf("detection latency: mean %.1f, p95 %d, max %d cycles\n",
 				reports[i].DetectionLatencyMean, reports[i].DetectionLatencyP95, reports[i].DetectionLatencyMax)
 		}
+		fmt.Printf("throughput: %d injections in %.2fs wall (%.0f injections/s)\n\n",
+			reports[i].Injected, reports[i].WallSeconds, reports[i].InjectionsPerSec)
 	}
 	return 0
 }
@@ -164,24 +183,6 @@ func emitJSON(reports []harness.CampaignReport) int {
 		return 1
 	}
 	return 0
-}
-
-func writeJSONL(path string, reports []harness.CampaignReport) error {
-	w := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	for i := range reports {
-		if err := reports[i].WriteJSONL(w); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // runSmoke is the CI gate: a small seeded campaign on the REESE machine

@@ -17,6 +17,13 @@ import "fmt"
 // speculative-update mode), while Train adjusts the pattern tables at
 // branch resolution. Update performs both, for standalone use.
 type Predictor interface {
+	// Clone returns an independent deep copy (used when forking a
+	// machine from a checkpoint).
+	Clone() Predictor
+	// StateEqual reports whether o is the same predictor kind with
+	// identical tables and history — the convergence test fork-based
+	// fault replay relies on.
+	StateEqual(o Predictor) bool
 	// Predict returns the predicted direction for the branch at pc.
 	Predict(pc uint32) bool
 	// ShiftHistory advances the speculative global history (no-op for
@@ -80,6 +87,9 @@ type Gshare struct {
 	history uint32
 	bits    uint32
 	mask    uint32
+	// readLog, when non-nil, collects the table entries Predict consults
+	// (see ReadLogger in readset.go).
+	readLog *ReadSet
 }
 
 var _ Predictor = (*Gshare)(nil)
@@ -104,7 +114,13 @@ func (g *Gshare) index(pc uint32) uint32 {
 }
 
 // Predict implements Predictor.
-func (g *Gshare) Predict(pc uint32) bool { return g.table[g.index(pc)].taken() }
+func (g *Gshare) Predict(pc uint32) bool {
+	i := g.index(pc)
+	if g.readLog != nil {
+		g.readLog.set(i)
+	}
+	return g.table[i].taken()
+}
 
 // ShiftHistory implements Predictor: it shifts the outcome into the
 // global history register.
@@ -148,11 +164,36 @@ func (g *Gshare) Update(pc uint32, taken bool) {
 // Name implements Predictor.
 func (g *Gshare) Name() string { return fmt.Sprintf("gshare:%d", g.bits) }
 
+// Clone implements Predictor.
+func (g *Gshare) Clone() Predictor {
+	cp := *g
+	cp.table = append([]counter(nil), g.table...)
+	cp.readLog = nil // logging does not survive a fork
+	return &cp
+}
+
+// StateEqual implements Predictor.
+func (g *Gshare) StateEqual(o Predictor) bool {
+	og, ok := o.(*Gshare)
+	if !ok || og.history != g.history || og.bits != g.bits || len(og.table) != len(g.table) {
+		return false
+	}
+	for i, v := range g.table {
+		if og.table[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Bimodal is a simple PC-indexed table of 2-bit counters.
 type Bimodal struct {
 	table []counter
 	mask  uint32
 	bits  uint32
+	// readLog, when non-nil, collects the table entries Predict consults
+	// (see ReadLogger in readset.go).
+	readLog *ReadSet
 }
 
 var _ Predictor = (*Bimodal)(nil)
@@ -170,7 +211,13 @@ func NewBimodal(bits uint32) (*Bimodal, error) {
 }
 
 // Predict implements Predictor.
-func (b *Bimodal) Predict(pc uint32) bool { return b.table[(pc>>2)&b.mask].taken() }
+func (b *Bimodal) Predict(pc uint32) bool {
+	i := (pc >> 2) & b.mask
+	if b.readLog != nil {
+		b.readLog.set(i)
+	}
+	return b.table[i].taken()
+}
 
 // ShiftHistory implements Predictor (bimodal keeps no history).
 func (b *Bimodal) ShiftHistory(taken bool) {}
@@ -195,6 +242,28 @@ func (b *Bimodal) Update(pc uint32, taken bool) { b.Train(pc, taken) }
 
 // Name implements Predictor.
 func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal:%d", b.bits) }
+
+// Clone implements Predictor.
+func (b *Bimodal) Clone() Predictor {
+	cp := *b
+	cp.table = append([]counter(nil), b.table...)
+	cp.readLog = nil // logging does not survive a fork
+	return &cp
+}
+
+// StateEqual implements Predictor.
+func (b *Bimodal) StateEqual(o Predictor) bool {
+	ob, ok := o.(*Bimodal)
+	if !ok || ob.bits != b.bits || len(ob.table) != len(b.table) {
+		return false
+	}
+	for i, v := range b.table {
+		if ob.table[i] != v {
+			return false
+		}
+	}
+	return true
+}
 
 // Static predicts a fixed direction (taken models "backward taken" well
 // enough for loop code; not-taken is the trivial baseline).
@@ -222,6 +291,15 @@ func (s *Static) Train(pc uint32, taken bool) {}
 
 // Update implements Predictor (no state).
 func (s *Static) Update(pc uint32, taken bool) {}
+
+// Clone implements Predictor (stateless: a value copy suffices).
+func (s *Static) Clone() Predictor { cp := *s; return &cp }
+
+// StateEqual implements Predictor.
+func (s *Static) StateEqual(o Predictor) bool {
+	os, ok := o.(*Static)
+	return ok && os.Taken == s.Taken
+}
 
 // Name implements Predictor.
 func (s *Static) Name() string {
@@ -316,4 +394,27 @@ func (c *Combining) Update(pc uint32, taken bool) {
 // Name implements Predictor.
 func (c *Combining) Name() string {
 	return fmt.Sprintf("comb(%s,%s)", c.p1.Name(), c.p2.Name())
+}
+
+// Clone implements Predictor: components clone recursively.
+func (c *Combining) Clone() Predictor {
+	cp := *c
+	cp.p1 = c.p1.Clone()
+	cp.p2 = c.p2.Clone()
+	cp.chooser = append([]counter(nil), c.chooser...)
+	return &cp
+}
+
+// StateEqual implements Predictor.
+func (c *Combining) StateEqual(o Predictor) bool {
+	oc, ok := o.(*Combining)
+	if !ok || len(oc.chooser) != len(c.chooser) {
+		return false
+	}
+	for i, v := range c.chooser {
+		if oc.chooser[i] != v {
+			return false
+		}
+	}
+	return c.p1.StateEqual(oc.p1) && c.p2.StateEqual(oc.p2)
 }

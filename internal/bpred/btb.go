@@ -79,6 +79,62 @@ func (b *BTB) Insert(pc, target uint32) {
 	b.lru[victim] = b.clock
 }
 
+// Clone returns an independent deep copy of the BTB.
+func (b *BTB) Clone() *BTB {
+	cp := *b
+	cp.tags = append([]uint32(nil), b.tags...)
+	cp.tgt = append([]uint32(nil), b.tgt...)
+	cp.valid = append([]bool(nil), b.valid...)
+	cp.lru = append([]uint64(nil), b.lru...)
+	return &cp
+}
+
+// StateEqualRanked reports whether two BTBs will behave identically from
+// here on. Tags, targets and valid bits must match exactly; recency is
+// compared by per-set rank order rather than raw lru clocks, because two
+// histories that touched a set in the same relative order but at
+// different absolute times (e.g. one machine replayed a few fetches
+// after a fault recovery) still make every future lookup and victim
+// choice identically.
+func (b *BTB) StateEqualRanked(o *BTB) bool {
+	if o.sets != b.sets || o.assoc != b.assoc {
+		return false
+	}
+	for j := range b.tags {
+		if b.valid[j] != o.valid[j] {
+			return false
+		}
+		if b.valid[j] && (b.tags[j] != o.tags[j] || b.tgt[j] != o.tgt[j]) {
+			return false
+		}
+	}
+	for set := uint32(0); set < b.sets; set++ {
+		base := set * b.assoc
+		for i := uint32(0); i < b.assoc; i++ {
+			j := base + i
+			if !b.valid[j] {
+				continue
+			}
+			// Rank of line j among its set's valid lines: how many are
+			// less recently used. O(assoc²) per set with tiny assoc.
+			var rb, ro int
+			for k := uint32(0); k < b.assoc; k++ {
+				jk := base + k
+				if b.valid[jk] && b.lru[jk] < b.lru[j] {
+					rb++
+				}
+				if o.valid[jk] && o.lru[jk] < o.lru[j] {
+					ro++
+				}
+			}
+			if rb != ro {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // RAS is a return-address stack predicting jr-via-ra returns. Pushes on
 // call (jal/jalr), pops on return.
 type RAS struct {
@@ -112,3 +168,30 @@ func (r *RAS) Pop() (uint32, bool) {
 
 // Depth returns the current logical stack depth.
 func (r *RAS) Depth() int { return r.top }
+
+// Clone returns an independent deep copy of the RAS.
+func (r *RAS) Clone() *RAS {
+	cp := *r
+	cp.stack = append([]uint32(nil), r.stack...)
+	return &cp
+}
+
+// StateEqual reports whether two stacks predict identically from here
+// on: same depth and same reachable entries. Slots deeper than size
+// below top have been overwritten and can never be popped, so they are
+// ignored.
+func (r *RAS) StateEqual(o *RAS) bool {
+	if o.size != r.size || o.top != r.top {
+		return false
+	}
+	lo := r.top - r.size
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < r.top; i++ {
+		if r.stack[i%r.size] != o.stack[i%o.size] {
+			return false
+		}
+	}
+	return true
+}

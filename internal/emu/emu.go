@@ -91,6 +91,42 @@ func (m *Machine) InstCount() uint64 { return m.icount }
 // Output returns the bytes emitted by "out" instructions.
 func (m *Machine) Output() []byte { return m.output }
 
+// FRegFile returns a copy of the FP register file.
+func (m *Machine) FRegFile() [isa.NumRegs]uint32 { return m.fregs }
+
+// StoreHash returns the running hash over the store sequence (DigestSeed
+// when no store has executed).
+func (m *Machine) StoreHash() uint64 { return m.storeHash }
+
+// StoreCount returns the number of stores executed.
+func (m *Machine) StoreCount() uint64 { return m.storeCount }
+
+// Clone returns a deep copy of the machine's architectural state that
+// reads and writes through memory instead of the original's image. The
+// caller supplies memory because machine forking shares page-granular
+// memory snapshots separately from the scalar state (see
+// pipeline.Checkpoint); program and decode tables are immutable and
+// stay shared.
+func (m *Machine) Clone(memory *program.Memory) *Machine {
+	cp := *m
+	cp.mem = memory
+	cp.output = append([]byte(nil), m.output...)
+	return &cp
+}
+
+// CloneInto is Clone reusing dst's allocations when possible. A nil dst
+// allocates fresh.
+func (m *Machine) CloneInto(dst *Machine, memory *program.Memory) *Machine {
+	if dst == nil {
+		return m.Clone(memory)
+	}
+	out := dst.output
+	*dst = *m
+	dst.mem = memory
+	dst.output = append(out[:0], m.output...)
+	return dst
+}
+
 // Trace describes one architecturally executed instruction. The pipeline
 // simulator consumes traces as its oracle stream.
 type Trace struct {

@@ -1,0 +1,58 @@
+package fu
+
+// CloneInto deep-copies the pool into dst (allocating when dst is nil),
+// reusing dst's occupancy slices when their capacity allows.
+func (p *Pool) CloneInto(dst *Pool) *Pool {
+	if dst == nil {
+		dst = &Pool{}
+	}
+	var prev [numKinds][]uint64
+	for k := range dst.busyUntil {
+		prev[k] = dst.busyUntil[k]
+	}
+	*dst = *p
+	for k := range p.busyUntil {
+		dst.busyUntil[k] = append(prev[k][:0], p.busyUntil[k]...)
+	}
+	return dst
+}
+
+// StateEqualAt reports whether two pools schedule identically from their
+// respective current cycles onward. Occupancy is absolute-time state, so
+// each deadline is normalized to a remaining-busy count relative to the
+// pool's own "now" (anything at or before now is simply free).
+func (p *Pool) StateEqualAt(o *Pool, nowP, nowO uint64) bool {
+	if p.cfg != o.cfg {
+		return false
+	}
+	for k := range p.busyUntil {
+		a, b := p.busyUntil[k], o.busyUntil[k]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			var ra, rb uint64
+			if a[i] > nowP {
+				ra = a[i] - nowP
+			}
+			if b[i] > nowO {
+				rb = b[i] - nowO
+			}
+			if ra != rb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ExtrapolateStats advances the pool counters as if the machine
+// repeated its last cycle n more times: prev is the counter snapshot
+// one cycle ago. Used by the hang fast-forward.
+func (p *Pool) ExtrapolateStats(prev Stats, n uint64) {
+	for k := range p.stats.Acquired {
+		p.stats.Acquired[k] += (p.stats.Acquired[k] - prev.Acquired[k]) * n
+		p.stats.BusyCycles[k] += (p.stats.BusyCycles[k] - prev.BusyCycles[k]) * n
+		p.stats.Denied[k] += (p.stats.Denied[k] - prev.Denied[k]) * n
+	}
+}

@@ -1,0 +1,503 @@
+package harness
+
+// Checkpoint/fork fast-forward for fault campaigns.
+//
+// The old campaign engine simulated every trial from cycle 0, even
+// though a trial's execution is byte-identical to the uninjected golden
+// run until its fault fires, and usually reconverges with the golden
+// run shortly after the fault is detected or dies out. This file
+// removes both redundancies:
+//
+//   - One instrumented golden run per (workload, target, machine,
+//     interval) takes periodic full-machine snapshots
+//     (pipeline.Checkpoint: pipeline + oracle scalars, predictors,
+//     caches, queues, plus a copy-on-write page image of architectural
+//     memory). Each trial forks from the latest checkpoint that
+//     provably precedes its injection point and simulates only the
+//     suffix.
+//   - At every later golden commit boundary the trial is compared
+//     against the golden machine under sequence/cycle normalization
+//     (pipeline.CPU.ConvergedWith). Once converged, the rest of the run
+//     is spliced from the golden result instead of simulated: final
+//     digests are reconstructed by folding the trial's divergent shadow
+//     state with the golden suffix, and the cycle count is the golden
+//     total shifted by the trial's boundary offset. Trials that never
+//     reconverge (SDC, hangs) simply keep simulating — the fallback is
+//     always sound.
+//
+// Everything here preserves the engine's core contract: equal specs
+// produce byte-identical reports at any parallelism, and every
+// per-trial record matches what a full from-scratch simulation of that
+// trial would have produced.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"reese/internal/bpred"
+
+	"reese/internal/config"
+	"reese/internal/emu"
+	"reese/internal/fault"
+	"reese/internal/mem"
+	"reese/internal/pipeline"
+	"reese/internal/program"
+	"reese/internal/workload"
+)
+
+// DefaultCheckpointInterval is the golden-run snapshot spacing in
+// committed instructions when CampaignSpec.CheckpointInterval is 0.
+// Smaller intervals shorten the simulated suffix per trial but grow
+// snapshot cost and memory; 512 keeps both small at campaign scale.
+const DefaultCheckpointInterval = 512
+
+// storeRec is one architectural store of the golden run, in commit
+// order — the suffix material for splicing a trial's store digest.
+type storeRec struct {
+	addr, width, value uint32
+}
+
+// destNone marks a dynamic instruction that writes no register.
+const destNone = 0xFF
+
+// emuGoldenCache memoizes the emulator-plane golden scan per
+// (workload, target): the digest, victim-eligibility lists, store
+// trace, and per-instruction destination registers are pure functions
+// of those two keys and are shared by every campaign — REESE and
+// baseline machines alike.
+var emuGoldenCache sync.Map // emuGoldenKey -> *emuGoldenEntry
+
+type emuGoldenKey struct {
+	workload string
+	target   uint64
+}
+
+type emuGoldenEntry struct {
+	once sync.Once
+	g    *golden
+	prog *program.Program
+	err  error
+}
+
+// goldenForSpec is the memoizing front end to goldenScan. The returned
+// golden is shared and must be treated as immutable.
+func goldenForSpec(wspec workload.Spec, target uint64) (*golden, *program.Program, error) {
+	v, _ := emuGoldenCache.LoadOrStore(emuGoldenKey{wspec.Name, target}, &emuGoldenEntry{})
+	e := v.(*emuGoldenEntry)
+	e.once.Do(func() {
+		e.g, e.prog, e.err = goldenScan(wspec, target)
+	})
+	return e.g, e.prog, e.err
+}
+
+// bundleCache memoizes the instrumented golden pipeline run (snapshots
+// and all) per (workload, target, machine, interval). A sweep that runs
+// many campaigns on the same configuration — or a server replaying the
+// same request — pays for the golden run once per process.
+var bundleCache sync.Map // bundleKey -> *bundleEntry
+
+type bundleKey struct {
+	workload string
+	target   uint64
+	machine  uint64
+	interval uint64
+}
+
+type bundleEntry struct {
+	once sync.Once
+	b    *campaignBundle
+	err  error
+}
+
+// machineHash fingerprints a machine configuration for memo keys. The
+// %#v rendering covers every field, nested structs included, so two
+// configs hash equal only when they simulate identically.
+func machineHash(m config.Machine) uint64 {
+	return emu.HashBytes([]byte(fmt.Sprintf("%#v", m)))
+}
+
+// campaignBundle is everything one (workload, machine) pair's trials
+// fork from: the emulator-plane golden, the golden pipeline run's final
+// result and digests, the checkpoint chain, and per-boundary metadata
+// for splicing.
+type campaignBundle struct {
+	g    *golden
+	prog *program.Program
+
+	// checkpoints[0] is the pre-run state (committed 0, always fork-
+	// eligible); the rest land one per crossed interval boundary, at the
+	// exact committed counts in marks (marks[i] ==
+	// checkpoints[i+1].Committed).
+	checkpoints []*pipeline.Checkpoint
+	marks       []uint64
+	// written[i] is the set of (int, fp) registers the golden run
+	// writes at or after checkpoints[i] — the registers whose final
+	// value the golden suffix determines regardless of a trial's shadow
+	// state at the boundary.
+	written [][2]uint32
+	// predReads[i] is the set of branch-predictor pattern-table entries
+	// the golden run consults at or after checkpoints[i]; convergence at
+	// a boundary compares only those entries (recovery replay retrains
+	// the tables, so exact equality would reject trials over counters
+	// that are never read again). Nil when the predictor cannot log
+	// reads.
+	predReads []*bpred.ReadSet
+
+	finalRes    pipeline.Result
+	finalCommit emu.Digest
+	finalOracle emu.Digest
+
+	budget uint64
+
+	// workers recycles per-trial machines and memory images: forking
+	// into a recycled CPU reuses its slice allocations, and the memory
+	// image is restored by page diffing instead of a full 8 MiB copy.
+	workers sync.Pool
+}
+
+// bundleForSpec builds (or returns the memoized) campaign bundle for a
+// defaulted spec.
+func bundleForSpec(spec CampaignSpec, wspec workload.Spec) (*campaignBundle, error) {
+	key := bundleKey{
+		workload: spec.Workload,
+		target:   spec.TargetInsts,
+		machine:  machineHash(spec.Machine),
+		interval: spec.CheckpointInterval,
+	}
+	v, _ := bundleCache.LoadOrStore(key, &bundleEntry{})
+	e := v.(*bundleEntry)
+	e.once.Do(func() {
+		e.b, e.err = buildBundle(spec, wspec)
+	})
+	return e.b, e.err
+}
+
+// buildBundle runs the instrumented golden pipeline simulation: one
+// full run with dirty-tracked memory, snapshotting the whole machine at
+// every interval boundary, then derives the splice metadata.
+func buildBundle(spec CampaignSpec, wspec workload.Spec) (*campaignBundle, error) {
+	g, prog, err := goldenForSpec(wspec, spec.TargetInsts)
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := pipeline.New(spec.Machine, prog, fault.None{})
+	if err != nil {
+		return nil, err
+	}
+	b := &campaignBundle{
+		g:      g,
+		prog:   prog,
+		budget: 2*g.total + 20_000,
+	}
+
+	memory := cpu.OracleMemory()
+	memory.EnableDirtyTracking()
+	img := mem.SnapshotPages(memory.Bytes(), nil, nil)
+	memory.ClearDirty()
+	b.checkpoints = append(b.checkpoints, cpu.Snapshot(img))
+
+	// Per-interval predictor read logs; reverse-accumulated into suffix
+	// masks below. predEntries is 0 for predictors that cannot log.
+	predEntries := cpu.PredReadEntries()
+	var intervals []*bpred.ReadSet
+	var curReads *bpred.ReadSet
+	if predEntries > 0 {
+		curReads = bpred.NewReadSet(predEntries)
+		cpu.SetPredReadLog(curReads)
+	}
+
+	interval := spec.CheckpointInterval
+	var hookMarks []uint64
+	for m := interval; m < g.total; m += interval {
+		hookMarks = append(hookMarks, m)
+	}
+	cpu.SetBoundaryHook(hookMarks, func(c *pipeline.CPU) bool {
+		next := mem.SnapshotPages(memory.Bytes(), memory.DirtyPages(), img)
+		memory.ClearDirty()
+		img = next
+		b.checkpoints = append(b.checkpoints, c.Snapshot(img))
+		if curReads != nil {
+			intervals = append(intervals, curReads)
+			curReads = bpred.NewReadSet(predEntries)
+			cpu.SetPredReadLog(curReads)
+		}
+		return false
+	})
+
+	res, err := cpu.Run(b.budget)
+	if err != nil {
+		return nil, fmt.Errorf("harness: golden pipeline run of %s on %s: %w", spec.Workload, spec.Machine.Name, err)
+	}
+	b.finalRes = res
+	b.finalCommit = cpu.CommitDigest()
+	b.finalOracle = cpu.OracleDigest()
+	// The splice algebra assumes the golden pipeline run retires the
+	// exact architectural work of the emulator reference. A mismatch is
+	// a simulator bug; refusing here beats silently misclassifying
+	// every spliced trial.
+	if b.finalCommit != g.digest || b.finalOracle != g.digest {
+		return nil, fmt.Errorf("harness: golden pipeline run of %s on %s diverged from the emulator reference", spec.Workload, spec.Machine.Name)
+	}
+
+	b.marks = make([]uint64, 0, len(b.checkpoints)-1)
+	for _, ck := range b.checkpoints[1:] {
+		b.marks = append(b.marks, ck.Committed)
+	}
+
+	// predReads[i]: pattern-table entries consulted at or after
+	// checkpoints[i], by reverse union of the interval logs (intervals[j]
+	// covers checkpoint j to j+1; the tail after the last checkpoint is
+	// appended here).
+	if curReads != nil {
+		cpu.SetPredReadLog(nil)
+		intervals = append(intervals, curReads)
+		if len(intervals) != len(b.checkpoints) {
+			return nil, fmt.Errorf("harness: %d predictor read intervals for %d checkpoints", len(intervals), len(b.checkpoints))
+		}
+		b.predReads = make([]*bpred.ReadSet, len(b.checkpoints))
+		acc := bpred.NewReadSet(predEntries)
+		for i := len(intervals) - 1; i >= 0; i-- {
+			intervals[i].OrInto(acc)
+			b.predReads[i] = acc.Clone()
+		}
+	}
+
+	// written[i]: registers the golden run writes at instruction index
+	// >= checkpoints[i].Committed, by one backward scan over the
+	// per-instruction destination records.
+	b.written = make([][2]uint32, len(b.checkpoints))
+	var intM, fpM uint32
+	bi := len(b.checkpoints) - 1
+	for idx := int64(g.total) - 1; idx >= 0; idx-- {
+		for bi >= 0 && b.checkpoints[bi].Committed == uint64(idx)+1 {
+			b.written[bi] = [2]uint32{intM, fpM}
+			bi--
+		}
+		if r := g.destReg[idx]; r != destNone {
+			if g.destFP[idx] {
+				fpM |= 1 << (r & 31)
+			} else {
+				intM |= 1 << (r & 31)
+			}
+		}
+	}
+	for bi >= 0 {
+		b.written[bi] = [2]uint32{intM, fpM}
+		bi--
+	}
+	return b, nil
+}
+
+// forkPoint returns the index of the latest checkpoint a fault aimed at
+// seq can fork from. Checkpoint 0 (the pre-run state) is always
+// eligible.
+func (b *campaignBundle) forkPoint(seq uint64) int {
+	for i := len(b.checkpoints) - 1; i > 0; i-- {
+		if b.checkpoints[i].ForkEligible(seq) {
+			return i
+		}
+	}
+	return 0
+}
+
+// boundaryIndex maps a trial's committed count at a boundary hook to
+// the matching checkpoint index. A miss (the trial's commit bundle
+// overshot the golden boundary by a different amount) means states
+// cannot be aligned at this boundary; the caller keeps simulating.
+func (b *campaignBundle) boundaryIndex(committed uint64) (int, bool) {
+	i := sort.Search(len(b.marks), func(i int) bool { return b.marks[i] >= committed })
+	if i < len(b.marks) && b.marks[i] == committed {
+		return i + 1, true
+	}
+	return 0, false
+}
+
+// campaignWorker is one recycled trial executor: a fork-destination CPU
+// and a memory image restored by page diffing between trials.
+type campaignWorker struct {
+	cpu *pipeline.CPU
+	mem *program.Memory
+	// prov[p] identifies (by page-content address) which snapshot page
+	// the worker's page p currently equals; nil means unknown. Pages the
+	// previous trial dirtied are invalidated, so adoption copies only
+	// pages that actually differ from the wanted image.
+	prov []*byte
+}
+
+// adopt restores the worker's memory to the checkpoint image, copying
+// only pages whose provenance differs, and resets dirty tracking so the
+// trial's own writes can be diffed at reconvergence boundaries.
+func (w *campaignWorker) adopt(prog *program.Program, img *mem.PageImage) error {
+	if w.mem == nil {
+		m, err := program.LoadMemory(prog)
+		if err != nil {
+			return err
+		}
+		w.mem = m
+		w.mem.EnableDirtyTracking()
+		w.prov = make([]*byte, img.NumPages())
+	}
+	for p, d := range w.mem.DirtyPages() {
+		if d {
+			w.prov[p] = nil
+		}
+	}
+	for p := 0; p < img.NumPages(); p++ {
+		pg := img.PageAt(p)
+		ptr := &pg[0]
+		if w.prov[p] == ptr {
+			continue
+		}
+		w.mem.Overwrite(p*mem.PageSize, pg)
+		w.prov[p] = ptr
+	}
+	w.mem.ClearDirty()
+	return nil
+}
+
+// memConverged reports whether the worker's live memory equals the
+// golden boundary image. Only pages the trial wrote since the fork, or
+// that the golden run changed between fork and boundary (different page
+// identity), can differ; everything else is byte-identical by
+// construction and is skipped.
+func (w *campaignWorker) memConverged(fork, bound *mem.PageImage) bool {
+	dirty := w.mem.DirtyPages()
+	live := w.mem.Bytes()
+	for p := 0; p < bound.NumPages(); p++ {
+		bp := bound.PageAt(p)
+		fp := fork.PageAt(p)
+		if !dirty[p] && &fp[0] == &bp[0] {
+			continue
+		}
+		lo := p * mem.PageSize
+		if !bytes.Equal(live[lo:lo+len(bp)], bp) {
+			return false
+		}
+	}
+	return true
+}
+
+// getWorker pops a recycled worker (or makes a fresh one).
+func (b *campaignBundle) getWorker() *campaignWorker {
+	if w, ok := b.workers.Get().(*campaignWorker); ok {
+		return w
+	}
+	return &campaignWorker{}
+}
+
+// runTrial executes one planned trial by forking from the nearest
+// eligible checkpoint, filling in the trial's outcome fields exactly as
+// a full from-scratch simulation would have.
+func (b *campaignBundle) runTrial(ctx context.Context, t *Trial, opt Options) error {
+	st, _ := fault.ParseStruct(t.Structure)
+	inj := &fault.AtStruct{Struct: st, Seq: t.Seq, Bit: t.Bit, Reg: t.Reg}
+
+	w := b.getWorker()
+	defer b.workers.Put(w)
+
+	fork := b.checkpoints[b.forkPoint(t.Seq)]
+	if err := w.adopt(b.prog, fork.Mem); err != nil {
+		return err
+	}
+	cpu, err := fork.Fork(w.mem, inj, w.cpu)
+	if err != nil {
+		return err
+	}
+	w.cpu = cpu
+	cpu.SetProgress(opt.Progress)
+	cpu.SetHangFastForward(true)
+
+	// At every golden boundary after the fault fires, try to splice:
+	// if the whole machine (micro-architecture, oracle scalars, memory)
+	// has reconverged with the golden state, the rest of the run is the
+	// golden suffix and needs no simulation.
+	splicedAt := -1
+	var splicedCommit emu.Digest
+	cpu.SetBoundaryHook(b.marks, func(c *pipeline.CPU) bool {
+		if !inj.Fired() {
+			return false
+		}
+		bi, ok := b.boundaryIndex(c.Committed())
+		if !ok {
+			return false
+		}
+		ck := b.checkpoints[bi]
+		var reads *bpred.ReadSet
+		if b.predReads != nil {
+			reads = b.predReads[bi]
+		}
+		if !ck.StateConvergedMasked(c, reads) {
+			return false
+		}
+		if !w.memConverged(fork.Mem, ck.Mem) {
+			return false
+		}
+		splicedAt = bi
+		splicedCommit = b.spliceCommitDigest(bi, c.CommitDigest())
+		return true
+	})
+
+	res, err := cpu.RunContext(ctx, b.budget)
+	if err != nil {
+		return err
+	}
+
+	commit, oracle := cpu.CommitDigest(), cpu.OracleDigest()
+	if splicedAt >= 0 {
+		ck := b.checkpoints[splicedAt]
+		// The trial ran [fork, boundary] live; the golden run covers the
+		// rest. Total cycles are the golden total shifted by how far the
+		// trial's boundary arrival drifted from the golden run's (a
+		// recovery replays instructions, so the drift is the recovery
+		// penalty and stays in the final count).
+		res.Cycles = b.finalRes.Cycles + (res.Cycles - ck.Cycle)
+		res.Committed = b.finalRes.Committed
+		res.Hanged = false
+		commit, oracle = splicedCommit, b.finalOracle
+	}
+
+	t.Fired = inj.Fired()
+	t.outcome = classify(res, commit, oracle, b.g.digest)
+	t.Outcome = t.outcome.String()
+	t.Cycles = res.Cycles
+	t.Committed = res.Committed
+	t.Latency = 0
+	if t.outcome == fault.OutcomeDetected || t.outcome == fault.OutcomeRecovered {
+		t.Latency = res.DetectionLatencyMax
+	}
+	return nil
+}
+
+// spliceCommitDigest reconstructs the final commit digest of a trial
+// that reconverged at boundary bi, without simulating the suffix:
+//
+//   - registers the golden run writes in the suffix end at their golden
+//     final values; the rest keep the trial's boundary values (this is
+//     how a committed-but-dead corruption still surfaces as SDC);
+//   - the store digest folds the golden suffix store sequence onto the
+//     trial's boundary hash (commit order and values match the golden
+//     suffix exactly once converged — only the prefix hash can differ);
+//   - output, halt state, and counts are the golden finals (the oracle
+//     comparison behind StateConverged requires the boundary output to
+//     match byte-for-byte).
+func (b *campaignBundle) spliceCommitDigest(bi int, boundary emu.Digest) emu.Digest {
+	out := b.finalCommit
+	wInt, wFP := b.written[bi][0], b.written[bi][1]
+	for r := 0; r < 32; r++ {
+		if wInt&(1<<r) == 0 {
+			out.Regs[r] = boundary.Regs[r]
+		}
+		if wFP&(1<<r) == 0 {
+			out.FRegs[r] = boundary.FRegs[r]
+		}
+	}
+	h := boundary.StoreHash
+	for _, s := range b.g.storeRecs[b.checkpoints[bi].StoreCount:] {
+		h = emu.MixStore(h, s.addr, s.width, s.value)
+	}
+	out.StoreHash = h
+	return out
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+	"reese/internal/workload"
+)
+
+// TestForkFromCheckpointMatchesScratchRun is the core soundness
+// property of checkpoint/fork replay: an uninjected machine forked from
+// any checkpoint and run to completion must finish in exactly the state
+// the golden from-scratch run finished in — same cycle count, same
+// commit and oracle digests, same stall attribution.
+func TestForkFromCheckpointMatchesScratchRun(t *testing.T) {
+	for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
+		spec, _ := CampaignSpec{
+			Workload: "li",
+			Machine:  cfg,
+			Seed:     1,
+		}.withDefaults()
+		wspec, ok := workload.ByName(spec.Workload)
+		if !ok {
+			t.Fatalf("unknown workload %q", spec.Workload)
+		}
+		b, err := bundleForSpec(spec, wspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.checkpoints) < 3 {
+			t.Fatalf("golden run produced %d checkpoints, want >= 3", len(b.checkpoints))
+		}
+
+		// Checkpoint 0 (the pre-run state), the last one, and a few
+		// seeded-random interior picks.
+		rng := rand.New(rand.NewSource(0xC0FFEE))
+		picks := []int{0, len(b.checkpoints) - 1}
+		for i := 0; i < 3; i++ {
+			picks = append(picks, 1+rng.Intn(len(b.checkpoints)-1))
+		}
+
+		for _, i := range picks {
+			ck := b.checkpoints[i]
+			w := &campaignWorker{}
+			if err := w.adopt(b.prog, ck.Mem); err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := ck.Fork(w.mem, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cpu.Run(b.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != b.finalRes.Cycles || res.Committed != b.finalRes.Committed {
+				t.Errorf("%s fork@%d (commit %d): finished at cycle %d / %d insts, golden %d / %d",
+					cfg.Name, i, ck.Committed, res.Cycles, res.Committed, b.finalRes.Cycles, b.finalRes.Committed)
+			}
+			if got := cpu.CommitDigest(); got != b.finalCommit {
+				t.Errorf("%s fork@%d: commit digest diverged from golden", cfg.Name, i)
+			}
+			if got := cpu.OracleDigest(); got != b.finalOracle {
+				t.Errorf("%s fork@%d: oracle digest diverged from golden", cfg.Name, i)
+			}
+			if !reflect.DeepEqual(res.Stalls, b.finalRes.Stalls) {
+				t.Errorf("%s fork@%d: stall ledger diverged from golden:\nfork   %+v\ngolden %+v",
+					cfg.Name, i, res.Stalls, b.finalRes.Stalls)
+			}
+		}
+	}
+}
+
+// TestCampaignInvariantToCheckpointInterval pins the engine's headline
+// guarantee: per-trial results are a pure function of the campaign spec
+// and seed, not of the snapshot schedule. An interval larger than the
+// workload degenerates to full-prefix simulation with no splice
+// opportunities, so equality across these runs is fork+splice vs.
+// from-scratch equivalence for every trial — exercised across all
+// fault structures the machine supports.
+func TestCampaignInvariantToCheckpointInterval(t *testing.T) {
+	base := CampaignSpec{
+		Workload:   "gcc", // hosts victims for all eight structures
+		Machine:    config.Starting().WithReese(),
+		Injections: 120,
+		Seed:       0xBEEF,
+		Structures: fault.Structures(true),
+	}
+	render := func(interval uint64) (string, string) {
+		spec := base
+		spec.CheckpointInterval = interval
+		rep, err := Campaign(spec, Options{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep.Table()
+	}
+	refJSONL, refTable := render(0) // DefaultCheckpointInterval
+	for _, interval := range []uint64{64, 1 << 20} {
+		jsonl, table := render(interval)
+		if jsonl != refJSONL {
+			t.Errorf("per-trial JSONL differs between interval %d and the default", interval)
+		}
+		if table != refTable {
+			t.Errorf("report table differs between interval %d and the default", interval)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"reese/internal/config"
 	"reese/internal/emu"
@@ -37,6 +39,18 @@ type CampaignSpec struct {
 	// before halting (0 = 8000). Runs go to halt, not to a budget, so
 	// clean and recovered runs end in identical architectural state.
 	TargetInsts uint64 `json:"target_insts,omitempty"`
+	// CheckpointInterval is the golden-run snapshot spacing in committed
+	// instructions (0 = DefaultCheckpointInterval). Trials fork from the
+	// nearest checkpoint before their injection point instead of
+	// simulating the prefix; the interval trades snapshot memory against
+	// simulated suffix length. Any interval produces byte-identical
+	// reports — it only changes wall-clock time.
+	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
+	// TrialSink, when non-nil, receives every completed trial in plan
+	// order as soon as it (and all lower-indexed trials) finish —
+	// streaming JSONL writers see records during the campaign instead of
+	// after it. A sink error aborts the campaign.
+	TrialSink func(Trial) error `json:"-"`
 }
 
 // withDefaults fills the zero fields. defaulted reports whether the
@@ -49,6 +63,9 @@ func (s CampaignSpec) withDefaults() (_ CampaignSpec, defaulted bool) {
 	}
 	if s.TargetInsts == 0 {
 		s.TargetInsts = 8_000
+	}
+	if s.CheckpointInterval == 0 {
+		s.CheckpointInterval = DefaultCheckpointInterval
 	}
 	if len(s.Structures) == 0 {
 		s.Structures = fault.Structures(s.rsq())
@@ -164,6 +181,14 @@ type CampaignReport struct {
 
 	Structures []StructureCoverage `json:"structures"`
 
+	// WallSeconds and InjectionsPerSec measure campaign throughput:
+	// wall-clock time for planning plus every trial (golden-run
+	// construction included on a cold cache), and trials completed per
+	// second. Unlike everything else in the report they depend on the
+	// host, not just the spec.
+	WallSeconds      float64 `json:"wall_seconds,omitempty"`
+	InjectionsPerSec float64 `json:"injections_per_sec,omitempty"`
+
 	// Trials carries the raw per-injection records (use WriteJSONL to
 	// stream them); excluded from the report's own JSON form.
 	Trials []Trial `json:"-"`
@@ -203,7 +228,9 @@ func (r *CampaignReport) Table() string {
 }
 
 // golden is the uninjected reference execution: its final architectural
-// digest plus the eligibility lists trial sampling draws victims from.
+// digest plus the eligibility lists trial sampling draws victims from,
+// plus the commit-order records checkpoint splicing folds with
+// (checkpoint.go).
 type golden struct {
 	digest emu.Digest
 	total  uint64
@@ -212,6 +239,13 @@ type golden struct {
 	observable []uint64
 	mems       []uint64
 	stores     []uint64
+	// storeRecs is every architectural store in commit order; destReg/
+	// destFP record each dynamic instruction's destination register
+	// (destNone = no write) — the raw material for splicing a trial's
+	// final digest from a reconvergence boundary.
+	storeRecs []storeRec
+	destReg   []uint8
+	destFP    []bool
 }
 
 // goldenScan sizes the program (growing the workload's iteration count
@@ -248,7 +282,14 @@ func goldenScan(spec workload.Spec, target uint64) (*golden, *program.Program, e
 			}
 			if op.IsStore() {
 				g.stores = append(g.stores, seq)
+				g.storeRecs = append(g.storeRecs, storeRec{tr.Addr, tr.MemWidth, tr.StoreValue})
 			}
+			dest, fp := uint8(destNone), false
+			if r, isFP, ok := tr.DestReg(); ok && (isFP || r != 0) {
+				dest, fp = uint8(r), isFP
+			}
+			g.destReg = append(g.destReg, dest)
+			g.destFP = append(g.destFP, fp)
 		}
 		g.digest = m.Digest()
 		g.total = m.InstCount()
@@ -318,7 +359,13 @@ func (r *campaignRNG) intn(n int) int { return int(r.next() % uint64(n)) }
 // pool (opt.Parallel), and reported in plan order, so the report is
 // byte-identical however it is scheduled. opt.Insts is ignored — runs
 // go to halt, sized by spec.TargetInsts.
+//
+// Each trial forks from a checkpoint of a memoized golden run and
+// simulates only the slice of execution its fault can influence
+// (checkpoint.go); the records it produces are byte-identical to full
+// from-scratch simulations of every trial.
 func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
+	start := time.Now()
 	opt = opt.normalize()
 	spec, defaulted := spec.withDefaults()
 	wspec, ok := workload.ByName(spec.Workload)
@@ -337,10 +384,11 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		}
 	}
 
-	g, prog, err := goldenScan(wspec, spec.TargetInsts)
+	bundle, err := bundleForSpec(spec, wspec)
 	if err != nil {
 		return nil, err
 	}
+	g := bundle.g
 
 	// victimsFor is the structure's eligible-victim list; sampled is
 	// false for the architectural sites (regfile, fetch PC), which can
@@ -394,33 +442,42 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		}
 	}
 
-	// Execute. Each trial is independent; results land in plan order.
-	budget := 2*g.total + 20_000
+	// Execute. Each trial is independent and forks from the bundle's
+	// checkpoint chain; results land in plan order. The sink (when
+	// installed) flushes the longest completed prefix so downstream
+	// writers stream records in order during the run.
+	var (
+		sinkMu   sync.Mutex
+		sinkDone []bool
+		sinkNext int
+		sinkErr  error
+	)
+	if spec.TrialSink != nil {
+		sinkDone = make([]bool, len(trials))
+	}
 	err = forEach(len(trials), opt.Parallel, func(i int) error {
-		t := &trials[i]
-		st, _ := fault.ParseStruct(t.Structure)
-		inj := &fault.AtStruct{Struct: st, Seq: t.Seq, Bit: t.Bit, Reg: t.Reg}
-		cpu, err := pipeline.New(spec.Machine, prog, inj)
-		if err != nil {
+		if err := bundle.runTrial(opt.Ctx, &trials[i], opt); err != nil {
 			return err
 		}
-		cpu.SetProgress(opt.Progress)
-		res, err := cpu.RunContext(opt.Ctx, budget)
-		if err != nil {
-			return err
+		if spec.TrialSink == nil {
+			return nil
 		}
-		t.Fired = inj.Fired()
-		t.outcome = classify(res, cpu.CommitDigest(), cpu.OracleDigest(), g.digest)
-		t.Outcome = t.outcome.String()
-		t.Cycles = res.Cycles
-		t.Committed = res.Committed
-		if t.outcome == fault.OutcomeDetected || t.outcome == fault.OutcomeRecovered {
-			t.Latency = res.DetectionLatencyMax
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		sinkDone[i] = true
+		for sinkNext < len(trials) && sinkDone[sinkNext] {
+			if sinkErr == nil {
+				sinkErr = spec.TrialSink(trials[sinkNext])
+			}
+			sinkNext++
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("harness: trial sink: %w", sinkErr)
 	}
 
 	// Aggregate in plan order.
@@ -472,6 +529,10 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		rep.DetectionLatencyMean = lat.Mean()
 		rep.DetectionLatencyP95 = lat.Percentile(95)
 		rep.DetectionLatencyMax = lat.Max()
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	if rep.WallSeconds > 0 {
+		rep.InjectionsPerSec = float64(rep.Injected) / rep.WallSeconds
 	}
 	return rep, nil
 }

@@ -156,6 +156,33 @@ type CPU struct {
 	// can wedge the machine; a campaign worker must not wedge with it).
 	hangLimit uint64
 	hanged    bool
+	// Watchdog position — CPU fields rather than RunContext locals so a
+	// forked machine (snapshot.go) resumes the golden run's no-commit
+	// window exactly where the snapshot left it.
+	lastCommitted   uint64
+	lastCommitCycle uint64
+
+	// Commit-count boundary hook (snapshot.go): when hookFn is non-nil
+	// the cycle loop invokes it once whenever committed first reaches
+	// hookMarks[hookIdx]. The golden instrumented run snapshots there;
+	// forked trials attempt to splice back onto the golden run there. A
+	// true return stops the run.
+	hookMarks []uint64
+	hookIdx   int
+	hookFn    func(*CPU) bool
+
+	// hookHorizon is one past the highest sequence number ever presented
+	// to the writeback/RSQ fault-injection sites. A checkpoint is a safe
+	// fork point for a fault at seq only if no site call at or beyond seq
+	// happened before it (converge.go's fork-eligibility rule).
+	hookHorizon uint64
+
+	// hangFF enables the periodicity hang fast-forward (converge.go);
+	// ffScratch is its reusable probe snapshot and ffProbeAge the commit-
+	// drought depth the probe was captured at (0 = no live probe).
+	hangFF     bool
+	ffScratch  *CPU
+	ffProbeAge uint64
 
 	// Shadow architectural state rebuilt from latched commit values
 	// (what the timing machine actually retired, as opposed to the
@@ -464,9 +491,6 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 		capCycles = 200*maxInsts + 1_000_000
 	}
 	nextCtxCheck := c.cycle + ctxCheckInterval
-	// No-commit watchdog state: the cycle of the last observed commit.
-	lastCommitted := c.committed
-	lastCommitCycle := c.cycle
 	for !c.done && !c.permError {
 		if c.instLimit > 0 && c.committed >= c.instLimit {
 			break
@@ -482,16 +506,44 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 			nextCtxCheck = c.cycle + ctxCheckInterval
 		}
 		c.step()
-		if c.committed != lastCommitted {
-			lastCommitted = c.committed
-			lastCommitCycle = c.cycle
-		} else if c.hangLimit > 0 && c.cycle-lastCommitCycle >= c.hangLimit {
-			// The machine is wedged (an injected fault can do this — a
-			// corrupted fetch PC off the text segment ends the oracle
-			// stream, and nothing will ever commit again). Terminate
-			// cleanly: Hanged is a classifiable outcome, not an error.
-			c.hanged = true
-			break
+		if c.committed != c.lastCommitted {
+			c.lastCommitted = c.committed
+			c.lastCommitCycle = c.cycle
+			c.ffProbeAge = 0 // drought over; any held probe is stale
+		} else if c.hangLimit > 0 {
+			d := c.cycle - c.lastCommitCycle
+			if d >= c.hangLimit {
+				// The machine is wedged (an injected fault can do this — a
+				// corrupted fetch PC off the text segment ends the oracle
+				// stream, and nothing will ever commit again). Terminate
+				// cleanly: Hanged is a classifiable outcome, not an error.
+				c.hanged = true
+				break
+			}
+			// Hang fast-forward (converge.go): deep in a commit drought,
+			// hold a probe snapshot and compare the live state against it
+			// every cycle; a match proves the machine loops with period
+			// c.cycle - probe.cycle and the run jumps to the watchdog.
+			// The probe refreshes at each power-of-two depth so a period-p
+			// loop is caught once the probe is ≥ p cycles old.
+			if c.hangFF {
+				if c.ffProbeAge > 0 && c.tryHangFastForward(c.ffScratch) {
+					c.hanged = true
+					break
+				}
+				if d >= hangProbeMin && d&(d-1) == 0 && d != c.ffProbeAge {
+					c.probeSnapshot()
+					c.ffProbeAge = d
+				}
+			}
+		}
+		if c.hookFn != nil && c.hookIdx < len(c.hookMarks) && c.committed >= c.hookMarks[c.hookIdx] {
+			for c.hookIdx < len(c.hookMarks) && c.committed >= c.hookMarks[c.hookIdx] {
+				c.hookIdx++
+			}
+			if c.hookFn(c) {
+				break
+			}
 		}
 	}
 	c.reportProgress()

@@ -702,6 +702,9 @@ func (c *CPU) writeback() {
 				e.StoreValueP ^= c.stuck.Mask()
 			}
 		}
+		if e.Seq >= c.hookHorizon {
+			c.hookHorizon = e.Seq + 1
+		}
 		if inj, ok := c.injector.Decide(e.Seq, e.Trace); ok {
 			e.ResultP, e.NextPCP, e.AddrP, e.StoreValueP = fault.Apply(inj, e.Trace)
 			e.FaultBit = inj.Bit % 32
@@ -936,6 +939,9 @@ func (c *CPU) commitReese() int {
 			FaultBit:    e.FaultBit,
 			FaultCycle:  e.FaultCycle,
 			LSQSeq:      e.LSQSeq,
+		}
+		if e.Seq >= c.hookHorizon {
+			c.hookHorizon = e.Seq + 1
 		}
 		if c.sites != nil {
 			if cor, ok := c.sites.RSQEnqueue(e.Seq, e.Trace); ok {

@@ -165,7 +165,17 @@ func (p *Program) Disassemble() []string {
 // emulator and as the backing store behind the simulated caches.
 type Memory struct {
 	bytes []byte
+	// dirty, when non-nil, flags each dirtyPage-sized page written since
+	// the last ClearDirty — the bookkeeping behind copy-on-write machine
+	// snapshots (EnableDirtyTracking; see internal/mem's PageImage). The
+	// nil check is the only cost paid by untracked memories.
+	dirty []bool
 }
+
+// dirtyPageShift is log2 of the dirty-tracking page size. It must match
+// mem.PageShift — internal/mem consumes the dirty flags but cannot be
+// imported here without inverting the dependency between the packages.
+const dirtyPageShift = 12
 
 // LoadMemory builds a fresh memory image with p's text and data segments
 // in place.
@@ -216,6 +226,9 @@ func (m *Memory) WriteWord(addr, v uint32) error {
 		return err
 	}
 	binary.LittleEndian.PutUint32(m.bytes[addr:], v)
+	if m.dirty != nil {
+		m.dirty[addr>>dirtyPageShift] = true
+	}
 	return nil
 }
 
@@ -261,7 +274,45 @@ func (m *Memory) Write(addr, width, v uint32) error {
 	default:
 		binary.LittleEndian.PutUint32(m.bytes[addr:], v)
 	}
+	if m.dirty != nil {
+		// Accesses are naturally aligned, so a write never crosses a page.
+		m.dirty[addr>>dirtyPageShift] = true
+	}
 	return nil
+}
+
+// EnableDirtyTracking starts page-granular write tracking: from now on
+// every mutation flags its page in DirtyPages. Idempotent.
+func (m *Memory) EnableDirtyTracking() {
+	if m.dirty == nil {
+		n := (len(m.bytes) + (1 << dirtyPageShift) - 1) >> dirtyPageShift
+		m.dirty = make([]bool, n)
+	}
+}
+
+// DirtyPages returns the live dirty-page flags (nil when tracking is
+// off). Callers must not grow it; clearing entries is ClearDirty's job.
+func (m *Memory) DirtyPages() []bool { return m.dirty }
+
+// ClearDirty resets every dirty flag (typically right after a snapshot
+// captured the flagged pages).
+func (m *Memory) ClearDirty() {
+	for i := range m.dirty {
+		m.dirty[i] = false
+	}
+}
+
+// Bytes exposes the live backing image for snapshotting. Callers must
+// treat it as read-only; all mutation goes through Write/WriteWord so
+// dirty tracking stays truthful.
+func (m *Memory) Bytes() []byte { return m.bytes }
+
+// Overwrite replaces the page starting at byte offset off with src
+// in place, bypassing dirty tracking — forking restores a snapshot
+// image and then clears the flags, so the restore itself must not
+// pollute them. The memory's size never changes.
+func (m *Memory) Overwrite(off int, src []byte) {
+	copy(m.bytes[off:], src)
 }
 
 // Clone returns an independent copy of the memory image. Used to give the

@@ -134,6 +134,11 @@ type FaultsRequest struct {
 	// TargetInsts is the approximate golden-run length per trial (0 =
 	// the harness default).
 	TargetInsts uint64 `json:"target_insts,omitempty"`
+	// CheckpointInterval is the golden-run snapshot spacing in committed
+	// instructions for checkpoint/fork replay (0 = the harness default).
+	// Results are byte-identical at any interval; only throughput and
+	// memory footprint change.
+	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
 }
 
 // maxFaultInjections bounds campaign size per request; at the default
@@ -167,6 +172,11 @@ func (r FaultsRequest) normalize(lim Limits) (FaultsRequest, error) {
 	}
 	if r.TargetInsts > lim.MaxInsts {
 		return r, fmt.Errorf("target_insts %d exceeds server limit %d", r.TargetInsts, lim.MaxInsts)
+	}
+	if r.CheckpointInterval != 0 && r.CheckpointInterval < 64 {
+		// A denser schedule than one snapshot per 64 instructions costs
+		// more memory than it saves simulation.
+		return r, fmt.Errorf("checkpoint_interval %d too small (min 64, or 0 for the default)", r.CheckpointInterval)
 	}
 	return r, nil
 }

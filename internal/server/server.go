@@ -701,11 +701,12 @@ func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *a
 		var b strings.Builder
 		for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
 			spec := harness.CampaignSpec{
-				Workload:    req.Workload,
-				Machine:     cfg,
-				Injections:  req.Injections,
-				Seed:        req.Seed,
-				TargetInsts: req.TargetInsts,
+				Workload:           req.Workload,
+				Machine:            cfg,
+				Injections:         req.Injections,
+				Seed:               req.Seed,
+				TargetInsts:        req.TargetInsts,
+				CheckpointInterval: req.CheckpointInterval,
 			}
 			rsq := cfg.Reese.Enabled && cfg.Reese.Mode != config.ModeDupDispatch
 			for _, name := range req.Structures {

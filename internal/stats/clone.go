@@ -1,0 +1,29 @@
+package stats
+
+// Clone returns an independent deep copy of the histogram (snapshot
+// support: forked machines carry their own detection-latency
+// distributions).
+func (h *Histogram) Clone() *Histogram {
+	cp := *h
+	cp.buckets = make(map[uint64]uint64, len(h.buckets))
+	for k, v := range h.buckets {
+		cp.buckets[k] = v
+	}
+	return &cp
+}
+
+// ExtrapolateFrom scales the histogram as if the observations recorded
+// since prev repeated n more times (hang fast-forward over a periodic
+// detection/recovery livelock: each period re-records the same latency
+// values, so buckets, count and sum grow linearly while min and max are
+// already saturated by the first occurrence).
+func (h *Histogram) ExtrapolateFrom(prev *Histogram, n uint64) {
+	if n == 0 || h.count == prev.count {
+		return
+	}
+	for k, v := range h.buckets {
+		h.buckets[k] = v + (v-prev.buckets[k])*n
+	}
+	h.count += (h.count - prev.count) * n
+	h.sum += (h.sum - prev.sum) * n
+}
