@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke claims serve chaos fuzz clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke claims serve chaos fuzz cluster-smoke load clean
 
 all: build test
 
@@ -66,6 +66,19 @@ serve:
 # fast enough to run on every change.
 chaos:
 	$(GO) test -race -count=2 ./internal/chaos/ ./internal/server/
+
+# Cluster gate: an in-process coordinator + 2 worker replicas run a
+# small gcc campaign, one worker is hard-killed mid-campaign, and the
+# run must still complete with merged counts summing to the injection
+# count — byte-identical to the single-process run (see DESIGN §15).
+cluster-smoke:
+	$(GO) test ./internal/cluster/ -run 'TestClusterKillWorkerSmoke' -count=1 -v
+
+# Serving-layer load curves: drive an in-process 2-worker topology at
+# stepped RPS and report p50/p99 latency and the saturation curve. Set
+# LOAD_OUT=BENCH_pipeline.json to track the results.
+load:
+	$(GO) run ./cmd/reese-load -self 2 -rps 2,5,10,20 -step 5s -out "$(LOAD_OUT)" -label "$(BENCH_LABEL)"
 
 # Short fuzz pass over the journal replayer (torn tails, garbage).
 fuzz:

@@ -12,15 +12,19 @@
 //	reese-faults -jsonl trials.jsonl     # stream per-trial records
 //	reese-faults -smoke                  # tiny seeded campaign with assertions
 //	reese-faults -grid                   # sweep all 32 bit positions at one point
+//	reese-faults -workload gcc -n 10000 -workers http://a:8321,http://b:8321
+//	                                     # shard the campaign across replicas
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"reese/internal/cluster"
 	"reese/internal/config"
 	"reese/internal/fault"
 	"reese/internal/harness"
@@ -44,6 +48,8 @@ func run() int {
 		smoke        = flag.Bool("smoke", false, "tiny seeded campaign; exits non-zero unless in-sphere coverage is 100% with no hangs")
 		grid         = flag.Bool("grid", false, "sweep all 32 bit positions at one injection point")
 		gridAt       = flag.Uint64("grid-at", 5_000, "injection point (instruction #) for -grid")
+		workersStr   = flag.String("workers", "", "comma-separated reese-serve replica URLs; shards the campaign across them (requires -workload)")
+		shardSize    = flag.Int("shard-size", 0, "trials per shard with -workers (0 = auto)")
 	)
 	flag.Parse()
 	opt := harness.Options{Parallel: *parallel}
@@ -59,6 +65,19 @@ func run() int {
 	}
 	if *smoke {
 		return runSmoke(*seed, opt)
+	}
+	if *workersStr != "" {
+		return runDistributed(distributedArgs{
+			workers:     splitWorkers(*workersStr),
+			workload:    *workloadName,
+			injections:  *injections,
+			seed:        *seed,
+			targetInsts: *targetInsts,
+			ckInterval:  *ckInterval,
+			shardSize:   *shardSize,
+			structs:     structs,
+			jsonOut:     *jsonOut,
+		})
 	}
 
 	workloads := []string{*workloadName}
@@ -131,6 +150,81 @@ func run() int {
 		}
 		fmt.Printf("throughput: %d injections in %.2fs wall (%.0f injections/s)\n\n",
 			reports[i].Injected, reports[i].WallSeconds, reports[i].InjectionsPerSec)
+	}
+	return 0
+}
+
+// splitWorkers turns "http://a,http://b" into clean base URLs.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, strings.TrimRight(w, "/"))
+		}
+	}
+	return out
+}
+
+type distributedArgs struct {
+	workers     []string
+	workload    string
+	injections  int
+	seed        uint64
+	targetInsts uint64
+	ckInterval  uint64
+	shardSize   int
+	structs     []fault.Struct
+	jsonOut     bool
+}
+
+// runDistributed shards the campaign across reese-serve replicas via
+// the cluster coordinator and prints the merged reports — the same
+// REESE-vs-baseline pair the local path produces, byte-identical to a
+// single-process run with the same seed.
+func runDistributed(a distributedArgs) int {
+	if a.workload == "" {
+		fmt.Fprintln(os.Stderr, "reese-faults: -workers requires -workload (pick one benchmark to shard)")
+		return 2
+	}
+	cfg := cluster.Config{Workers: a.workers, ShardSize: a.shardSize}
+	cfg.OnEvent = func(ev cluster.Event) {
+		if ev.Type == "completed" || ev.Type == "reassigned" {
+			fmt.Fprintf(os.Stderr, "reese-faults: shard %d %s on %s (%d/%d shards, %d/%d trials, %.1fs)\n",
+				ev.Shard, ev.Type, ev.Worker, ev.CompletedShards, ev.TotalShards,
+				ev.CompletedTrials, ev.TotalTrials, ev.ElapsedS)
+		}
+	}
+	var reports []harness.CampaignReport
+	for _, m := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
+		machine := m
+		var names []string
+		if len(a.structs) > 0 {
+			for _, st := range usable(a.structs, machine) {
+				names = append(names, st.String())
+			}
+		}
+		rep, err := cluster.Run(context.Background(), cfg, cluster.Campaign{
+			Workload:           a.workload,
+			Machine:            &machine,
+			Structures:         names,
+			Injections:         a.injections,
+			Seed:               a.seed,
+			TargetInsts:        a.targetInsts,
+			CheckpointInterval: a.ckInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reese-faults:", err)
+			return 1
+		}
+		reports = append(reports, *rep)
+	}
+	if a.jsonOut {
+		return emitJSON(reports)
+	}
+	for i := range reports {
+		fmt.Println(reports[i].Table())
+		fmt.Printf("throughput: %d injections in %.2fs wall across %d workers (%.0f injections/s)\n\n",
+			reports[i].Injected, reports[i].WallSeconds, len(a.workers), reports[i].InjectionsPerSec)
 	}
 	return 0
 }

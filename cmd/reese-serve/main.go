@@ -34,9 +34,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"reese/internal/cluster"
 	"reese/internal/server"
 )
 
@@ -60,6 +62,8 @@ func run() int {
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof (/debug/pprof/) on this address (empty disables)")
+		clusterStr = flag.String("cluster-workers", "", "comma-separated worker replica URLs; enables the coordinator endpoint POST /v1/cluster/faults")
+		shardSize  = flag.Int("cluster-shard-size", 0, "trials per shard in coordinator mode (0 = auto)")
 	)
 	flag.Parse()
 
@@ -92,6 +96,25 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reese-serve:", err)
 		return 1
+	}
+
+	// Coordinator mode: this replica additionally shards cluster
+	// campaigns across the named workers (itself included, if listed)
+	// and streams merged progress from POST /v1/cluster/faults.
+	if *clusterStr != "" {
+		var workers []string
+		for _, w := range strings.Split(*clusterStr, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workers = append(workers, strings.TrimRight(w, "/"))
+			}
+		}
+		srv.Mount("POST /v1/cluster/faults", cluster.Handler(cluster.Config{
+			Workers:   workers,
+			ShardSize: *shardSize,
+			Metrics:   srv.ShardMetrics(),
+			Logger:    log,
+		}))
+		log.Info("cluster coordinator enabled", "workers", workers, "shard_size", *shardSize)
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,664 @@
+// Package cluster distributes a fault-injection campaign across
+// reese-serve worker replicas. A coordinator splits the campaign's
+// trial plan into contiguous shards — each shard is the exact
+// [offset, offset+count) slice of the single-process plan, because the
+// harness derives every trial from its own (seed, index) splitmix64
+// substream — fans the shards out over the workers' HTTP job API
+// (POST /v1/faults/batch), and merges the shard reports with
+// harness.MergeReports into a CampaignReport byte-identical to the
+// single-process run.
+//
+// Robustness is part of the contract, not best-effort:
+//
+//   - A worker answering 503 (full queue, drain) gets its shards back
+//     on the queue with the server's Retry-After honored.
+//   - A worker that stops answering (killed, partitioned) has its
+//     in-flight shards reassigned to the survivors; the poll loop that
+//     drives each shard doubles as its heartbeat.
+//   - Completion is idempotent: the first result for a shard index
+//     wins, later duplicates are dropped, and the merge itself refuses
+//     any shard set that does not tile the plan exactly — a lost or
+//     double-counted shard is an error, never a silently wrong report.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"reese/internal/config"
+	"reese/internal/harness"
+	"reese/internal/server"
+)
+
+// Campaign is the cluster-level request: a full fault campaign to be
+// sharded across workers. The fields mirror server.ShardSpec minus the
+// shard window, which the coordinator assigns.
+type Campaign struct {
+	Workload           string          `json:"workload"`
+	Machine            *config.Machine `json:"machine,omitempty"`
+	Structures         []string        `json:"structures,omitempty"`
+	Injections         int             `json:"injections"`
+	Seed               uint64          `json:"seed,omitempty"`
+	TargetInsts        uint64          `json:"target_insts,omitempty"`
+	CheckpointInterval uint64          `json:"checkpoint_interval,omitempty"`
+	// ShardSize overrides the trials-per-shard split (0 = auto: about
+	// four shards per worker, so reassignment granularity stays useful).
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// Hooks receives shard lifecycle counts; server.ShardMetrics satisfies
+// it structurally, keeping this package and server import-acyclic.
+type Hooks interface {
+	ShardAssigned()
+	ShardCompleted(seconds float64)
+	ShardRetried()
+	ShardReassigned()
+}
+
+// Event is one live-progress notification, streamed to clients as SSE
+// or chunked JSONL by Handler.
+type Event struct {
+	// Type is assigned | completed | retried | reassigned | error.
+	Type   string `json:"type"`
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker,omitempty"`
+	// CompletedShards/TotalShards and CompletedTrials/TotalTrials track
+	// overall progress at the time of the event.
+	CompletedShards int `json:"completed_shards"`
+	TotalShards     int `json:"total_shards"`
+	CompletedTrials int `json:"completed_trials"`
+	TotalTrials     int `json:"total_trials"`
+	// ElapsedS is seconds since the campaign started.
+	ElapsedS float64 `json:"elapsed_s"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// Config tunes the coordinator; zero values select the defaults.
+type Config struct {
+	// Workers are the reese-serve replica base URLs (http://host:port).
+	Workers []string
+	// Client issues all worker HTTP requests (default: 30s timeout).
+	Client *http.Client
+	// ShardSize is the default trials per shard when the Campaign does
+	// not set one (0 = auto).
+	ShardSize int
+	// Batch caps shards claimed per batch submit (default 4).
+	Batch int
+	// PollWait is the long-poll duration per job status request — the
+	// shard heartbeat interval (default 5s).
+	PollWait time.Duration
+	// ShardTimeout abandons and reassigns a shard not terminal within
+	// this long of its assignment (default 10m).
+	ShardTimeout time.Duration
+	// MaxAttempts bounds assignments per shard before the campaign
+	// fails (default 10).
+	MaxAttempts int
+	// Metrics receives shard lifecycle counts (optional).
+	Metrics Hooks
+	// OnEvent receives live progress events (optional).
+	OnEvent func(Event)
+	// Logger receives coordinator logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 4
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 5 * time.Second
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 10
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// maxShardCount mirrors the worker-side per-shard trial cap.
+const maxShardCount = 5_000
+
+// shardSpecs splits the campaign into contiguous ShardSpecs.
+func shardSpecs(req Campaign, workers, defaultSize int) []server.ShardSpec {
+	size := req.ShardSize
+	if size <= 0 {
+		size = defaultSize
+	}
+	if size <= 0 {
+		// Auto: about four shards per worker — small enough that losing a
+		// worker forfeits little work, big enough to amortize round trips.
+		size = (req.Injections + 4*workers - 1) / (4 * workers)
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > maxShardCount {
+		size = maxShardCount
+	}
+	var specs []server.ShardSpec
+	for off := 0; off < req.Injections; off += size {
+		count := size
+		if off+count > req.Injections {
+			count = req.Injections - off
+		}
+		specs = append(specs, server.ShardSpec{
+			Workload:           req.Workload,
+			Machine:            req.Machine,
+			Structures:         req.Structures,
+			Injections:         req.Injections,
+			Seed:               req.Seed,
+			TargetInsts:        req.TargetInsts,
+			CheckpointInterval: req.CheckpointInterval,
+			ShardOffset:        off,
+			ShardCount:         count,
+		})
+	}
+	return specs
+}
+
+// Run executes the campaign across the configured workers and returns
+// the merged report. The report is byte-identical (wall-clock fields
+// aside) to the single-process harness.Campaign run with the same
+// spec, or Run errors — there is no partial-success mode.
+func Run(ctx context.Context, cfg Config, req Campaign) (*harness.CampaignReport, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	if req.Injections <= 0 {
+		return nil, fmt.Errorf("cluster: injections %d out of range", req.Injections)
+	}
+	specs := shardSpecs(req, len(cfg.Workers), cfg.ShardSize)
+	co := &coordinator{
+		cfg:        cfg,
+		specs:      specs,
+		queue:      make(chan int, len(specs)),
+		donec:      make(chan struct{}),
+		results:    make([]*server.ShardPayload, len(specs)),
+		attempts:   make([]int, len(specs)),
+		lastWorker: make([]string, len(specs)),
+		live:       len(cfg.Workers),
+		start:      time.Now(),
+	}
+	for i := range specs {
+		co.queue <- i
+	}
+	var wg sync.WaitGroup
+	for _, url := range cfg.Workers {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			co.workerLoop(ctx, url)
+		}(url)
+	}
+	select {
+	case <-co.donec:
+	case <-ctx.Done():
+		co.fail(ctx.Err())
+	}
+	wg.Wait()
+	co.mu.Lock()
+	failure := co.failure
+	co.mu.Unlock()
+	if failure != nil {
+		return nil, failure
+	}
+
+	reports := make([]*harness.CampaignReport, len(co.results))
+	for i, p := range co.results {
+		if p == nil {
+			return nil, fmt.Errorf("cluster: shard %d finished without a payload", i)
+		}
+		rep := p.Report
+		rep.Trials = p.Trials
+		reports[i] = &rep
+	}
+	merged, err := harness.MergeReports(reports)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: merge: %w", err)
+	}
+	elapsed := time.Since(co.start).Seconds()
+	merged.WallSeconds = elapsed
+	if elapsed > 0 {
+		merged.InjectionsPerSec = float64(merged.Injected) / elapsed
+	}
+	return merged, nil
+}
+
+// coordinator is the shared state of one Run: the shard queue, the
+// per-shard bookkeeping, and the completion latch.
+type coordinator struct {
+	cfg   Config
+	specs []server.ShardSpec
+	queue chan int
+	donec chan struct{}
+	start time.Time
+
+	mu         sync.Mutex
+	results    []*server.ShardPayload
+	attempts   []int
+	lastWorker []string
+	completed  int
+	doneTrials int
+	failure    error
+	live       int // workers still in their loop
+	closed     bool
+}
+
+// fail records the first fatal error and releases everyone.
+func (c *coordinator) fail(err error) {
+	c.mu.Lock()
+	if c.failure == nil {
+		c.failure = err
+	}
+	c.closeDoneLocked()
+	c.mu.Unlock()
+}
+
+func (c *coordinator) closeDoneLocked() {
+	if !c.closed {
+		c.closed = true
+		close(c.donec)
+	}
+}
+
+func (c *coordinator) emit(ev Event) {
+	c.mu.Lock()
+	ev.CompletedShards = c.completed
+	ev.CompletedTrials = c.doneTrials
+	c.mu.Unlock()
+	ev.TotalShards = len(c.specs)
+	ev.TotalTrials = c.specs[0].Injections
+	ev.ElapsedS = time.Since(c.start).Seconds()
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(ev)
+	}
+}
+
+// claim blocks for one pending shard, then drains up to batch-1 more
+// without blocking. Returns nil when the campaign is over.
+func (c *coordinator) claim(ctx context.Context) []int {
+	var idxs []int
+	for len(idxs) < c.cfg.Batch {
+		if len(idxs) == 0 {
+			select {
+			case idx := <-c.queue:
+				idxs = append(idxs, idx)
+			case <-c.donec:
+				return nil
+			case <-ctx.Done():
+				return nil
+			}
+			continue
+		}
+		select {
+		case idx := <-c.queue:
+			idxs = append(idxs, idx)
+		default:
+			return idxs
+		}
+	}
+	return idxs
+}
+
+// requeue puts shards back on the queue after a failed assignment,
+// counting attempts; exhausting a shard's budget fails the campaign
+// (the alternative — dropping it — would yield a silently partial
+// report, which the merge would reject anyway).
+func (c *coordinator) requeue(idxs []int, worker string, cause error) {
+	for _, idx := range idxs {
+		c.mu.Lock()
+		done := c.results[idx] != nil
+		c.attempts[idx]++
+		exhausted := c.attempts[idx] >= c.cfg.MaxAttempts
+		c.mu.Unlock()
+		if done {
+			continue
+		}
+		if exhausted {
+			c.fail(fmt.Errorf("cluster: shard %d failed after %d attempts: %v", idx, c.cfg.MaxAttempts, cause))
+			return
+		}
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.ShardRetried()
+		}
+		c.emit(Event{Type: "retried", Shard: idx, Worker: worker, Err: fmt.Sprint(cause)})
+		c.queue <- idx
+	}
+}
+
+// recordAssign notes which worker a shard landed on, counting a
+// reassignment when it moved off a previous worker.
+func (c *coordinator) recordAssign(idx int, worker string) {
+	c.mu.Lock()
+	prev := c.lastWorker[idx]
+	c.lastWorker[idx] = worker
+	c.mu.Unlock()
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.ShardAssigned()
+		if prev != "" && prev != worker {
+			c.cfg.Metrics.ShardReassigned()
+		}
+	}
+	if prev != "" && prev != worker {
+		c.emit(Event{Type: "reassigned", Shard: idx, Worker: worker})
+	} else {
+		c.emit(Event{Type: "assigned", Shard: idx, Worker: worker})
+	}
+}
+
+// complete records a shard result exactly once; duplicates (a shard
+// that was reassigned and then finished twice) are dropped here, which
+// together with the workers' content-addressed result cache makes
+// reassignment double-count-proof.
+func (c *coordinator) complete(idx int, p *server.ShardPayload, worker string, since time.Time) {
+	c.mu.Lock()
+	if c.results[idx] != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.results[idx] = p
+	c.completed++
+	c.doneTrials += c.specs[idx].ShardCount
+	last := c.completed == len(c.specs)
+	if last {
+		c.closeDoneLocked()
+	}
+	c.mu.Unlock()
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.ShardCompleted(time.Since(since).Seconds())
+	}
+	c.emit(Event{Type: "completed", Shard: idx, Worker: worker})
+}
+
+// workerExited accounts for a worker leaving its loop on repeated
+// failures; the last one out with shards still pending fails the run.
+func (c *coordinator) workerExited() {
+	c.mu.Lock()
+	c.live--
+	dead := c.live == 0 && c.completed < len(c.specs) && c.failure == nil
+	c.mu.Unlock()
+	if dead {
+		c.fail(errors.New("cluster: all workers lost with shards still pending"))
+	}
+}
+
+// maxConsecutiveFailures is how many batch rounds in a row may fail
+// against one worker before the coordinator writes it off.
+const maxConsecutiveFailures = 3
+
+// workerLoop drives one worker replica: claim shards, submit them as a
+// batch, poll each to completion. Transport-level failures count
+// against the worker; too many in a row and its loop exits, leaving
+// its shards to the survivors.
+func (c *coordinator) workerLoop(ctx context.Context, url string) {
+	failures := 0
+	for {
+		idxs := c.claim(ctx)
+		if idxs == nil {
+			return
+		}
+		if err := c.runBatch(ctx, url, idxs); err != nil {
+			failures++
+			c.cfg.Logger.Warn("cluster: worker batch failed", "worker", url, "err", err, "failures", failures)
+			if failures >= maxConsecutiveFailures {
+				c.cfg.Logger.Warn("cluster: abandoning worker", "worker", url)
+				c.workerExited()
+				return
+			}
+			// Brief pause so a flapping worker does not spin the queue.
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-c.donec:
+				return
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		failures = 0
+	}
+}
+
+// runBatch submits one claimed batch to a worker and drives every
+// accepted shard to a terminal state. A transport error reassigns the
+// not-yet-finished shards and reports the worker as failing; a 503
+// requeues with the Retry-After honored and reports success (the
+// worker is alive, merely busy).
+func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) error {
+	// Skip shards that finished elsewhere while these sat in the queue.
+	pending := idxs[:0]
+	for _, idx := range idxs {
+		c.mu.Lock()
+		done := c.results[idx] != nil
+		c.mu.Unlock()
+		if !done {
+			pending = append(pending, idx)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+
+	if ready, retryAfter, err := c.ready(ctx, url); err != nil {
+		c.requeue(pending, url, err)
+		return err
+	} else if !ready {
+		c.requeue(pending, url, errors.New("worker not ready"))
+		c.sleep(ctx, retryAfter)
+		return nil
+	}
+
+	batch := server.BatchRequest{Shards: make([]server.ShardSpec, len(pending))}
+	for i, idx := range pending {
+		batch.Shards[i] = c.specs[idx]
+	}
+	resp, err := c.postBatch(ctx, url, batch)
+	if err != nil {
+		c.requeue(pending, url, err)
+		return err
+	}
+	assigned := time.Now()
+	var backoff time.Duration
+	type assignment struct {
+		idx int
+		id  string
+	}
+	var jobs []assignment
+	for i, item := range resp.Items {
+		idx := pending[i]
+		if item.Error != "" {
+			c.requeue([]int{idx}, url, errors.New(item.Error))
+			if d := time.Duration(item.RetryAfterMS) * time.Millisecond; d > backoff {
+				backoff = d
+			}
+			continue
+		}
+		c.recordAssign(idx, url)
+		if item.Job.State == server.StateDone {
+			// Cache hit: the worker already ran this shard in a previous
+			// assignment; the batch answered with the finished job inline.
+			if err := c.adoptResult(idx, item.Job, url, assigned); err != nil {
+				c.requeue([]int{idx}, url, err)
+			}
+			continue
+		}
+		jobs = append(jobs, assignment{idx: idx, id: item.Job.ID})
+	}
+
+	for i, a := range jobs {
+		if err := c.pollToCompletion(ctx, url, a.idx, a.id, assigned); err != nil {
+			// Transport or job failure: give this shard and the rest of the
+			// batch back for reassignment — this worker is suspect.
+			remaining := make([]int, 0, len(jobs)-i)
+			for _, rest := range jobs[i:] {
+				remaining = append(remaining, rest.idx)
+			}
+			c.requeue(remaining, url, err)
+			return err
+		}
+	}
+	c.sleep(ctx, backoff)
+	return nil
+}
+
+// pollToCompletion long-polls one job until terminal — the shard's
+// heartbeat. A worker that dies mid-shard surfaces here as a transport
+// error; a shard stuck past ShardTimeout is abandoned for reassignment.
+func (c *coordinator) pollToCompletion(ctx context.Context, url string, idx int, id string, assigned time.Time) error {
+	for {
+		if time.Since(assigned) > c.cfg.ShardTimeout {
+			return fmt.Errorf("shard %d timed out after %s on %s", idx, c.cfg.ShardTimeout, url)
+		}
+		v, err := c.getJob(ctx, url, id)
+		if err != nil {
+			return err
+		}
+		switch v.State {
+		case server.StateDone:
+			return c.adoptResult(idx, v, url, assigned)
+		case server.StateFailed:
+			return fmt.Errorf("shard %d failed on %s: %s", idx, url, v.Error)
+		case server.StateCanceled:
+			return fmt.Errorf("shard %d canceled on %s: %s", idx, url, v.Error)
+		}
+	}
+}
+
+// adoptResult decodes a finished job's ShardPayload and records it.
+func (c *coordinator) adoptResult(idx int, v *server.JobView, url string, assigned time.Time) error {
+	if len(v.Result) == 0 {
+		return fmt.Errorf("shard %d: done job %s carries no result", idx, v.ID)
+	}
+	var p server.ShardPayload
+	if err := json.Unmarshal(v.Result, &p); err != nil {
+		return fmt.Errorf("shard %d: decode payload: %w", idx, err)
+	}
+	if p.Report.Shard == nil || p.Report.Shard.Offset != c.specs[idx].ShardOffset {
+		return fmt.Errorf("shard %d: payload window %+v does not match assignment", idx, p.Report.Shard)
+	}
+	c.complete(idx, &p, url, assigned)
+	return nil
+}
+
+func (c *coordinator) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	select {
+	case <-time.After(d):
+	case <-c.donec:
+	case <-ctx.Done():
+	}
+}
+
+// ready gates assignment on the worker's /readyz: a draining or
+// journal-replaying worker is skipped (with its Retry-After honored)
+// rather than loaded up with shards it will shed.
+func (c *coordinator) ready(ctx context.Context, url string) (ok bool, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode == http.StatusOK {
+		return true, 0, nil
+	}
+	after := time.Second
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if d, perr := time.ParseDuration(s + "s"); perr == nil {
+			after = d
+		}
+	}
+	return false, after, nil
+}
+
+func (c *coordinator) postBatch(ctx context.Context, url string, batch server.BatchRequest) (*server.BatchResponse, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/faults/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("batch submit: %s: %s", resp.Status, truncate(raw))
+	}
+	var out server.BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("batch submit: decode: %w", err)
+	}
+	return &out, nil
+}
+
+// getJob long-polls one job. The job endpoint answers 200 (terminal),
+// 202 (still going), or 500 (failed) — all three carry a JobView.
+func (c *coordinator) getJob(ctx context.Context, url, id string) (*server.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s?wait=%s", url, id, c.cfg.PollWait), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted, http.StatusInternalServerError:
+	default:
+		return nil, fmt.Errorf("poll job %s: %s: %s", id, resp.Status, truncate(raw))
+	}
+	var v server.JobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("poll job %s: decode: %w", id, err)
+	}
+	return &v, nil
+}
+
+func truncate(b []byte) string {
+	const max = 256
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}

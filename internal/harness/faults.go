@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,11 +47,49 @@ type CampaignSpec struct {
 	// simulated suffix length. Any interval produces byte-identical
 	// reports — it only changes wall-clock time.
 	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
+	// Shard, when non-nil, restricts execution to the trials
+	// [Offset, Offset+Count) of the full Injections-trial plan. Because
+	// every trial is planned from its own splitmix64-derived substream
+	// (see planTrial), a shard plans exactly the trials the
+	// single-process campaign would have planned at those indices — the
+	// union of the shard reports over any partition of [0, Injections)
+	// merges (MergeReports) into the byte-identical single-process
+	// report. Shard reports carry their latency histogram
+	// (CampaignReport.LatencyHist) so detection-latency aggregates merge
+	// exactly too.
+	Shard *ShardRange `json:"shard,omitempty"`
 	// TrialSink, when non-nil, receives every completed trial in plan
 	// order as soon as it (and all lower-indexed trials) finish —
 	// streaming JSONL writers see records during the campaign instead of
 	// after it. A sink error aborts the campaign.
 	TrialSink func(Trial) error `json:"-"`
+}
+
+// ShardRange addresses a contiguous slice of a campaign's trial plan:
+// trials [Offset, Offset+Count) of the full Injections-trial plan.
+// Plan records that full plan size, so a set of shard reports is
+// self-describing: MergeReports can prove the set tiles the whole plan
+// — including that the *last* shard is present — from the reports
+// alone.
+type ShardRange struct {
+	Offset int `json:"offset"`
+	Count  int `json:"count"`
+	Plan   int `json:"plan"`
+}
+
+// validate checks the shard against the full plan size.
+func (s *ShardRange) validate(injections int) error {
+	if s.Count <= 0 {
+		return fmt.Errorf("harness: shard count %d must be positive", s.Count)
+	}
+	if s.Offset < 0 || s.Offset+s.Count > injections {
+		return fmt.Errorf("harness: shard [%d,%d) outside the %d-trial plan",
+			s.Offset, s.Offset+s.Count, injections)
+	}
+	if s.Plan != 0 && s.Plan != injections {
+		return fmt.Errorf("harness: shard plan size %d disagrees with injections %d", s.Plan, injections)
+	}
+	return nil
 }
 
 // withDefaults fills the zero fields. defaulted reports whether the
@@ -154,6 +193,15 @@ type StructureCoverage struct {
 	CoverageHi float64 `json:"coverage_ci_hi"`
 }
 
+// LatencyCell is one value of a shard report's detection-latency
+// histogram: Count detections at exactly Cycles injection-to-detection
+// cycles. Width-1 cells make the histogram lossless, so merged
+// mean/p95/max are bit-identical to a single-process computation.
+type LatencyCell struct {
+	Cycles uint64 `json:"cycles"`
+	Count  uint64 `json:"count"`
+}
+
 // CampaignReport is the outcome of a fault-injection campaign.
 type CampaignReport struct {
 	Workload string `json:"workload"`
@@ -180,6 +228,13 @@ type CampaignReport struct {
 	DetectionLatencyMax  uint64  `json:"detection_latency_max"`
 
 	Structures []StructureCoverage `json:"structures"`
+
+	// Shard echoes the spec's shard range when this report covers only a
+	// slice of the plan; LatencyHist is the shard's raw detection-latency
+	// distribution, carried so MergeReports can rebuild the merged
+	// mean/p95/max exactly. Both are nil on single-process reports.
+	Shard       *ShardRange   `json:"shard,omitempty"`
+	LatencyHist []LatencyCell `json:"latency_hist,omitempty"`
 
 	// WallSeconds and InjectionsPerSec measure campaign throughput:
 	// wall-clock time for planning plus every trial (golden-run
@@ -246,6 +301,21 @@ type golden struct {
 	storeRecs []storeRec
 	destReg   []uint8
 	destFP    []bool
+}
+
+// victimsFor is the structure's eligible-victim list; sampled is false
+// for the architectural sites (regfile, fetch PC), which can strike at
+// any point in the instruction stream.
+func (g *golden) victimsFor(st fault.Struct) (victims []uint64, sampled bool) {
+	switch st {
+	case fault.StructResult, fault.StructRSQOperand, fault.StructRSQResult, fault.StructComparator:
+		return g.observable, true
+	case fault.StructLSQAddr:
+		return g.mems, true
+	case fault.StructLSQStoreData:
+		return g.stores, true
+	}
+	return nil, false
 }
 
 // goldenScan sizes the program (growing the workload's iteration count
@@ -354,6 +424,54 @@ func (r *campaignRNG) next() uint64 {
 
 func (r *campaignRNG) intn(n int) int { return int(r.next() % uint64(n)) }
 
+// splitmix64At returns the i-th output of the splitmix64 sequence
+// seeded at seed — the standard gamma-increment-then-mix generator, a
+// pure function of (seed, i) with O(1) random access.
+func splitmix64At(seed, i uint64) uint64 {
+	z := seed + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// trialRNG is trial i's private sampling substream: an xorshift64*
+// stream seeded by the i-th splitmix64 output of the campaign seed.
+// Deriving each trial's randomness from (seed, i) alone — rather than
+// one stream consumed sequentially — is what makes campaigns shardable:
+// a worker planning trials [lo, hi) computes exactly the trials the
+// single-process plan holds at those indices, without replaying the
+// stream for the trials before lo. The union of any partition's shard
+// plans therefore equals the single-process plan by construction
+// (TestShardPlanUnionEqualsFullPlan pins it).
+func trialRNG(seed uint64, i int) *campaignRNG {
+	return newCampaignRNG(splitmix64At(seed, uint64(i)))
+}
+
+// planTrial derives trial i of the campaign plan from the seed alone:
+// structure, victim, bit, and (for register-file faults) the register,
+// each drawn from the trial's private substream.
+func planTrial(seed uint64, i int, structures []fault.Struct,
+	victimsFor func(fault.Struct) ([]uint64, bool), total uint64) Trial {
+	rng := trialRNG(seed, i)
+	st := structures[rng.intn(len(structures))]
+	var seq uint64
+	if victims, sampled := victimsFor(st); sampled {
+		seq = victims[rng.intn(len(victims))]
+	} else {
+		seq = rng.next() % total
+	}
+	t := Trial{
+		Index:     i,
+		Structure: st.String(),
+		Seq:       seq,
+		Bit:       uint8(rng.intn(32)),
+	}
+	if st == fault.StructRegFile {
+		t.Reg = uint8(1 + rng.intn(31))
+	}
+	return t
+}
+
 // Campaign runs a statistical fault-injection campaign. Trials are
 // planned sequentially from the seed, executed on the shared worker
 // pool (opt.Parallel), and reported in plan order, so the report is
@@ -390,20 +508,7 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 	}
 	g := bundle.g
 
-	// victimsFor is the structure's eligible-victim list; sampled is
-	// false for the architectural sites (regfile, fetch PC), which can
-	// strike at any point in the instruction stream.
-	victimsFor := func(st fault.Struct) (victims []uint64, sampled bool) {
-		switch st {
-		case fault.StructResult, fault.StructRSQOperand, fault.StructRSQResult, fault.StructComparator:
-			return g.observable, true
-		case fault.StructLSQAddr:
-			return g.mems, true
-		case fault.StructLSQStoreData:
-			return g.stores, true
-		}
-		return nil, false
-	}
+	victimsFor := g.victimsFor
 	// A structure with no victims in this workload cannot host a fault.
 	// Drop it when the list was inferred; reject it when it was asked
 	// for explicitly (silently sampling nothing would misreport).
@@ -419,27 +524,19 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 	}
 	spec.Structures = kept
 
-	// Plan every trial up front from one sequential PRNG stream: the
-	// plan (and therefore the whole report) depends only on the spec.
-	rng := newCampaignRNG(spec.Seed)
-	trials := make([]Trial, spec.Injections)
+	// Plan the trials up front. Each trial is a pure function of
+	// (seed, index) — see trialRNG — so the plan depends only on the
+	// spec, and a shard plans just its own slice of the same plan.
+	offset, count := 0, spec.Injections
+	if spec.Shard != nil {
+		if err := spec.Shard.validate(spec.Injections); err != nil {
+			return nil, err
+		}
+		offset, count = spec.Shard.Offset, spec.Shard.Count
+	}
+	trials := make([]Trial, count)
 	for i := range trials {
-		st := spec.Structures[rng.intn(len(spec.Structures))]
-		var seq uint64
-		if victims, sampled := victimsFor(st); sampled {
-			seq = victims[rng.intn(len(victims))]
-		} else {
-			seq = rng.next() % g.total
-		}
-		trials[i] = Trial{
-			Index:     i,
-			Structure: st.String(),
-			Seq:       seq,
-			Bit:       uint8(rng.intn(32)),
-		}
-		if st == fault.StructRegFile {
-			trials[i].Reg = uint8(1 + rng.intn(31))
-		}
+		trials[i] = planTrial(spec.Seed, offset+i, spec.Structures, victimsFor, g.total)
 	}
 
 	// Execute. Each trial is independent and forks from the bundle's
@@ -530,9 +627,150 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		rep.DetectionLatencyP95 = lat.Percentile(95)
 		rep.DetectionLatencyMax = lat.Max()
 	}
+	if spec.Shard != nil {
+		rep.Shard = &ShardRange{Offset: offset, Count: count, Plan: spec.Injections}
+		for _, b := range lat.Buckets() {
+			rep.LatencyHist = append(rep.LatencyHist, LatencyCell{Cycles: b[0], Count: b[1]})
+		}
+	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	if rep.WallSeconds > 0 {
 		rep.InjectionsPerSec = float64(rep.Injected) / rep.WallSeconds
+	}
+	return rep, nil
+}
+
+// MergeReports reassembles the single-process campaign report from a
+// complete set of shard reports. The merge is exact, not approximate:
+// per-structure outcome counts are integer sums, coverage and its
+// Wilson 95% CI are recomputed from the merged counts with the same
+// formulas Campaign uses, and the detection-latency aggregates are
+// rebuilt from the merged width-1 latency histograms — so for a given
+// seed the merged report is byte-identical (JSON, JSONL, and table) to
+// running the whole campaign in one process, whatever the shard count
+// (TestMergedShardsByteIdentical pins this for 1, 2, and 8 shards).
+//
+// It validates completeness: the shards must agree on workload, config,
+// seed, golden length, and structure list, and their trial indices must
+// tile [0, total) exactly — a lost or double-counted shard is an error,
+// never a silently wrong report. WallSeconds/InjectionsPerSec are left
+// zero for the caller (they belong to the distributed run, not to any
+// one shard).
+func MergeReports(shards []*CampaignReport) (*CampaignReport, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("harness: merge of zero shard reports")
+	}
+	ref := shards[0]
+	rep := &CampaignReport{
+		Workload:    ref.Workload,
+		Config:      ref.Config,
+		Seed:        ref.Seed,
+		GoldenInsts: ref.GoldenInsts,
+	}
+	for _, s := range shards {
+		if s.Shard == nil {
+			return nil, fmt.Errorf("harness: merge input is not a shard report (no shard range)")
+		}
+		if s.Workload != ref.Workload || s.Config != ref.Config || s.Seed != ref.Seed {
+			return nil, fmt.Errorf("harness: merging shards of different campaigns (%s/%s/%d vs %s/%s/%d)",
+				s.Workload, s.Config, s.Seed, ref.Workload, ref.Config, ref.Seed)
+		}
+		if s.GoldenInsts != ref.GoldenInsts {
+			return nil, fmt.Errorf("harness: shard golden runs disagree (%d vs %d insts) — workers simulated different programs",
+				s.GoldenInsts, ref.GoldenInsts)
+		}
+		if len(s.Structures) != len(ref.Structures) {
+			return nil, fmt.Errorf("harness: shard structure lists differ (%d vs %d)", len(s.Structures), len(ref.Structures))
+		}
+		if s.Shard.Plan != ref.Shard.Plan {
+			return nil, fmt.Errorf("harness: shard plan sizes disagree (%d vs %d)", s.Shard.Plan, ref.Shard.Plan)
+		}
+	}
+	// The shard ranges must tile [0, plan) exactly: a lost shard —
+	// including the last one — or an overlapping reassignment duplicate
+	// is an error here, never a silently wrong report.
+	ranges := make([]ShardRange, len(shards))
+	for i, s := range shards {
+		ranges[i] = *s.Shard
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Offset < ranges[j].Offset })
+	next := 0
+	for _, r := range ranges {
+		if r.Offset != next {
+			return nil, fmt.Errorf("harness: shard set does not tile the plan: trials [%d,%d) missing or double-counted", next, r.Offset)
+		}
+		next = r.Offset + r.Count
+	}
+	if next != ref.Shard.Plan {
+		return nil, fmt.Errorf("harness: shard set covers %d of %d planned trials", next, ref.Shard.Plan)
+	}
+
+	// Per-structure integer sums, in the reference shard's order (every
+	// shard ran the same defaulted spec, so the order is identical — the
+	// name check below catches a worker that somehow disagreed).
+	lat := stats.NewHistogram(1)
+	for i := range ref.Structures {
+		sc := StructureCoverage{Structure: ref.Structures[i].Structure, InSphere: ref.Structures[i].InSphere}
+		for _, s := range shards {
+			ss := s.Structures[i]
+			if ss.Structure != sc.Structure {
+				return nil, fmt.Errorf("harness: shard structure order differs (%s vs %s)", ss.Structure, sc.Structure)
+			}
+			sc.Injected += ss.Injected
+			sc.Fired += ss.Fired
+			sc.Detected += ss.Detected
+			sc.Recovered += ss.Recovered
+			sc.SDC += ss.SDC
+			sc.Masked += ss.Masked
+			sc.Hang += ss.Hang
+		}
+		sc.Effective = sc.Injected - sc.Masked
+		caught := sc.Detected + sc.Recovered
+		if sc.Effective > 0 {
+			sc.Coverage = float64(caught) / float64(sc.Effective)
+		}
+		sc.CoverageLo, sc.CoverageHi = stats.Wilson95(caught, sc.Effective)
+		rep.Structures = append(rep.Structures, sc)
+	}
+	for _, s := range shards {
+		rep.Injected += s.Injected
+		rep.Fired += s.Fired
+		rep.Detected += s.Detected
+		rep.Recovered += s.Recovered
+		rep.SDC += s.SDC
+		rep.Masked += s.Masked
+		rep.Hang += s.Hang
+		for _, c := range s.LatencyHist {
+			lat.AddN(c.Cycles, c.Count)
+		}
+		rep.Trials = append(rep.Trials, s.Trials...)
+	}
+	rep.Effective = rep.Injected - rep.Masked
+	caught := rep.Detected + rep.Recovered
+	if rep.Effective > 0 {
+		rep.Coverage = float64(caught) / float64(rep.Effective)
+	}
+	rep.CoverageLo, rep.CoverageHi = stats.Wilson95(caught, rep.Effective)
+	if lat.Count() > 0 {
+		rep.DetectionLatencyMean = lat.Mean()
+		rep.DetectionLatencyP95 = lat.Percentile(95)
+		rep.DetectionLatencyMax = lat.Max()
+	}
+
+	// Completeness: trial indices must tile [0, Injected) exactly. This
+	// is the zero-lost, zero-double-counted guarantee the reassignment
+	// protocol leans on. Shards that shipped no per-trial records (a
+	// coordinator merging counts only) skip the check.
+	if len(rep.Trials) > 0 {
+		if uint64(len(rep.Trials)) != rep.Injected {
+			return nil, fmt.Errorf("harness: merged %d trials for %d injections", len(rep.Trials), rep.Injected)
+		}
+		sort.Slice(rep.Trials, func(i, j int) bool { return rep.Trials[i].Index < rep.Trials[j].Index })
+		for i := range rep.Trials {
+			if rep.Trials[i].Index != i {
+				return nil, fmt.Errorf("harness: merged trial plan has a gap or duplicate at index %d", i)
+			}
+		}
 	}
 	return rep, nil
 }

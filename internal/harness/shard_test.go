@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"reese/internal/config"
+	"reese/internal/workload"
+)
+
+// splitRanges partitions n trials into k near-equal contiguous shards —
+// the same arithmetic the cluster coordinator uses.
+func splitRanges(n, k int) []ShardRange {
+	if k > n {
+		k = n
+	}
+	out := make([]ShardRange, 0, k)
+	base, rem := n/k, n%k
+	off := 0
+	for i := 0; i < k; i++ {
+		count := base
+		if i < rem {
+			count++
+		}
+		out = append(out, ShardRange{Offset: off, Count: count})
+		off += count
+	}
+	return out
+}
+
+// The sharding soundness property: because every trial is planned from
+// its own (seed, index) substream, the union of shard plans over any
+// partition of [0, n) is the single-process plan — not statistically
+// similar, identical. Checked at plan level for 10k trials so the
+// property holds at campaign scale, not just at test scale.
+func TestShardPlanUnionEqualsFullPlan(t *testing.T) {
+	spec, _ := CampaignSpec{
+		Workload: "li",
+		Machine:  config.Starting().WithReese(),
+		Seed:     0xD15C,
+	}.withDefaults()
+	wspec, ok := workload.ByName(spec.Workload)
+	if !ok {
+		t.Fatalf("unknown workload %q", spec.Workload)
+	}
+	g, _, err := goldenForSpec(wspec, spec.TargetInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structs := spec.Structures[:0]
+	for _, st := range spec.Structures {
+		if v, sampled := g.victimsFor(st); sampled && len(v) == 0 {
+			continue
+		}
+		structs = append(structs, st)
+	}
+
+	const n = 10_000
+	full := make([]Trial, n)
+	for i := range full {
+		full[i] = planTrial(spec.Seed, i, structs, g.victimsFor, g.total)
+	}
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		var union []Trial
+		for _, r := range splitRanges(n, shards) {
+			for i := 0; i < r.Count; i++ {
+				union = append(union, planTrial(spec.Seed, r.Offset+i, structs, g.victimsFor, g.total))
+			}
+		}
+		if !reflect.DeepEqual(union, full) {
+			t.Errorf("%d-shard plan union differs from the single-process plan", shards)
+		}
+	}
+}
+
+// stripWall zeroes the host-dependent fields so reports compare on
+// content alone.
+func stripWall(r *CampaignReport) *CampaignReport {
+	c := *r
+	c.WallSeconds = 0
+	c.InjectionsPerSec = 0
+	return &c
+}
+
+// The merge-math property the distributed campaign rests on: executing
+// the plan as 1, 2, or 8 shards and merging yields a report
+// byte-identical to the single-process run — same JSON (tallies, Wilson
+// CIs, latency aggregates), same per-trial JSONL, same rendered table.
+func TestMergedShardsByteIdentical(t *testing.T) {
+	base := CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting().WithReese(),
+		Injections: 120,
+		Seed:       7,
+	}
+	single, err := Campaign(base, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(stripWall(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSONL bytes.Buffer
+	if err := single.WriteJSONL(&wantJSONL); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		var shards []*CampaignReport
+		for _, r := range splitRanges(base.Injections, workers) {
+			spec := base
+			rr := r
+			spec.Shard = &rr
+			rep, err := Campaign(spec, testOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Injected != uint64(r.Count) {
+				t.Fatalf("shard %+v ran %d trials", r, rep.Injected)
+			}
+			shards = append(shards, rep)
+		}
+		merged, err := MergeReports(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(stripWall(merged))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("%d-worker merged report JSON differs from single-process:\n got %s\nwant %s",
+				workers, gotJSON, wantJSON)
+		}
+		var gotJSONL bytes.Buffer
+		if err := merged.WriteJSONL(&gotJSONL); err != nil {
+			t.Fatal(err)
+		}
+		if gotJSONL.String() != wantJSONL.String() {
+			t.Errorf("%d-worker merged JSONL differs from single-process", workers)
+		}
+		if merged.Table() != single.Table() {
+			t.Errorf("%d-worker merged table differs from single-process", workers)
+		}
+	}
+}
+
+// A merge must refuse an incomplete or double-counted shard set — the
+// report is either exactly the campaign or an error, never a plausible
+// fraction of it.
+func TestMergeRejectsLostOrDuplicatedShards(t *testing.T) {
+	base := CampaignSpec{
+		Workload:   "li",
+		Machine:    config.Starting().WithReese(),
+		Injections: 40,
+		Seed:       11,
+	}
+	var shards []*CampaignReport
+	for _, r := range splitRanges(base.Injections, 4) {
+		spec := base
+		rr := r
+		spec.Shard = &rr
+		rep, err := Campaign(spec, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, rep)
+	}
+	if _, err := MergeReports(shards[:3]); err == nil {
+		t.Error("merge accepted a shard set with a lost shard")
+	}
+	if _, err := MergeReports(append(append([]*CampaignReport{}, shards...), shards[1])); err == nil {
+		t.Error("merge accepted a double-counted shard")
+	}
+	if _, err := MergeReports(shards); err != nil {
+		t.Errorf("merge rejected a complete shard set: %v", err)
+	}
+}

@@ -181,6 +181,129 @@ func (r FaultsRequest) normalize(lim Limits) (FaultsRequest, error) {
 	return r, nil
 }
 
+// ShardSpec asks for one shard of a distributed fault campaign: trials
+// [shard_offset, shard_offset+shard_count) of the full
+// injections-trial plan. Per-trial substream planning (see
+// harness.CampaignSpec.Shard) guarantees the shard executes exactly
+// the trials the single-process campaign would run at those indices,
+// so a coordinator can merge shard reports into the byte-identical
+// whole. Unlike FaultsRequest this carries an explicit machine — the
+// coordinator shards one (workload, machine) campaign at a time.
+type ShardSpec struct {
+	Workload string `json:"workload"`
+	// Machine is the exact configuration under test (omit for the
+	// REESE starting configuration).
+	Machine    *config.Machine `json:"machine,omitempty"`
+	Structures []string        `json:"structures,omitempty"`
+	// Injections is the FULL plan size, not this shard's share; it may
+	// exceed the single-request campaign cap because only shard_count
+	// trials run here.
+	Injections         int    `json:"injections"`
+	Seed               uint64 `json:"seed,omitempty"`
+	TargetInsts        uint64 `json:"target_insts,omitempty"`
+	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
+	ShardOffset        int    `json:"shard_offset"`
+	ShardCount         int    `json:"shard_count"`
+}
+
+// maxPlanInjections bounds the full distributed plan a shard may
+// reference; the per-worker work is still bounded by maxFaultInjections
+// trials per shard.
+const maxPlanInjections = 10_000_000
+
+func (r ShardSpec) normalize(lim Limits) (ShardSpec, error) {
+	if _, ok := workload.ByName(r.Workload); !ok {
+		return r, fmt.Errorf("unknown workload %q (have %v)", r.Workload, workload.Names())
+	}
+	if r.Machine == nil {
+		m := config.Starting().WithReese()
+		r.Machine = &m
+	}
+	if err := r.Machine.Validate(); err != nil {
+		return r, err
+	}
+	for _, name := range r.Structures {
+		if _, ok := fault.ParseStruct(name); !ok {
+			return r, fmt.Errorf("unknown fault structure %q", name)
+		}
+	}
+	if r.Injections <= 0 || r.Injections > maxPlanInjections {
+		return r, fmt.Errorf("injections %d out of range [1,%d]", r.Injections, maxPlanInjections)
+	}
+	if r.ShardCount <= 0 || r.ShardCount > maxFaultInjections {
+		return r, fmt.Errorf("shard_count %d out of range [1,%d]", r.ShardCount, maxFaultInjections)
+	}
+	if r.ShardOffset < 0 || r.ShardOffset+r.ShardCount > r.Injections {
+		return r, fmt.Errorf("shard [%d,%d) outside the %d-trial plan",
+			r.ShardOffset, r.ShardOffset+r.ShardCount, r.Injections)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.TargetInsts == 0 {
+		r.TargetInsts = 8_000
+	}
+	if r.TargetInsts > lim.MaxInsts {
+		return r, fmt.Errorf("target_insts %d exceeds server limit %d", r.TargetInsts, lim.MaxInsts)
+	}
+	if r.CheckpointInterval != 0 && r.CheckpointInterval < 64 {
+		return r, fmt.Errorf("checkpoint_interval %d too small (min 64, or 0 for the default)", r.CheckpointInterval)
+	}
+	return r, nil
+}
+
+// campaignSpec converts the normalized wire form into the harness spec.
+func (r ShardSpec) campaignSpec() harness.CampaignSpec {
+	spec := harness.CampaignSpec{
+		Workload:           r.Workload,
+		Machine:            *r.Machine,
+		Injections:         r.Injections,
+		Seed:               r.Seed,
+		TargetInsts:        r.TargetInsts,
+		CheckpointInterval: r.CheckpointInterval,
+		Shard:              &harness.ShardRange{Offset: r.ShardOffset, Count: r.ShardCount, Plan: r.Injections},
+	}
+	for _, name := range r.Structures {
+		if st, ok := fault.ParseStruct(name); ok {
+			spec.Structures = append(spec.Structures, st)
+		}
+	}
+	return spec
+}
+
+// BatchRequest is the body of POST /v1/faults/batch: several shards
+// submitted in one round trip — the coordinator's fan-out primitive.
+type BatchRequest struct {
+	Shards []ShardSpec `json:"shards"`
+}
+
+// maxBatchShards bounds one batch submit.
+const maxBatchShards = 256
+
+// BatchItem is the per-shard outcome of a batch submit: either an
+// accepted (or cache-satisfied) job, or a shard-level error with the
+// same Retry-After hint a single submit would have carried. Shards are
+// answered positionally — item i is request shard i.
+type BatchItem struct {
+	Job          *JobView `json:"job,omitempty"`
+	Error        string   `json:"error,omitempty"`
+	RetryAfterMS int64    `json:"retry_after_ms,omitempty"`
+}
+
+// BatchResponse answers POST /v1/faults/batch.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// ShardPayload is a shard job's result: the shard slice of the
+// campaign report plus its per-trial records (CampaignReport excludes
+// trials from its own JSON form, so they travel alongside). The
+// coordinator feeds these to harness.MergeReports.
+type ShardPayload struct {
+	Report harness.CampaignReport `json:"report"`
+	Trials []harness.Trial        `json:"trials,omitempty"`
+}
+
 // JobView is the wire form of a job, returned by submits and polls.
 type JobView struct {
 	ID      string    `json:"id"`

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"reese/internal/config"
+	"reese/internal/harness"
+)
+
+// readyz must track the drain state: ready while serving, 503 with a
+// Retry-After once shutdown begins — the signal that tells a cluster
+// coordinator to stop assigning shards here.
+func TestReadyzTracksDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Ready         bool  `json:"ready"`
+		QueueDepth    int   `json:"queue_depth"`
+		QueueCapacity int   `json:"queue_capacity"`
+		ReplayBacklog int64 `json:"replay_backlog"`
+	}
+	if jerr := json.NewDecoder(resp.Body).Decode(&body); jerr != nil {
+		t.Fatal(jerr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !body.Ready {
+		t.Fatalf("fresh server not ready: status %d, body %+v", resp.StatusCode, body)
+	}
+	if body.QueueCapacity == 0 {
+		t.Error("readyz reports no queue capacity")
+	}
+
+	s.jobs.mu.Lock()
+	s.jobs.draining = true
+	s.jobs.mu.Unlock()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered readyz %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz carries no Retry-After")
+	}
+	s.jobs.mu.Lock()
+	s.jobs.draining = false
+	s.jobs.mu.Unlock()
+}
+
+// The batch endpoint must accept several shards in one round trip, run
+// each as a job, and produce payloads that merge to the byte-identical
+// single-process report — the worker half of the cluster contract.
+func TestBatchShardsMergeExactly(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	machine := config.Starting().WithReese()
+	const injections = 30
+
+	shard := func(off, count int) ShardSpec {
+		return ShardSpec{
+			Workload:    "li",
+			Machine:     &machine,
+			Injections:  injections,
+			Seed:        5,
+			ShardOffset: off,
+			ShardCount:  count,
+		}
+	}
+	raw, _ := json.Marshal(BatchRequest{Shards: []ShardSpec{shard(0, 10), shard(10, 20)}})
+	resp, err := http.Post(ts.URL+"/v1/faults/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch submit: %d: %s", resp.StatusCode, data)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Items) != 2 {
+		t.Fatalf("batch answered %d items, want 2", len(batch.Items))
+	}
+
+	var reports []*harness.CampaignReport
+	for i, item := range batch.Items {
+		if item.Error != "" {
+			t.Fatalf("shard %d rejected: %s", i, item.Error)
+		}
+		v := awaitJob(t, ts.URL, item.Job.ID)
+		if v.State != StateDone {
+			t.Fatalf("shard %d job %s ended %s: %s", i, v.ID, v.State, v.Error)
+		}
+		var p ShardPayload
+		if err := json.Unmarshal(v.Result, &p); err != nil {
+			t.Fatal(err)
+		}
+		rep := p.Report
+		rep.Trials = p.Trials
+		reports = append(reports, &rep)
+	}
+	merged, err := harness.MergeReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := harness.Campaign(harness.CampaignSpec{
+		Workload:   "li",
+		Machine:    machine,
+		Injections: injections,
+		Seed:       5,
+	}, harness.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := func(r *harness.CampaignReport) *harness.CampaignReport {
+		c := *r
+		c.WallSeconds = 0
+		c.InjectionsPerSec = 0
+		return &c
+	}
+	got, _ := json.Marshal(strip(merged))
+	want, _ := json.Marshal(strip(single))
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged batch shards differ from single-process:\n got %s\nwant %s", got, want)
+	}
+
+	// Resubmitting a shard must be answered from the result cache — the
+	// idempotency that makes coordinator reassignment double-count-proof.
+	raw, _ = json.Marshal(BatchRequest{Shards: []ShardSpec{shard(0, 10)}})
+	resp2, err := http.Post(ts.URL+"/v1/faults/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var again BatchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Items) != 1 || again.Items[0].Job == nil {
+		t.Fatalf("resubmitted shard rejected: %+v", again.Items)
+	}
+	if !again.Items[0].Job.Cached || again.Items[0].Job.State != StateDone {
+		t.Errorf("resubmitted shard not served from cache: %+v", again.Items[0].Job)
+	}
+}
+
+// A malformed shard must be rejected per-item, not fail the batch.
+func TestBatchRejectsBadShardPerItem(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	machine := config.Starting().WithReese()
+	good := ShardSpec{Workload: "li", Machine: &machine, Injections: 10, Seed: 1, ShardOffset: 0, ShardCount: 10}
+	bad := good
+	bad.ShardOffset = 8
+	bad.ShardCount = 5 // [8,13) overruns the 10-trial plan
+	raw, _ := json.Marshal(BatchRequest{Shards: []ShardSpec{bad, good}})
+	resp, err := http.Post(ts.URL+"/v1/faults/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d, want 200 with per-item errors", resp.StatusCode)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Items[0].Error == "" || !strings.Contains(batch.Items[0].Error, "outside") {
+		t.Errorf("bad shard accepted: %+v", batch.Items[0])
+	}
+	if batch.Items[1].Job == nil {
+		t.Errorf("good shard rejected alongside the bad one: %+v", batch.Items[1])
+	}
+	if batch.Items[1].Job != nil {
+		awaitJob(t, ts.URL, batch.Items[1].Job.ID)
+	}
+}
+
+// awaitJob long-polls a job to a terminal state.
+func awaitJob(t *testing.T, base, id string) JobView {
+	t.Helper()
+	for i := 0; i < 120; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=5s", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("poll %s: %v: %s", id, err, data)
+		}
+		if v.State.terminal() {
+			return v
+		}
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}

@@ -236,6 +236,11 @@ type jobRunner struct {
 	// pendingRetries counts retry/replay goroutines that may still place
 	// a job on the queue; workers drain until it reaches zero at exit.
 	pendingRetries atomic.Int64
+	// replayBacklog counts journal-replayed jobs not yet back on the
+	// queue; /readyz reports not-ready until it reaches zero, so a
+	// cluster coordinator never assigns shards to a still-recovering
+	// worker.
+	replayBacklog atomic.Int64
 
 	queued    atomic.Int64
 	running   atomic.Int64
@@ -806,6 +811,7 @@ func (r *jobRunner) enqueueReplayed(jobs []*Job) {
 		return
 	}
 	r.pendingRetries.Add(1)
+	r.replayBacklog.Store(int64(len(jobs)))
 	go func() {
 		defer r.pendingRetries.Add(-1)
 		for _, j := range jobs {
@@ -816,8 +822,16 @@ func (r *jobRunner) enqueueReplayed(jobs []*Job) {
 			case <-j.ctx.Done():
 				r.finalize(j, StateCanceled, context.Cause(j.ctx).Error(), nil)
 			}
+			r.replayBacklog.Add(-1)
 		}
 	}()
+}
+
+// isDraining reports whether Shutdown has begun.
+func (r *jobRunner) isDraining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
 }
 
 // watchdog periodically samples every running job's progress counter

@@ -186,6 +186,50 @@ func newFailureCounters(m *Metrics) *failureCounters {
 	}
 }
 
+// ShardMetrics are the coordinator-side cluster instruments: shard
+// lifecycle counters and the shard-duration histogram. The methods
+// match the cluster package's hook interface structurally, so the
+// coordinator can record into them without this package importing
+// cluster (cmd/reese-serve wires the two together).
+type ShardMetrics struct {
+	assigned   *Counter
+	completed  *Counter
+	retried    *Counter
+	reassigned *Counter
+	duration   *Histogram
+}
+
+// NewShardMetrics registers the cluster shard instruments.
+func NewShardMetrics(m *Metrics) *ShardMetrics {
+	return &ShardMetrics{
+		assigned: m.Counter("reese_serve_shards_assigned_total",
+			"Campaign shards assigned to workers by the coordinator."),
+		completed: m.Counter("reese_serve_shards_completed_total",
+			"Campaign shards completed and merged by the coordinator."),
+		retried: m.Counter("reese_serve_shards_retried_total",
+			"Shard submissions retried after a 503 or transport error."),
+		reassigned: m.Counter("reese_serve_shards_reassigned_total",
+			"Shards reassigned to a different worker after worker loss."),
+		duration: m.HistogramFamily("reese_serve_shard_duration_seconds",
+			"Shard wall time from assignment to completion.", DefaultLatencyBounds).With(),
+	}
+}
+
+// ShardAssigned counts one shard handed to a worker.
+func (s *ShardMetrics) ShardAssigned() { s.assigned.Inc() }
+
+// ShardCompleted counts one merged shard and its wall time.
+func (s *ShardMetrics) ShardCompleted(seconds float64) {
+	s.completed.Inc()
+	s.duration.Observe(seconds)
+}
+
+// ShardRetried counts one retried shard submission.
+func (s *ShardMetrics) ShardRetried() { s.retried.Inc() }
+
+// ShardReassigned counts one shard moved to a different worker.
+func (s *ShardMetrics) ShardReassigned() { s.reassigned.Inc() }
+
 // memSampler caches runtime.ReadMemStats between scrapes:
 // ReadMemStats stops the world, so a scrape storm must not turn the
 // metrics endpoint into a GC-pressure amplifier.

@@ -165,6 +165,9 @@ type Server struct {
 	httpRequests *counterFamily
 	httpLatency  *histogramFamily
 	started      time.Time
+	// shardMetrics is registered on first ShardMetrics() call (only
+	// coordinators carry shard instruments).
+	shardMetrics *ShardMetrics
 }
 
 // New builds a Server, replays the journal (if configured), and starts
@@ -249,10 +252,12 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.submitHandler("run")))
 	mux.HandleFunc("POST /v1/figure", s.instrument("/v1/figure", s.submitHandler("figure")))
 	mux.HandleFunc("POST /v1/faults", s.instrument("/v1/faults", s.submitHandler("faults")))
+	mux.HandleFunc("POST /v1/faults/batch", s.instrument("/v1/faults/batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux = mux
 	return s, nil
@@ -290,6 +295,27 @@ func (s *Server) adoptJournal(replayed []replayedJob) {
 
 // Handler returns the root handler (for http.Server or httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Mount registers an extra handler on the server's mux with the usual
+// request instrumentation — how cmd/reese-serve attaches the cluster
+// coordinator endpoint without this package importing cluster.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	route := pattern
+	if i := strings.IndexByte(route, ' '); i >= 0 {
+		route = route[i+1:]
+	}
+	s.mux.HandleFunc(pattern, s.instrument(route, h.ServeHTTP))
+}
+
+// ShardMetrics lazily registers and returns the cluster shard
+// instruments; the coordinator records into them through the cluster
+// package's structural hook interface.
+func (s *Server) ShardMetrics() *ShardMetrics {
+	if s.shardMetrics == nil {
+		s.shardMetrics = NewShardMetrics(s.metrics)
+	}
+	return s.shardMetrics
+}
 
 // Shutdown drains gracefully: intake closes (new submits get 503),
 // queued and running jobs are given until ctx expires to finish, then
@@ -500,6 +526,25 @@ func (s *Server) prepareJob(kind string, body []byte) (key string, canonical jso
 		parallel := s.gridParallel
 		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
 			return runFaults(ctx, req, parallel, progress)
+		}
+	case "shard":
+		var req ShardSpec
+		if jerr := json.Unmarshal(body, &req); jerr != nil {
+			return bad(fmt.Errorf("decode request: %w", jerr))
+		}
+		req, nerr := req.normalize(s.cfg.Limits)
+		if nerr != nil {
+			return bad(nerr)
+		}
+		if key, err = cacheKey(kind, req); err != nil {
+			return "", nil, nil, err
+		}
+		if canonical, err = json.Marshal(req); err != nil {
+			return "", nil, nil, err
+		}
+		parallel := s.gridParallel
+		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
+			return runShard(ctx, req, parallel, progress)
 		}
 	default:
 		return "", nil, nil, fmt.Errorf("unknown job kind %q", kind)
@@ -740,6 +785,121 @@ func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *a
 		insts += payload.Reports[i].Injected * payload.Reports[i].GoldenInsts
 	}
 	return jobOutput{payload: raw, insts: insts}, nil
+}
+
+// runShard executes one ShardSpec: the [offset, offset+count) slice of
+// the full campaign plan. The payload carries the per-trial records
+// alongside the report (the report's own JSON form excludes them) so
+// the coordinator can reconstitute the full trial log after the merge.
+func runShard(ctx context.Context, req ShardSpec, parallel int, progress *atomic.Uint64) (jobOutput, error) {
+	opt := harness.Options{Parallel: parallel, Ctx: ctx, Progress: progress}
+	rep, err := harness.Campaign(req.campaignSpec(), opt)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	raw, err := json.Marshal(ShardPayload{Report: *rep, Trials: rep.Trials})
+	if err != nil {
+		return jobOutput{}, err
+	}
+	return jobOutput{payload: raw, insts: rep.Injected * rep.GoldenInsts}, nil
+}
+
+// handleBatch serves POST /v1/faults/batch: several shards accepted (or
+// rejected) independently in one round trip. The response is always
+// 200 with positional per-shard items — a full queue rejects shard i
+// with the usual Retry-After hint inside item i rather than failing
+// the whole batch, so the coordinator can hold back just the overflow.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	timeout, err := s.parseTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Shards) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Shards) > maxBatchShards {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d shards exceeds limit %d", len(req.Shards), maxBatchShards))
+		return
+	}
+	resp := BatchResponse{Items: make([]BatchItem, len(req.Shards))}
+	for i, shard := range req.Shards {
+		item := &resp.Items[i]
+		raw, err := json.Marshal(shard)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		key, canonical, run, err := s.prepareJob("shard", raw)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		if payload, ok := s.cache.get(key); ok {
+			// Idempotent resubmission: a shard this worker already ran is
+			// answered from the content-addressed cache, which is what makes
+			// reassignment double-count-proof.
+			j := s.jobs.complete("shard", key, payload)
+			v := j.snapshot()
+			item.Job = &v
+			continue
+		}
+		j, err := s.jobs.submit("shard", key, canonical, timeout, s.withCachePut(key, run))
+		switch {
+		case errors.Is(err, errQueueFull):
+			item.Error = err.Error()
+			item.RetryAfterMS = s.jobs.retryAfter().Milliseconds()
+		case errors.Is(err, errDraining):
+			item.Error = err.Error()
+			item.RetryAfterMS = (30 * time.Second).Milliseconds()
+		case err != nil:
+			item.Error = err.Error()
+		default:
+			v := j.snapshot()
+			item.Job = &v
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReadyz serves GET /readyz — readiness, as distinct from
+// /healthz liveness: 503 while the journal replay backlog is still
+// re-enqueueing or a graceful drain has begun, 200 otherwise. The
+// body always reports queue depth, so a coordinator can prefer the
+// least-loaded ready worker.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.jobs.isDraining()
+	replaying := s.jobs.replayBacklog.Load()
+	body := map[string]any{
+		"ready":          !draining && replaying == 0,
+		"draining":       draining,
+		"replay_backlog": replaying,
+		"queue_depth":    s.jobs.queued.Load(),
+		"queue_capacity": s.cfg.QueueDepth,
+		"jobs_running":   s.jobs.running.Load(),
+	}
+	code := http.StatusOK
+	if draining || replaying > 0 {
+		code = http.StatusServiceUnavailable
+		if draining {
+			w.Header().Set("Retry-After", "30")
+		} else {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	s.writeJSON(w, code, body)
 }
 
 // handleJobGet serves GET /v1/jobs/{id} (?wait= to block).

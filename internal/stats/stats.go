@@ -42,6 +42,41 @@ func (h *Histogram) Add(v uint64) {
 	}
 }
 
+// AddN records n observations of value v in one step — the merge
+// primitive for recombining histograms that were filled on different
+// machines. Adding the buckets of two histograms into a third yields
+// exactly the histogram a single pass over all observations would have
+// built: count, sum, min, max, and every percentile are reconstructed
+// bit-for-bit (the sum is integer arithmetic, so no float re-ordering
+// can creep in).
+func (h *Histogram) AddN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[v/h.width] += n
+	h.count += n
+	h.sum += v * n
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Buckets returns the histogram's (bucket start value, count) pairs in
+// ascending value order — a serializable form that round-trips through
+// AddN. For width-1 histograms the bucket start is the exact observed
+// value, so Buckets/AddN reconstruct the distribution losslessly.
+func (h *Histogram) Buckets() [][2]uint64 {
+	out := make([][2]uint64, 0, len(h.buckets))
+	for k, n := range h.buckets {
+		out = append(out, [2]uint64{k * h.width, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
