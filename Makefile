@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke claims serve chaos fuzz cluster-smoke load clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke faults-mem-smoke claims serve chaos fuzz cluster-smoke load clean
 
 all: build test
 
@@ -54,6 +54,14 @@ faults:
 # no in-sphere fault hangs the machine (see DESIGN §13).
 faults-smoke:
 	$(GO) run ./cmd/reese-faults -smoke
+
+# Memory-hierarchy gate: a 200-injection campaign over pipeline and
+# memory structures on an ECC-L2 machine running the PRBS memory
+# workload. Fails unless outcome counts sum to injections six ways, no
+# single-bit L2 fault escapes as SDC (SECDED must absorb them), and
+# symptom-based localization is >= 90% accurate (see DESIGN §16).
+faults-mem-smoke:
+	$(GO) run ./cmd/reese-faults -mem-smoke
 
 # Run the HTTP simulation service (see README "Serving" and DESIGN §10).
 serve:

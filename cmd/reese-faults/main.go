@@ -28,6 +28,7 @@ import (
 	"reese/internal/config"
 	"reese/internal/fault"
 	"reese/internal/harness"
+	"reese/internal/mem"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run() int {
 		ckInterval   = flag.Uint64("checkpoint-interval", 0, "golden-run snapshot spacing in committed instructions (0 = default)")
 		parallel     = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		smoke        = flag.Bool("smoke", false, "tiny seeded campaign; exits non-zero unless in-sphere coverage is 100% with no hangs")
+		memSmoke     = flag.Bool("mem-smoke", false, "seeded memory-hierarchy campaign on small caches with SECDED L2; asserts ECC absorbs single-bit L2 faults and localization accuracy >= 90%")
+		ecc          = flag.Bool("ecc", false, "enable SECDED ECC on the L2 cache for the campaign machines")
 		grid         = flag.Bool("grid", false, "sweep all 32 bit positions at one injection point")
 		gridAt       = flag.Uint64("grid-at", 5_000, "injection point (instruction #) for -grid")
 		workersStr   = flag.String("workers", "", "comma-separated reese-serve replica URLs; shards the campaign across them (requires -workload)")
@@ -65,6 +68,9 @@ func run() int {
 	}
 	if *smoke {
 		return runSmoke(*seed, opt)
+	}
+	if *memSmoke {
+		return runMemSmoke(*seed, opt)
 	}
 	if *workersStr != "" {
 		return runDistributed(distributedArgs{
@@ -117,6 +123,9 @@ func run() int {
 	var reports []harness.CampaignReport
 	for _, w := range workloads {
 		for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
+			if *ecc {
+				cfg.Memory.L2.ECC = true
+			}
 			spec := harness.CampaignSpec{
 				Workload:           w,
 				Machine:            cfg,
@@ -144,6 +153,9 @@ func run() int {
 	}
 	for i := range reports {
 		fmt.Println(reports[i].Table())
+		if reports[i].Localized > 0 {
+			fmt.Println(reports[i].LevelsTable())
+		}
 		if reports[i].Detected+reports[i].Recovered > 0 {
 			fmt.Printf("detection latency: mean %.1f, p95 %d, max %d cycles\n",
 				reports[i].DetectionLatencyMean, reports[i].DetectionLatencyP95, reports[i].DetectionLatencyMax)
@@ -318,6 +330,73 @@ func runSmoke(seed uint64, opt harness.Options) int {
 		return 3
 	}
 	fmt.Println("smoke OK: all injections classified, result coverage 100%, no in-sphere SDC or hangs")
+	return 0
+}
+
+// memSmokeMachine is the -mem-smoke configuration: the REESE machine
+// with caches shrunk (2 KB L1s, 16 KB SECDED L2) so the PRBS workload's
+// resident region spills past L1 and exercises L2 and RAM.
+func memSmokeMachine() config.Machine {
+	cfg := config.Starting().WithReese()
+	cfg.Name = cfg.Name + "+memsmoke"
+	cfg.Memory.L1D = mem.CacheConfig{Name: "dl1", SizeBytes: 2 * 1024, BlockBytes: 32, Assoc: 2, HitLatency: 2}
+	cfg.Memory.L1I = mem.CacheConfig{Name: "il1", SizeBytes: 2 * 1024, BlockBytes: 32, Assoc: 2, HitLatency: 2}
+	cfg.Memory.L2 = mem.CacheConfig{Name: "ul2", SizeBytes: 16 * 1024, BlockBytes: 64, Assoc: 4, HitLatency: 12, ECC: true}
+	return cfg
+}
+
+// runMemSmoke is the memory-hierarchy CI gate: a seeded 200-injection
+// campaign on the PRBS self-checking workload over memory and pipeline
+// structures, asserting (a) the SECDED L2 turns every effective
+// single-bit L2 fault into a correction (zero SDC), (b) the six-way
+// outcome taxonomy accounts for every injection, and (c) symptom-based
+// localization attributes at least 90% of non-masked trials to the
+// right plane.
+func runMemSmoke(seed uint64, opt harness.Options) int {
+	structs := []fault.Struct{
+		fault.StructResult, fault.StructRSQOperand, fault.StructFetchPC, fault.StructRegFile,
+		fault.StructMemWord, fault.StructL1DDirty, fault.StructL1DTag,
+		fault.StructL2Line, fault.StructDTLB,
+	}
+	rep, err := harness.Campaign(harness.CampaignSpec{
+		Workload:    "prbs",
+		Machine:     memSmokeMachine(),
+		Structures:  structs,
+		Injections:  200,
+		Seed:        seed,
+		TargetInsts: 70_000,
+	}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-faults:", err)
+		return 1
+	}
+	fmt.Println(rep.Table())
+	fmt.Println(rep.LevelsTable())
+	failed := false
+	if got := rep.Total(); got != rep.Injected {
+		fmt.Fprintf(os.Stderr, "FAIL: outcome counts sum to %d, want %d injected\n", got, rep.Injected)
+		failed = true
+	}
+	// Single-bit L2 faults (bit < 32) must never escape a SECDED L2.
+	for _, t := range rep.Trials {
+		if t.Structure == fault.StructL2Line.String() && t.Bit < 32 && t.Outcome == "sdc" {
+			fmt.Fprintf(os.Stderr, "FAIL: single-bit L2 fault (trial %d, bit %d) escaped ECC as SDC\n", t.Index, t.Bit)
+			failed = true
+		}
+	}
+	if rep.Localized == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: no trials were localized")
+		failed = true
+	} else if rep.LocAccuracy < 0.90 {
+		fmt.Fprintf(os.Stderr, "FAIL: localization accuracy %.1f%% over %d trials, want >= 90%%\n",
+			rep.LocAccuracy*100, rep.Localized)
+		failed = true
+	}
+	if failed {
+		return 3
+	}
+	fmt.Printf("mem-smoke OK: %d injections classified six ways, ECC absorbed all single-bit L2 faults, localization %.1f%% over %d trials\n",
+		rep.Injected, rep.LocAccuracy*100, rep.Localized)
 	return 0
 }
 

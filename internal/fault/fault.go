@@ -55,6 +55,37 @@ const (
 	// itself. Outside the sphere: the corruption commits unchecked.
 	StructComparator
 
+	// Memory-hierarchy structures — outside the sphere of replication.
+	// These fire through the MemSiteInjector hook and carry a victim
+	// address (AtStruct.Addr) in addition to the sequence number.
+
+	// StructMemWord flips a bit of one architectural main-memory word.
+	StructMemWord
+	// StructL1DTag flips a tag bit of the L1D line holding the victim
+	// address: the original address pseudo-misses, the aliased address
+	// wrong-line hits, and a dirty eviction writes back to the alias.
+	StructL1DTag
+	// StructL1DDirty clears the dirty bit of the victim L1D line — a
+	// lost write-back that silently reverts the line at eviction.
+	StructL1DDirty
+	// StructL1DData flips a data bit of the word behind a resident L1D
+	// line; a clean eviction's refill restores it, a dirty one persists.
+	StructL1DData
+	// StructL1ITag flips a tag bit of the L1I line holding the victim
+	// PC. I-lines are never dirty, so the upset is timing-only.
+	StructL1ITag
+	// StructL2Line flips one or two adjacent data bits of the word
+	// behind a resident L2 line. With SECDED ECC configured on L2,
+	// single-bit upsets are corrected (OutcomeCorrected) and double-bit
+	// upsets are detected-uncorrectable.
+	StructL2Line
+	// StructITLB flips a tag bit of the I-TLB entry covering the victim
+	// PC's page (translation timing perturbation).
+	StructITLB
+	// StructDTLB flips a tag bit of the D-TLB entry covering the victim
+	// data address's page.
+	StructDTLB
+
 	// NumStructs counts the structures above.
 	NumStructs
 )
@@ -62,6 +93,8 @@ const (
 var structNames = [NumStructs]string{
 	"result", "lsq-addr", "lsq-store-data", "regfile", "fetch-pc",
 	"rsq-operand", "rsq-result", "comparator",
+	"mem-word", "l1d-tag", "l1d-dirty", "l1d-data", "l1i-tag",
+	"l2-line", "itlb-entry", "dtlb-entry",
 }
 
 // String returns the campaign-table name of the structure.
@@ -103,6 +136,48 @@ func (s Struct) NeedsRSQ() bool {
 		return true
 	}
 	return false
+}
+
+// InMemHierarchy reports whether the structure lives in the memory
+// hierarchy (fires through the MemSiteInjector hook and needs a victim
+// address).
+func (s Struct) InMemHierarchy() bool {
+	switch s {
+	case StructMemWord, StructL1DTag, StructL1DDirty, StructL1DData,
+		StructL1ITag, StructL2Line, StructITLB, StructDTLB:
+		return true
+	}
+	return false
+}
+
+// Level names the physical plane the structure belongs to — the
+// ground-truth label the localization pass is scored against. One of
+// "ram", "l1", "l2", "tlb", "pipeline".
+func (s Struct) Level() string {
+	switch s {
+	case StructMemWord:
+		return "ram"
+	case StructL1DTag, StructL1DDirty, StructL1DData, StructL1ITag:
+		return "l1"
+	case StructL2Line:
+		return "l2"
+	case StructITLB, StructDTLB:
+		return "tlb"
+	}
+	return "pipeline"
+}
+
+// LevelGroup maps a structure to the coarse 3-way localization target
+// the symptom classifier predicts: "ram", "cache" (L1/L2/TLB), or
+// "pipeline".
+func (s Struct) LevelGroup() string {
+	switch s.Level() {
+	case "ram":
+		return "ram"
+	case "l1", "l2", "tlb":
+		return "cache"
+	}
+	return "pipeline"
 }
 
 // Structures returns the fault targets that exist on a machine,
@@ -174,6 +249,63 @@ type SiteInjector interface {
 	RSQEnqueue(seq uint64, tr emu.Trace) (RSQCorruption, bool)
 }
 
+// CacheSel selects a cache level for a memory-hierarchy fault.
+type CacheSel uint8
+
+// Cache levels a MemPlane can target.
+const (
+	SelL1I CacheSel = iota
+	SelL1D
+	SelL2
+)
+
+// FlipResult reports what a data-bit flip did at an (optionally
+// ECC-protected) cache level.
+type FlipResult uint8
+
+// DataFlip results.
+const (
+	// FlipNone: the target line is not resident; nothing happened.
+	FlipNone FlipResult = iota
+	// FlipApplied: the bits were flipped in the architectural word.
+	FlipApplied
+	// FlipCorrected: SECDED corrected the single-bit upset in place.
+	FlipCorrected
+	// FlipDetected: SECDED flagged a double-bit upset as detected-
+	// uncorrectable; the flips were applied (the data is lost).
+	FlipDetected
+)
+
+// MemPlane is the memory hierarchy as seen by an injector: the
+// architectural word plane plus the timing caches and TLBs. The
+// pipeline provides an adapter over its hierarchy and oracle memory.
+type MemPlane interface {
+	// CorruptWord XORs mask into the architectural memory word at addr.
+	CorruptWord(addr, mask uint32) bool
+	// TagFlip flips a tag bit of the line holding addr at level l.
+	TagFlip(l CacheSel, addr uint32, bit uint8) bool
+	// DirtyClear arms/fires a lost write-back on the L1D line at addr.
+	// lastSeq is the dynamic index of the block's last golden store; the
+	// clear may only fire after it retires (earlier, the block's own
+	// later stores would re-dirty the line and always mask the upset).
+	DirtyClear(addr uint32, lastSeq uint64) bool
+	// DataFlip flips data bit(s) behind a resident line at level l.
+	DataFlip(l CacheSel, addr uint32, bits uint8) FlipResult
+	// TLBEntryFlip flips a tag bit of the TLB entry covering addr
+	// (data=true for the D-TLB, false for the I-TLB).
+	TLBEntryFlip(data bool, addr uint32, bit uint8) bool
+}
+
+// MemSiteInjector is a SiteInjector that can also fire into the memory
+// hierarchy. The pipeline type-asserts for it once and calls MemStep
+// through a narrow nil-gated hook, like the other sites.
+type MemSiteInjector interface {
+	SiteInjector
+	// MemStep is called before each oracle instruction executes; a fired
+	// fault perturbs the memory hierarchy through mp.
+	MemStep(icount uint64, mp MemPlane) bool
+}
+
 // None never injects. The zero value is ready to use.
 type None struct{}
 
@@ -202,10 +334,24 @@ type AtStruct struct {
 	Bit    uint8
 	// Reg is the victim register for StructRegFile (r0 never fires).
 	Reg uint8
+	// Addr is the victim address for memory-hierarchy structures: the
+	// memory word, the cache line, the page — whichever the structure
+	// targets.
+	Addr uint32
+	// Seq2 is used by StructL1DDirty only: the dynamic index of the
+	// victim block's last golden store. The campaign plans Seq at the
+	// block's first store (so the pre-store snapshot covers every store
+	// to the block) and the dirty-clear fires once Seq2 has retired.
+	Seq2 uint64
 
 	fired    bool
 	firedSeq uint64
+	// ECC verdicts recorded when an L2 data flip meets a SECDED code.
+	eccCorrected bool
+	eccDetected  bool
 }
+
+var _ MemSiteInjector = (*AtStruct)(nil)
 
 // Fired reports whether the fault has been injected.
 func (a *AtStruct) Fired() bool { return a.fired }
@@ -213,6 +359,13 @@ func (a *AtStruct) Fired() bool { return a.fired }
 // FiredSeq returns the sequence number (or oracle instruction count) the
 // fault actually landed on; valid only once Fired.
 func (a *AtStruct) FiredSeq() uint64 { return a.firedSeq }
+
+// EccCorrected reports whether the fault was absorbed by ECC.
+func (a *AtStruct) EccCorrected() bool { return a.eccCorrected }
+
+// EccDetected reports whether ECC flagged the fault as detected-
+// uncorrectable (the corruption was applied and the data is lost).
+func (a *AtStruct) EccDetected() bool { return a.eccDetected }
 
 func (a *AtStruct) mask() uint32 { return 1 << (a.Bit % 32) }
 
@@ -310,6 +463,50 @@ func (a *AtStruct) RSQEnqueue(seq uint64, tr emu.Trace) (RSQCorruption, bool) {
 	a.fired = true
 	a.firedSeq = seq
 	return c, true
+}
+
+// MemStep implements the memory-hierarchy site. Cache and TLB targets
+// need their victim line resident (a lost write-back additionally
+// needs it dirty), so the injector polls every oracle step from Seq
+// until the hierarchy is in an eligible state; a fault whose line never
+// becomes eligible simply never fires and the trial is masked.
+func (a *AtStruct) MemStep(icount uint64, mp MemPlane) bool {
+	if a.fired || icount < a.Seq {
+		return false
+	}
+	fired := false
+	switch a.Struct {
+	case StructMemWord:
+		fired = mp.CorruptWord(a.Addr&^3, a.mask())
+	case StructL1DTag:
+		fired = mp.TagFlip(SelL1D, a.Addr, a.Bit)
+	case StructL1ITag:
+		fired = mp.TagFlip(SelL1I, a.Addr, a.Bit)
+	case StructL1DDirty:
+		fired = mp.DirtyClear(a.Addr, a.Seq2)
+	case StructL1DData:
+		fired = mp.DataFlip(SelL1D, a.Addr, a.Bit%32) != FlipNone
+	case StructL2Line:
+		switch mp.DataFlip(SelL2, a.Addr, a.Bit%64) {
+		case FlipApplied:
+			fired = true
+		case FlipCorrected:
+			fired, a.eccCorrected = true, true
+		case FlipDetected:
+			fired, a.eccDetected = true, true
+		}
+	case StructITLB:
+		fired = mp.TLBEntryFlip(false, a.Addr, a.Bit)
+	case StructDTLB:
+		fired = mp.TLBEntryFlip(true, a.Addr, a.Bit)
+	default:
+		return false
+	}
+	if fired {
+		a.fired = true
+		a.firedSeq = icount
+	}
+	return fired
 }
 
 // AtSeq injects a single fault into the instruction with the given
@@ -499,12 +696,17 @@ const (
 	OutcomeMasked
 	// OutcomeHang: the no-commit watchdog terminated the run.
 	OutcomeHang
+	// OutcomeCorrected: an ECC-protected structure absorbed the upset —
+	// corrected in place, no architectural effect, no detection needed.
+	// Counted as effective (the fault reached real state) but never as
+	// an escape.
+	OutcomeCorrected
 
 	// NumOutcomes counts the outcomes above.
 	NumOutcomes
 )
 
-var outcomeNames = [NumOutcomes]string{"detected", "recovered", "sdc", "masked", "hang"}
+var outcomeNames = [NumOutcomes]string{"detected", "recovered", "sdc", "masked", "hang", "corrected"}
 
 // String returns the campaign-table name of the outcome.
 func (o Outcome) String() string {

@@ -149,6 +149,12 @@ type campaignBundle struct {
 	finalRes    pipeline.Result
 	finalCommit emu.Digest
 	finalOracle emu.Digest
+	// finalMem is the golden run's final architectural memory image.
+	// Direct memory-plane corruption (a flipped RAM word no instruction
+	// ever reloads, a lost write-back) is invisible to the register/
+	// store/output digests; trials that run to completion compare their
+	// final memory against this image to catch such escapes.
+	finalMem *mem.PageImage
 
 	budget uint64
 
@@ -234,6 +240,7 @@ func buildBundle(spec CampaignSpec, wspec workload.Spec) (*campaignBundle, error
 	b.finalRes = res
 	b.finalCommit = cpu.CommitDigest()
 	b.finalOracle = cpu.OracleDigest()
+	b.finalMem = mem.SnapshotPages(memory.Bytes(), memory.DirtyPages(), img)
 	// The splice algebra assumes the golden pipeline run retires the
 	// exact architectural work of the emulator reference. A mismatch is
 	// a simulator bug; refusing here beats silently misclassifying
@@ -380,6 +387,45 @@ func (w *campaignWorker) memConverged(fork, bound *mem.PageImage) bool {
 	return true
 }
 
+// memDiff measures how the trial's final memory differs from the
+// golden final image: the count of differing 32-bit words and the
+// address span [lo, hi] they cover. Pages neither the trial wrote nor
+// the golden run changed after the fork are identical by construction
+// and are skipped, same as memConverged.
+func (w *campaignWorker) memDiff(fork, final *mem.PageImage) (words int, lo, hi uint32) {
+	dirty := w.mem.DirtyPages()
+	live := w.mem.Bytes()
+	lo = ^uint32(0)
+	for p := 0; p < final.NumPages(); p++ {
+		bp := final.PageAt(p)
+		fp := fork.PageAt(p)
+		if !dirty[p] && &fp[0] == &bp[0] {
+			continue
+		}
+		base := p * mem.PageSize
+		lv := live[base : base+len(bp)]
+		if bytes.Equal(lv, bp) {
+			continue
+		}
+		for o := 0; o+4 <= len(bp); o += 4 {
+			if lv[o] != bp[o] || lv[o+1] != bp[o+1] || lv[o+2] != bp[o+2] || lv[o+3] != bp[o+3] {
+				words++
+				a := uint32(base + o)
+				if a < lo {
+					lo = a
+				}
+				if a > hi {
+					hi = a
+				}
+			}
+		}
+	}
+	if words == 0 {
+		lo = 0
+	}
+	return words, lo, hi
+}
+
 // getWorker pops a recycled worker (or makes a fresh one).
 func (b *campaignBundle) getWorker() *campaignWorker {
 	if w, ok := b.workers.Get().(*campaignWorker); ok {
@@ -393,7 +439,7 @@ func (b *campaignBundle) getWorker() *campaignWorker {
 // a full from-scratch simulation would have.
 func (b *campaignBundle) runTrial(ctx context.Context, t *Trial, opt Options) error {
 	st, _ := fault.ParseStruct(t.Structure)
-	inj := &fault.AtStruct{Struct: st, Seq: t.Seq, Bit: t.Bit, Reg: t.Reg}
+	inj := &fault.AtStruct{Struct: st, Seq: t.Seq, Bit: t.Bit, Reg: t.Reg, Addr: t.Addr, Seq2: t.Seq2}
 
 	w := b.getWorker()
 	defer b.workers.Put(w)
@@ -461,12 +507,50 @@ func (b *campaignBundle) runTrial(ctx context.Context, t *Trial, opt Options) er
 
 	t.Fired = inj.Fired()
 	t.outcome = classify(res, commit, oracle, b.g.digest)
+
+	// Direct memory-plane corruption can escape every digest: a flipped
+	// RAM word nothing reloads, a reverted write-back. Trials that ran
+	// live to completion compare their final memory against the golden
+	// image; a spliced trial proved its memory golden at the boundary
+	// and inherits the golden suffix, so its final memory is golden by
+	// construction, and a hung trial's memory is mid-flight (the hang
+	// verdict already stands on its own).
+	diffWords, diffLo, diffHi := 0, uint32(0), uint32(0)
+	trialOut := b.g.out
+	if splicedAt < 0 && !res.Hanged {
+		diffWords, diffLo, diffHi = w.memDiff(fork.Mem, b.finalMem)
+		trialOut = cpu.Output()
+	}
+	switch {
+	case inj.EccCorrected():
+		// SECDED absorbed a single-bit flip: effective, never an escape.
+		t.outcome = fault.OutcomeCorrected
+	case inj.EccDetected() && t.outcome != fault.OutcomeHang:
+		// Double-bit flip flagged detected-uncorrectable by SECDED.
+		t.outcome = fault.OutcomeDetected
+	case diffWords > 0 && t.outcome == fault.OutcomeMasked:
+		t.outcome = fault.OutcomeSDC
+	case diffWords > 0 && t.outcome == fault.OutcomeRecovered:
+		t.outcome = fault.OutcomeDetected
+	}
 	t.Outcome = t.outcome.String()
 	t.Cycles = res.Cycles
 	t.Committed = res.Committed
 	t.Latency = 0
 	if t.outcome == fault.OutcomeDetected || t.outcome == fault.OutcomeRecovered {
 		t.Latency = res.DetectionLatencyMax
+	}
+	t.Locale = ""
+	if t.outcome != fault.OutcomeMasked {
+		t.Locale = localize(symptoms{
+			eccCorrected: inj.EccCorrected(),
+			eccDetected:  inj.EccDetected(),
+			detections:   res.FaultsDetected,
+			hanged:       t.outcome == fault.OutcomeHang,
+			diffWords:    diffWords,
+			diffLo:       diffLo,
+			diffHi:       diffHi,
+		}, b.g.out, trialOut)
 	}
 	return nil
 }

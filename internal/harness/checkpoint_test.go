@@ -80,17 +80,18 @@ func TestForkFromCheckpointMatchesScratchRun(t *testing.T) {
 // and seed, not of the snapshot schedule. An interval larger than the
 // workload degenerates to full-prefix simulation with no splice
 // opportunities, so equality across these runs is fork+splice vs.
-// from-scratch equivalence for every trial — exercised across all
-// fault structures the machine supports.
+// from-scratch equivalence for every trial — exercised across every
+// fault structure the machine supports, pipeline latches and memory-
+// hierarchy targets alike.
 func TestCampaignInvariantToCheckpointInterval(t *testing.T) {
 	base := CampaignSpec{
-		Workload:   "gcc", // hosts victims for all eight structures
+		Workload:   "gcc", // hosts victims for every structure (loads, stores, branches)
 		Machine:    config.Starting().WithReese(),
 		Injections: 120,
 		Seed:       0xBEEF,
 		Structures: fault.Structures(true),
 	}
-	render := func(interval uint64) (string, string) {
+	render := func(interval uint64) (string, string, *CampaignReport) {
 		spec := base
 		spec.CheckpointInterval = interval
 		rep, err := Campaign(spec, Options{Parallel: 1})
@@ -101,16 +102,80 @@ func TestCampaignInvariantToCheckpointInterval(t *testing.T) {
 		if err := rep.WriteJSONL(&buf); err != nil {
 			t.Fatal(err)
 		}
-		return buf.String(), rep.Table()
+		return buf.String(), rep.Table(), rep
 	}
-	refJSONL, refTable := render(0) // DefaultCheckpointInterval
+	refJSONL, refTable, refRep := render(0) // DefaultCheckpointInterval
+	// The run must actually sample the memory hierarchy, or the
+	// invariance below says nothing about mem-fault replay.
+	memInjected := uint64(0)
+	for _, sc := range refRep.Structures {
+		if st, ok := fault.ParseStruct(sc.Structure); ok && st.InMemHierarchy() {
+			memInjected += sc.Injected
+		}
+	}
+	if memInjected == 0 {
+		t.Fatal("campaign sampled no memory-hierarchy structures")
+	}
 	for _, interval := range []uint64{64, 1 << 20} {
-		jsonl, table := render(interval)
+		jsonl, table, _ := render(interval)
 		if jsonl != refJSONL {
 			t.Errorf("per-trial JSONL differs between interval %d and the default", interval)
 		}
 		if table != refTable {
 			t.Errorf("report table differs between interval %d and the default", interval)
+		}
+	}
+}
+
+// TestMemFaultTrialsInvariantToCheckpointInterval narrows interval
+// invariance to the memory-hierarchy structures only, with a small
+// interval in the mix so trials fork close to their injection point.
+// That forces armed and pending fault residue — in particular the
+// lost-write-back record with its pre-store block snapshot — to ride
+// through checkpoint restore (mem/clone.go deep-copies frec.snap) and
+// to block golden splicing until it settles; any shallow-copy or
+// settle-ordering bug shows up as a per-trial diff between schedules.
+func TestMemFaultTrialsInvariantToCheckpointInterval(t *testing.T) {
+	base := CampaignSpec{
+		Workload:   "gcc",
+		Machine:    config.Starting().WithReese(),
+		Injections: 60,
+		Seed:       0xD00D,
+		Structures: []fault.Struct{
+			fault.StructMemWord, fault.StructL1DTag, fault.StructL1DDirty,
+			fault.StructL1DData, fault.StructL2Line, fault.StructDTLB,
+		},
+	}
+	render := func(interval uint64) (string, *CampaignReport) {
+		spec := base
+		spec.CheckpointInterval = interval
+		rep, err := Campaign(spec, Options{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep
+	}
+	refJSONL, refRep := render(1 << 20) // no checkpoints: pure from-scratch
+	for _, sc := range refRep.Structures {
+		if sc.Injected == 0 {
+			t.Errorf("structure %s drew no trials", sc.Structure)
+		}
+	}
+	// Lost write-backs must actually fire somewhere, or the deep-clone
+	// path under test never carries a non-empty snapshot.
+	for _, sc := range refRep.Structures {
+		if sc.Structure == fault.StructL1DDirty.String() && sc.Fired == 0 {
+			t.Error("no l1d-dirty trial fired; lost-write-back replay untested")
+		}
+	}
+	for _, interval := range []uint64{16, 64, 0} {
+		jsonl, _ := render(interval)
+		if jsonl != refJSONL {
+			t.Errorf("mem-fault JSONL differs between interval %d and from-scratch", interval)
 		}
 	}
 }

@@ -129,10 +129,23 @@ type Trial struct {
 	Seq uint64 `json:"seq"`
 	Bit uint8  `json:"bit"`
 	Reg uint8  `json:"reg,omitempty"`
+	// Seq2 (dirty-bit faults only) is the dynamic index of the victim
+	// block's last golden store; the dirty-clear fires after it retires,
+	// so the lost write-back covers every store to the block.
+	Seq2 uint64 `json:"seq2,omitempty"`
 	// Fired reports the injector actually placed the fault (a fault
 	// aimed past the end of execution never fires and counts as masked).
 	Fired   bool   `json:"fired"`
 	Outcome string `json:"outcome"`
+	// Addr is the victim address for memory-hierarchy structures: the
+	// targeted memory word, cache line, or page. Zero for pipeline
+	// structures.
+	Addr uint32 `json:"addr,omitempty"`
+	// Locale is the symptom-only localization verdict for non-masked
+	// trials: "ram", "cache", or "pipeline" — the classifier's guess at
+	// which plane the fault struck, scored against the structure's
+	// ground-truth LevelGroup.
+	Locale string `json:"locale,omitempty"`
 	// Latency is injection-to-detection in cycles, for detected trials.
 	Latency   uint64 `json:"latency_cycles,omitempty"`
 	Cycles    uint64 `json:"cycles"`
@@ -141,7 +154,7 @@ type Trial struct {
 	outcome fault.Outcome
 }
 
-// OutcomeCounts tallies trials per outcome; the five counts always sum
+// OutcomeCounts tallies trials per outcome; the six counts always sum
 // to the number of injections classified into them.
 type OutcomeCounts struct {
 	Detected  uint64 `json:"detected"`
@@ -149,6 +162,9 @@ type OutcomeCounts struct {
 	SDC       uint64 `json:"sdc"`
 	Masked    uint64 `json:"masked"`
 	Hang      uint64 `json:"hang"`
+	// Corrected counts trials an ECC-protected structure absorbed:
+	// effective (the fault reached real state) but never an escape.
+	Corrected uint64 `json:"corrected"`
 }
 
 func (o *OutcomeCounts) add(c fault.Outcome) {
@@ -163,12 +179,14 @@ func (o *OutcomeCounts) add(c fault.Outcome) {
 		o.Masked++
 	case fault.OutcomeHang:
 		o.Hang++
+	case fault.OutcomeCorrected:
+		o.Corrected++
 	}
 }
 
-// Total sums the five outcome counts.
+// Total sums the six outcome counts.
 func (o OutcomeCounts) Total() uint64 {
-	return o.Detected + o.Recovered + o.SDC + o.Masked + o.Hang
+	return o.Detected + o.Recovered + o.SDC + o.Masked + o.Hang + o.Corrected
 }
 
 // StructureCoverage is the per-structure slice of a campaign report.
@@ -184,13 +202,48 @@ type StructureCoverage struct {
 	// denominator.
 	Effective uint64 `json:"effective"`
 	OutcomeCounts
-	// Coverage is (detected+recovered)/effective with its Wilson 95%
-	// confidence interval — the probability a consequential fault in
-	// this structure is caught before it matters. Zero effective trials
-	// give coverage 0 with the vacuous interval [0, 1]: no evidence.
+	// Coverage is (detected+recovered+corrected)/effective with its
+	// Wilson 95% confidence interval — the probability a consequential
+	// fault in this structure is caught (or absorbed by ECC) before it
+	// matters. Zero effective trials give coverage 0 with the vacuous
+	// interval [0, 1]: no evidence.
 	Coverage   float64 `json:"coverage"`
 	CoverageLo float64 `json:"coverage_ci_lo"`
 	CoverageHi float64 `json:"coverage_ci_hi"`
+	// Localized counts this structure's non-masked trials the symptom
+	// classifier attributed to a plane; LocCorrect the attributions that
+	// match the structure's ground-truth level group.
+	Localized  uint64 `json:"localized,omitempty"`
+	LocCorrect uint64 `json:"loc_correct,omitempty"`
+}
+
+// LevelCoverage aggregates a campaign per physical plane — RAM, L1, L2,
+// TLB, pipeline — the per-level rollup the localization pass is
+// reported against. Derived exactly from the per-structure counts, so
+// shard merges reproduce it byte-identically.
+type LevelCoverage struct {
+	Level string `json:"level"`
+
+	Injected  uint64 `json:"injected"`
+	Fired     uint64 `json:"fired"`
+	Effective uint64 `json:"effective"`
+	OutcomeCounts
+	Coverage   float64 `json:"coverage"`
+	CoverageLo float64 `json:"coverage_ci_lo"`
+	CoverageHi float64 `json:"coverage_ci_hi"`
+	// SDCRate is sdc/effective: the probability a consequential fault
+	// at this level silently corrupts state.
+	SDCRate   float64 `json:"sdc_rate"`
+	SDCRateLo float64 `json:"sdc_rate_ci_lo"`
+	SDCRateHi float64 `json:"sdc_rate_ci_hi"`
+	// LocAccuracy is loc_correct/localized: how often the symptom-only
+	// classifier attributed this level's non-masked trials to the right
+	// plane group.
+	Localized     uint64  `json:"localized"`
+	LocCorrect    uint64  `json:"loc_correct"`
+	LocAccuracy   float64 `json:"loc_accuracy"`
+	LocAccuracyLo float64 `json:"loc_accuracy_ci_lo"`
+	LocAccuracyHi float64 `json:"loc_accuracy_ci_hi"`
 }
 
 // LatencyCell is one value of a shard report's detection-latency
@@ -229,6 +282,17 @@ type CampaignReport struct {
 
 	Structures []StructureCoverage `json:"structures"`
 
+	// Levels rolls the campaign up per physical plane (RAM, L1, L2,
+	// TLB, pipeline) with localization accuracy per level; Localized/
+	// LocCorrect and LocAccuracy summarize the symptom classifier over
+	// all non-masked trials.
+	Levels        []LevelCoverage `json:"levels,omitempty"`
+	Localized     uint64          `json:"localized,omitempty"`
+	LocCorrect    uint64          `json:"loc_correct,omitempty"`
+	LocAccuracy   float64         `json:"loc_accuracy,omitempty"`
+	LocAccuracyLo float64         `json:"loc_accuracy_ci_lo,omitempty"`
+	LocAccuracyHi float64         `json:"loc_accuracy_ci_hi,omitempty"`
+
 	// Shard echoes the spec's shard range when this report covers only a
 	// slice of the plan; LatencyHist is the shard's raw detection-latency
 	// distribution, carried so MergeReports can rebuild the merged
@@ -266,7 +330,7 @@ func (r *CampaignReport) Table() string {
 	t := stats.NewTable(
 		fmt.Sprintf("Fault campaign: %s on %s (%d injections, seed %d)",
 			r.Workload, r.Config, r.Injected, r.Seed),
-		"structure", "sphere", "inj", "eff", "det", "rec", "sdc", "mask", "hang", "coverage", "95% CI")
+		"structure", "sphere", "inj", "eff", "det", "rec", "corr", "sdc", "mask", "hang", "coverage", "95% CI")
 	for _, s := range r.Structures {
 		sphere := "outside"
 		if s.InSphere {
@@ -274,10 +338,29 @@ func (r *CampaignReport) Table() string {
 		}
 		t.AddRow(s.Structure, sphere,
 			fmt.Sprint(s.Injected), fmt.Sprint(s.Effective),
-			fmt.Sprint(s.Detected), fmt.Sprint(s.Recovered),
+			fmt.Sprint(s.Detected), fmt.Sprint(s.Recovered), fmt.Sprint(s.Corrected),
 			fmt.Sprint(s.SDC), fmt.Sprint(s.Masked), fmt.Sprint(s.Hang),
 			fmt.Sprintf("%.1f%%", s.Coverage*100),
 			fmt.Sprintf("[%.1f%%, %.1f%%]", s.CoverageLo*100, s.CoverageHi*100))
+	}
+	return t.String()
+}
+
+// LevelsTable renders the per-plane rollup with localization accuracy.
+func (r *CampaignReport) LevelsTable() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Per-level rollup: %s on %s (localization accuracy %.1f%% [%.1f%%, %.1f%%] over %d localized trials)",
+			r.Workload, r.Config, r.LocAccuracy*100, r.LocAccuracyLo*100, r.LocAccuracyHi*100, r.Localized),
+		"level", "inj", "eff", "coverage", "95% CI", "sdc rate", "95% CI", "loc acc", "95% CI")
+	for _, l := range r.Levels {
+		t.AddRow(l.Level,
+			fmt.Sprint(l.Injected), fmt.Sprint(l.Effective),
+			fmt.Sprintf("%.1f%%", l.Coverage*100),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", l.CoverageLo*100, l.CoverageHi*100),
+			fmt.Sprintf("%.1f%%", l.SDCRate*100),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", l.SDCRateLo*100, l.SDCRateHi*100),
+			fmt.Sprintf("%.1f%%", l.LocAccuracy*100),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", l.LocAccuracyLo*100, l.LocAccuracyHi*100))
 	}
 	return t.String()
 }
@@ -301,7 +384,25 @@ type golden struct {
 	storeRecs []storeRec
 	destReg   []uint8
 	destFP    []bool
+	// memAddrs is parallel to mems: the effective address of each
+	// memory access, the strike address for memory-hierarchy faults
+	// sampled over data accesses. pcs records every dynamic
+	// instruction's fetch PC (the strike address for I-side faults,
+	// which sample the whole stream). out is the golden program output
+	// (the localization pass parses PRBS self-check records out of it).
+	memAddrs []uint32
+	pcs      []uint32
+	out      []byte
+	// blockStores maps each lostWBGranule-aligned block address to the
+	// dynamic indices of its first and last store — the snapshot point
+	// and fire gate for dirty-bit (lost write-back) faults.
+	blockStores map[uint32][2]uint64
 }
+
+// lostWBGranule is the block granularity dirty-bit faults are planned
+// at; it matches the 32-byte L1D lines every shipped configuration
+// uses.
+const lostWBGranule = 32
 
 // victimsFor is the structure's eligible-victim list; sampled is false
 // for the architectural sites (regfile, fetch PC), which can strike at
@@ -313,6 +414,15 @@ func (g *golden) victimsFor(st fault.Struct) (victims []uint64, sampled bool) {
 	case fault.StructLSQAddr:
 		return g.mems, true
 	case fault.StructLSQStoreData:
+		return g.stores, true
+	case fault.StructMemWord, fault.StructL1DTag, fault.StructL1DData,
+		fault.StructL2Line, fault.StructDTLB:
+		// Data-side memory-hierarchy faults strike the address of a
+		// sampled memory access (the parallel memAddrs list carries the
+		// address itself).
+		return g.mems, true
+	case fault.StructL1DDirty:
+		// A dirty-bit fault needs a line a store has dirtied.
 		return g.stores, true
 	}
 	return nil, false
@@ -344,15 +454,26 @@ func goldenScan(spec workload.Spec, target uint64) (*golden, *program.Program, e
 				return nil, nil, fmt.Errorf("harness: golden run of %s: %w", spec.Name, err)
 			}
 			op := tr.Inst.Op
+			g.pcs = append(g.pcs, tr.PC)
 			if fault.ComparatorObserves(tr) {
 				g.observable = append(g.observable, seq)
 			}
 			if op.IsMem() {
 				g.mems = append(g.mems, seq)
+				g.memAddrs = append(g.memAddrs, tr.Addr)
 			}
 			if op.IsStore() {
 				g.stores = append(g.stores, seq)
 				g.storeRecs = append(g.storeRecs, storeRec{tr.Addr, tr.MemWidth, tr.StoreValue})
+				block := tr.Addr &^ (lostWBGranule - 1)
+				if g.blockStores == nil {
+					g.blockStores = make(map[uint32][2]uint64)
+				}
+				if fl, ok := g.blockStores[block]; ok {
+					g.blockStores[block] = [2]uint64{fl[0], seq}
+				} else {
+					g.blockStores[block] = [2]uint64{seq, seq}
+				}
 			}
 			dest, fp := uint8(destNone), false
 			if r, isFP, ok := tr.DestReg(); ok && (isFP || r != 0) {
@@ -363,6 +484,7 @@ func goldenScan(spec workload.Spec, target uint64) (*golden, *program.Program, e
 		}
 		g.digest = m.Digest()
 		g.total = m.InstCount()
+		g.out = append([]byte(nil), m.Output()...)
 		if g.total >= target || iters >= 4096 {
 			return g, prog, nil
 		}
@@ -449,22 +571,51 @@ func trialRNG(seed uint64, i int) *campaignRNG {
 
 // planTrial derives trial i of the campaign plan from the seed alone:
 // structure, victim, bit, and (for register-file faults) the register,
-// each drawn from the trial's private substream.
-func planTrial(seed uint64, i int, structures []fault.Struct,
-	victimsFor func(fault.Struct) ([]uint64, bool), total uint64) Trial {
+// each drawn from the trial's private substream. Memory-hierarchy
+// structures also carry a strike address looked up from the golden
+// pools at the sampled victim index — a pure function of the same
+// draws, so shard plans stay identical to the single-process plan.
+func planTrial(seed uint64, i int, structures []fault.Struct, g *golden) Trial {
 	rng := trialRNG(seed, i)
 	st := structures[rng.intn(len(structures))]
-	var seq uint64
-	if victims, sampled := victimsFor(st); sampled {
-		seq = victims[rng.intn(len(victims))]
+	var seq, seq2 uint64
+	var addr uint32
+	if victims, sampled := g.victimsFor(st); sampled {
+		k := rng.intn(len(victims))
+		seq = victims[k]
+		switch st {
+		case fault.StructMemWord, fault.StructL1DTag, fault.StructL1DData,
+			fault.StructL2Line, fault.StructDTLB:
+			addr = g.memAddrs[k]
+		case fault.StructL1DDirty:
+			// Arm at the block's first store (the snapshot then predates
+			// every store to the block) and fire after its last.
+			addr = g.storeRecs[k].addr
+			fl := g.blockStores[addr&^(lostWBGranule-1)]
+			seq, seq2 = fl[0], fl[1]
+		}
 	} else {
-		seq = rng.next() % total
+		seq = rng.next() % g.total
+		switch st {
+		case fault.StructL1ITag, fault.StructITLB:
+			addr = g.pcs[seq]
+		}
+	}
+	// L2 lines carry SECDED check bits: the bit draw spans 0..63, where
+	// 32..63 encode adjacent double-bit patterns (fault.AtStruct). The
+	// wider range is conditional so every pre-existing structure's plan
+	// is bit-for-bit what it was before L2 faults existed.
+	bitRange := 32
+	if st == fault.StructL2Line {
+		bitRange = 64
 	}
 	t := Trial{
 		Index:     i,
 		Structure: st.String(),
 		Seq:       seq,
-		Bit:       uint8(rng.intn(32)),
+		Seq2:      seq2,
+		Bit:       uint8(rng.intn(bitRange)),
+		Addr:      addr,
 	}
 	if st == fault.StructRegFile {
 		t.Reg = uint8(1 + rng.intn(31))
@@ -508,13 +659,12 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 	}
 	g := bundle.g
 
-	victimsFor := g.victimsFor
 	// A structure with no victims in this workload cannot host a fault.
 	// Drop it when the list was inferred; reject it when it was asked
 	// for explicitly (silently sampling nothing would misreport).
 	kept := spec.Structures[:0]
 	for _, st := range spec.Structures {
-		if v, sampled := victimsFor(st); sampled && len(v) == 0 {
+		if v, sampled := g.victimsFor(st); sampled && len(v) == 0 {
 			if !defaulted {
 				return nil, fmt.Errorf("harness: workload %s has no eligible victims for structure %s", spec.Workload, st)
 			}
@@ -536,7 +686,7 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 	}
 	trials := make([]Trial, count)
 	for i := range trials {
-		trials[i] = planTrial(spec.Seed, offset+i, spec.Structures, victimsFor, g.total)
+		trials[i] = planTrial(spec.Seed, offset+i, spec.Structures, g)
 	}
 
 	// Execute. Each trial is independent and forks from the bundle's
@@ -587,9 +737,11 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		Trials:      trials,
 	}
 	perStruct := make(map[string]*StructureCoverage, len(spec.Structures))
+	groupOf := make(map[string]string, len(spec.Structures))
 	for _, st := range spec.Structures {
 		sc := &StructureCoverage{Structure: st.String(), InSphere: st.InSphere()}
 		perStruct[st.String()] = sc
+		groupOf[st.String()] = st.LevelGroup()
 	}
 	lat := stats.NewHistogram(1)
 	for i := range trials {
@@ -605,11 +757,17 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		if t.outcome == fault.OutcomeDetected || t.outcome == fault.OutcomeRecovered {
 			lat.Add(t.Latency)
 		}
+		if t.Locale != "" {
+			sc.Localized++
+			if t.Locale == groupOf[t.Structure] {
+				sc.LocCorrect++
+			}
+		}
 	}
 	for _, st := range spec.Structures {
 		sc := perStruct[st.String()]
 		sc.Effective = sc.Injected - sc.Masked
-		caught := sc.Detected + sc.Recovered
+		caught := sc.Detected + sc.Recovered + sc.Corrected
 		if sc.Effective > 0 {
 			sc.Coverage = float64(caught) / float64(sc.Effective)
 		}
@@ -617,11 +775,12 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		rep.Structures = append(rep.Structures, *sc)
 	}
 	rep.Effective = rep.Injected - rep.Masked
-	caught := rep.Detected + rep.Recovered
+	caught := rep.Detected + rep.Recovered + rep.Corrected
 	if rep.Effective > 0 {
 		rep.Coverage = float64(caught) / float64(rep.Effective)
 	}
 	rep.CoverageLo, rep.CoverageHi = stats.Wilson95(caught, rep.Effective)
+	rep.finishLocalization()
 	if lat.Count() > 0 {
 		rep.DetectionLatencyMean = lat.Mean()
 		rep.DetectionLatencyP95 = lat.Percentile(95)
@@ -638,6 +797,75 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		rep.InjectionsPerSec = float64(rep.Injected) / rep.WallSeconds
 	}
 	return rep, nil
+}
+
+// finishLocalization derives the report's localization totals and the
+// per-level rollup from the per-structure counts. Campaign and
+// MergeReports both finish through here, so a merged report's
+// localization section is byte-identical to the single-process one.
+func (r *CampaignReport) finishLocalization() {
+	for _, s := range r.Structures {
+		r.Localized += s.Localized
+		r.LocCorrect += s.LocCorrect
+	}
+	if r.Localized > 0 {
+		r.LocAccuracy = float64(r.LocCorrect) / float64(r.Localized)
+		r.LocAccuracyLo, r.LocAccuracyHi = stats.Wilson95(r.LocCorrect, r.Localized)
+	}
+	r.Levels = computeLevels(r.Structures)
+}
+
+// levelOrder fixes the per-level rollup's row order.
+var levelOrder = []string{"ram", "l1", "l2", "tlb", "pipeline"}
+
+// computeLevels rolls per-structure coverage up by physical plane
+// (fault.Struct.Level). Only levels with injections appear. Pure
+// integer sums plus the same Wilson-interval formulas Campaign uses, so
+// the rollup is an exact function of the per-structure counts.
+func computeLevels(structures []StructureCoverage) []LevelCoverage {
+	byLevel := make(map[string]*LevelCoverage)
+	for _, s := range structures {
+		st, ok := fault.ParseStruct(s.Structure)
+		if !ok {
+			continue
+		}
+		lv := byLevel[st.Level()]
+		if lv == nil {
+			lv = &LevelCoverage{Level: st.Level()}
+			byLevel[st.Level()] = lv
+		}
+		lv.Injected += s.Injected
+		lv.Fired += s.Fired
+		lv.Detected += s.Detected
+		lv.Recovered += s.Recovered
+		lv.SDC += s.SDC
+		lv.Masked += s.Masked
+		lv.Hang += s.Hang
+		lv.Corrected += s.Corrected
+		lv.Localized += s.Localized
+		lv.LocCorrect += s.LocCorrect
+	}
+	var out []LevelCoverage
+	for _, name := range levelOrder {
+		lv := byLevel[name]
+		if lv == nil || lv.Injected == 0 {
+			continue
+		}
+		lv.Effective = lv.Injected - lv.Masked
+		caught := lv.Detected + lv.Recovered + lv.Corrected
+		if lv.Effective > 0 {
+			lv.Coverage = float64(caught) / float64(lv.Effective)
+			lv.SDCRate = float64(lv.SDC) / float64(lv.Effective)
+		}
+		lv.CoverageLo, lv.CoverageHi = stats.Wilson95(caught, lv.Effective)
+		lv.SDCRateLo, lv.SDCRateHi = stats.Wilson95(lv.SDC, lv.Effective)
+		if lv.Localized > 0 {
+			lv.LocAccuracy = float64(lv.LocCorrect) / float64(lv.Localized)
+		}
+		lv.LocAccuracyLo, lv.LocAccuracyHi = stats.Wilson95(lv.LocCorrect, lv.Localized)
+		out = append(out, *lv)
+	}
+	return out
 }
 
 // MergeReports reassembles the single-process campaign report from a
@@ -723,9 +951,12 @@ func MergeReports(shards []*CampaignReport) (*CampaignReport, error) {
 			sc.SDC += ss.SDC
 			sc.Masked += ss.Masked
 			sc.Hang += ss.Hang
+			sc.Corrected += ss.Corrected
+			sc.Localized += ss.Localized
+			sc.LocCorrect += ss.LocCorrect
 		}
 		sc.Effective = sc.Injected - sc.Masked
-		caught := sc.Detected + sc.Recovered
+		caught := sc.Detected + sc.Recovered + sc.Corrected
 		if sc.Effective > 0 {
 			sc.Coverage = float64(caught) / float64(sc.Effective)
 		}
@@ -740,17 +971,19 @@ func MergeReports(shards []*CampaignReport) (*CampaignReport, error) {
 		rep.SDC += s.SDC
 		rep.Masked += s.Masked
 		rep.Hang += s.Hang
+		rep.Corrected += s.Corrected
 		for _, c := range s.LatencyHist {
 			lat.AddN(c.Cycles, c.Count)
 		}
 		rep.Trials = append(rep.Trials, s.Trials...)
 	}
 	rep.Effective = rep.Injected - rep.Masked
-	caught := rep.Detected + rep.Recovered
+	caught := rep.Detected + rep.Recovered + rep.Corrected
 	if rep.Effective > 0 {
 		rep.Coverage = float64(caught) / float64(rep.Effective)
 	}
 	rep.CoverageLo, rep.CoverageHi = stats.Wilson95(caught, rep.Effective)
+	rep.finishLocalization()
 	if lat.Count() > 0 {
 		rep.DetectionLatencyMean = lat.Mean()
 		rep.DetectionLatencyP95 = lat.Percentile(95)

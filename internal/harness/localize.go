@@ -1,0 +1,91 @@
+package harness
+
+// Symptom-based fault localization: given only what an operator could
+// observe about a failed run — which detector fired, whether the
+// machine hung, how the final memory image differs from the reference,
+// and what the program's own self-checks reported — guess which
+// physical plane the fault struck: "ram", "cache", or "pipeline". Each
+// non-masked trial's guess is scored against the injected structure's
+// ground-truth level group (fault.Struct.LevelGroup), and campaigns
+// report the accuracy per level with Wilson intervals.
+
+import "encoding/binary"
+
+// symptoms is everything the classifier may look at. Nothing in here
+// identifies the injected structure — that is the ground truth being
+// guessed.
+type symptoms struct {
+	// eccCorrected/eccDetected: the L2 SECDED logic reported a
+	// corrected or detected-uncorrectable event.
+	eccCorrected bool
+	eccDetected  bool
+	// detections is the REESE comparator's mismatch count.
+	detections uint64
+	// hanged reports the watchdog expired.
+	hanged bool
+	// diffWords counts 32-bit words where the trial's final memory
+	// differs from the golden image; diffLo/diffHi bound their
+	// addresses. Zero words when the trial hung or spliced (no
+	// comparable final image — the other symptoms decide).
+	diffWords      int
+	diffLo, diffHi uint32
+}
+
+// localize is the decision tree. The heuristics lean on fault physics:
+// an ECC event can only come from the protected array; REESE watches
+// the execution pipeline, so its comparator firing (or the machine
+// wedging) points inside the core; a single corrupted word with no
+// cache-line structure looks like a RAM strike; a small cluster of
+// corrupted words confined to one line's span looks like a cache-line
+// casualty (lost or misdirected write-back); damage the program's own
+// verify sweep saw but that healed from memory (a transiently wrong
+// line) also points at the cache; anything wide or incoherent is
+// treated as pipeline wreckage (a wild store stream or corrupted
+// control flow).
+func localize(s symptoms, goldenOut, trialOut []byte) string {
+	switch {
+	case s.eccCorrected || s.eccDetected:
+		return "cache"
+	case s.detections > 0:
+		return "pipeline"
+	case s.hanged:
+		return "pipeline"
+	case s.diffWords == 1:
+		return "ram"
+	case s.diffWords >= 2 && s.diffWords <= 16 && s.diffHi-s.diffLo < 64:
+		return "cache"
+	case s.diffWords == 0:
+		if c, ok := prbsMaxMismatch(goldenOut, trialOut); ok && c >= 1 && c <= 16 {
+			return "cache"
+		}
+		return "pipeline"
+	}
+	return "pipeline"
+}
+
+// prbsMagic mirrors workload/prbs.go: the marker word self-checking
+// workloads emit first, followed by three 16-byte verify-pass records
+// (mismatch count, first offset, last offset, xor).
+const prbsMagic = 0x50524253
+
+// prbsMaxMismatch parses PRBS self-check records out of the trial
+// output and returns the largest per-pass mismatch count. ok is false
+// when either output lacks the PRBS marker (a non-PRBS workload, or a
+// run that died before emitting it).
+func prbsMaxMismatch(goldenOut, trialOut []byte) (uint32, bool) {
+	const recBytes = 4 + 3*16
+	if len(goldenOut) < recBytes || len(trialOut) < recBytes {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(goldenOut) != prbsMagic ||
+		binary.LittleEndian.Uint32(trialOut) != prbsMagic {
+		return 0, false
+	}
+	var max uint32
+	for pass := 0; pass < 3; pass++ {
+		if c := binary.LittleEndian.Uint32(trialOut[4+pass*16:]); c > max {
+			max = c
+		}
+	}
+	return max, true
+}

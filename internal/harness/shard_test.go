@@ -60,13 +60,13 @@ func TestShardPlanUnionEqualsFullPlan(t *testing.T) {
 	const n = 10_000
 	full := make([]Trial, n)
 	for i := range full {
-		full[i] = planTrial(spec.Seed, i, structs, g.victimsFor, g.total)
+		full[i] = planTrial(spec.Seed, i, structs, g)
 	}
 	for _, shards := range []int{1, 2, 3, 7, 16} {
 		var union []Trial
 		for _, r := range splitRanges(n, shards) {
 			for i := 0; i < r.Count; i++ {
-				union = append(union, planTrial(spec.Seed, r.Offset+i, structs, g.victimsFor, g.total))
+				union = append(union, planTrial(spec.Seed, r.Offset+i, structs, g))
 			}
 		}
 		if !reflect.DeepEqual(union, full) {

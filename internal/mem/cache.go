@@ -31,6 +31,11 @@ type CacheConfig struct {
 	Assoc      uint32
 	// HitLatency is the access time in cycles on a hit.
 	HitLatency int
+	// ECC enables a SECDED code on this level: injected single-bit data
+	// faults are corrected in place, double-bit faults are detected but
+	// uncorrectable. Timing of the correction is not modeled (modern
+	// SECDED corrects in the array access shadow).
+	ECC bool
 }
 
 // Validate checks the configuration for consistency.
@@ -88,7 +93,14 @@ type Cache struct {
 	clock  uint64
 	stats  CacheStats
 	shiftB uint32 // log2(block size)
+	shiftS uint32 // log2(sets)
 	maskS  uint32 // sets-1
+
+	// Fault-injection residue (see inject.go). plane is the architectural
+	// backing store data faults read and write; frec is the single armed
+	// fault record a campaign trial may leave on this cache.
+	plane WordPlane
+	frec  faultRec
 }
 
 var _ Level = (*Cache)(nil)
@@ -108,6 +120,7 @@ func NewCache(cfg CacheConfig, next Level) (*Cache, error) {
 		sets:   sets,
 		lines:  make([]line, sets*cfg.Assoc),
 		shiftB: log2(cfg.BlockBytes),
+		shiftS: log2(sets),
 		maskS:  sets - 1,
 	}
 	return c, nil
@@ -140,7 +153,7 @@ func (c *Cache) Access(addr uint32, isWrite bool) int {
 	c.clock++
 	blockAddr := addr >> c.shiftB
 	set := blockAddr & c.maskS
-	tag := blockAddr >> log2(c.sets)
+	tag := blockAddr >> c.shiftS
 	base := set * c.cfg.Assoc
 
 	// Hit?
@@ -159,18 +172,23 @@ func (c *Cache) Access(addr uint32, isWrite bool) int {
 	// Miss: fill an empty way if one exists, else evict the LRU line.
 	c.stats.Misses++
 	victim := &c.lines[base]
+	victimIdx := base
 	for i := uint32(1); i < c.cfg.Assoc && victim.valid; i++ {
 		ln := &c.lines[base+i]
 		if !ln.valid || ln.lru < victim.lru {
 			victim = ln
+			victimIdx = base + i
 		}
+	}
+	if c.frec.kind != frNone && c.frec.idx == victimIdx && victim.valid {
+		c.settleFault(victim)
 	}
 
 	latency := c.cfg.HitLatency
 	if victim.valid && victim.dirty {
 		c.stats.Writebacks++
 		// Reconstruct the victim's address for the write-back.
-		victimAddr := (victim.tag<<log2(c.sets) | set) << c.shiftB
+		victimAddr := (victim.tag<<c.shiftS | set) << c.shiftB
 		latency += c.next.Access(victimAddr, true)
 	}
 	latency += c.next.Access(addr, false)
@@ -188,7 +206,7 @@ func (c *Cache) Access(addr uint32, isWrite bool) int {
 func (c *Cache) Probe(addr uint32) bool {
 	blockAddr := addr >> c.shiftB
 	set := blockAddr & c.maskS
-	tag := blockAddr >> log2(c.sets)
+	tag := blockAddr >> c.shiftS
 	base := set * c.cfg.Assoc
 	for i := uint32(0); i < c.cfg.Assoc; i++ {
 		ln := &c.lines[base+i]
@@ -199,14 +217,20 @@ func (c *Cache) Probe(addr uint32) bool {
 	return false
 }
 
-// Flush invalidates all lines, writing back dirty ones, and returns the
-// number of write-backs performed.
+// Flush invalidates all lines, writing back dirty ones to the next
+// level, and returns the number of write-backs performed.
 func (c *Cache) Flush() int {
+	if c.frec.kind != frNone {
+		c.settleFault(&c.lines[c.frec.idx])
+	}
 	n := 0
 	for i := range c.lines {
 		if c.lines[i].valid && c.lines[i].dirty {
 			n++
 			c.stats.Writebacks++
+			set := uint32(i) / c.cfg.Assoc
+			victimAddr := (c.lines[i].tag<<c.shiftS | set) << c.shiftB
+			c.next.Access(victimAddr, true)
 		}
 		c.lines[i] = line{}
 	}

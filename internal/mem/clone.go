@@ -12,8 +12,10 @@ func (c *Cache) CloneInto(dst *Cache, next Level) *Cache {
 		dst = &Cache{}
 	}
 	lines := dst.lines
+	snap := dst.frec.snap
 	*dst = *c
 	dst.lines = append(lines[:0], c.lines...)
+	dst.frec.snap = append(snap[:0], c.frec.snap...)
 	dst.next = next
 	return dst
 }
@@ -103,7 +105,35 @@ func (c *Cache) StateEqualRanked(o *Cache) bool {
 	if c.cfg != o.cfg {
 		return false
 	}
+	if !faultRecEqual(c.frec, o.frec) {
+		return false
+	}
 	return linesEqualRanked(c.lines, o.lines, c.cfg.Assoc)
+}
+
+// faultRecEqual compares injection residue. A cache carrying an armed
+// (or pending) record can still mutate the architectural plane at a
+// future eviction, so it is never future-equivalent to a clean golden
+// cache — this is what keeps forked-trial splicing from landing before
+// a memory fault has settled.
+func faultRecEqual(a, b faultRec) bool {
+	if a.kind != b.kind || a.pending != b.pending {
+		return false
+	}
+	if a.kind == frNone {
+		return true
+	}
+	if a.idx != b.idx || a.set != b.set || a.origTag != b.origTag ||
+		a.waddr != b.waddr || a.wmask != b.wmask || a.wflip != b.wflip ||
+		len(a.snap) != len(b.snap) {
+		return false
+	}
+	for i := range a.snap {
+		if a.snap[i] != b.snap[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // StateEqualRanked reports whether two same-configured TLBs behave

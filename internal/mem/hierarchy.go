@@ -44,6 +44,21 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	return h, nil
 }
 
+// SetWordPlane attaches the architectural backing store cache data
+// faults operate on to every cache level. Must be re-pointed after a
+// clone (the clone copies the old plane pointer).
+func (h *Hierarchy) SetWordPlane(p WordPlane) {
+	h.L1I.SetWordPlane(p)
+	h.L1D.SetWordPlane(p)
+	h.L2.SetWordPlane(p)
+}
+
+// FaultArmed reports whether any cache level still carries fault
+// residue (an armed or pending injection record).
+func (h *Hierarchy) FaultArmed() bool {
+	return h.L1I.FaultArmed() || h.L1D.FaultArmed() || h.L2.FaultArmed()
+}
+
 // FetchLatency returns the cycles to fetch the instruction block at addr
 // (I-TLB plus I-cache).
 func (h *Hierarchy) FetchLatency(addr uint32) int {

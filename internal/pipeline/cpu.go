@@ -95,6 +95,10 @@ type CPU struct {
 	// structure-addressed hook sites (oracle step, RSQ enqueue); set once
 	// in New so the hot path pays a nil check, not a type assertion.
 	sites fault.SiteInjector
+	// memSites is non-nil when injector can additionally fire into the
+	// memory hierarchy (cache/TLB/memory-word faults); same nil-gated
+	// hook pattern as sites.
+	memSites fault.MemSiteInjector
 	// stuck, when non-nil, is a permanent single-unit fault (see
 	// fault.StuckUnit and SetStuckUnit).
 	stuck *fault.StuckUnit
@@ -335,6 +339,10 @@ func New(cfg config.Machine, prog *program.Program, injector fault.Injector) (*C
 	if s, ok := c.injector.(fault.SiteInjector); ok {
 		c.sites = s
 	}
+	if m, ok := c.injector.(fault.MemSiteInjector); ok {
+		c.memSites = m
+	}
+	c.hier.SetWordPlane(c.oracle.Mem())
 	if cfg.Reese.Enabled {
 		if cfg.Reese.Mode == config.ModeDupDispatch {
 			c.dupMode = true

@@ -1,0 +1,72 @@
+package pipeline
+
+// hierPlane adapts the CPU's memory hierarchy and architectural memory
+// to the fault.MemPlane interface the memory-site injector fires
+// through. It is a one-word value, so passing it as an interface does
+// not allocate on the hot path.
+
+import "reese/internal/fault"
+
+type hierPlane struct{ c *CPU }
+
+var _ fault.MemPlane = hierPlane{}
+
+func (p hierPlane) cache(l fault.CacheSel) interface {
+	InjectTagFlip(addr uint32, bit uint8) bool
+	InjectDataFlip(addr uint32, bits uint8) (bool, bool, bool)
+} {
+	switch l {
+	case fault.SelL1I:
+		return p.c.hier.L1I
+	case fault.SelL2:
+		return p.c.hier.L2
+	}
+	return p.c.hier.L1D
+}
+
+// CorruptWord implements fault.MemPlane: XOR mask into the
+// architectural word. Goes through the dirty-tracked write path, so
+// copy-on-write page snapshots and fork-replay page comparisons see it.
+func (p hierPlane) CorruptWord(addr, mask uint32) bool {
+	m := p.c.oracle.Mem()
+	v, err := m.ReadWord(addr)
+	if err != nil {
+		return false
+	}
+	return m.WriteWord(addr, v^mask) == nil
+}
+
+// TagFlip implements fault.MemPlane.
+func (p hierPlane) TagFlip(l fault.CacheSel, addr uint32, bit uint8) bool {
+	return p.cache(l).InjectTagFlip(addr, bit)
+}
+
+// DirtyClear implements fault.MemPlane. The clear may only fire after
+// the block's last golden store (dynamic index lastSeq) has retired —
+// earlier, the block's own remaining stores would re-dirty the line
+// and mask the upset unconditionally.
+func (p hierPlane) DirtyClear(addr uint32, lastSeq uint64) bool {
+	return p.c.hier.L1D.InjectDirtyClear(addr, p.c.Committed() > lastSeq)
+}
+
+// DataFlip implements fault.MemPlane.
+func (p hierPlane) DataFlip(l fault.CacheSel, addr uint32, bits uint8) fault.FlipResult {
+	fired, corrected, detected := p.cache(l).InjectDataFlip(addr, bits)
+	switch {
+	case !fired:
+		return fault.FlipNone
+	case corrected:
+		return fault.FlipCorrected
+	case detected:
+		return fault.FlipDetected
+	}
+	return fault.FlipApplied
+}
+
+// TLBEntryFlip implements fault.MemPlane.
+func (p hierPlane) TLBEntryFlip(data bool, addr uint32, bit uint8) bool {
+	if data {
+		return p.c.hier.DTLB.InjectEntryFlip(addr, bit)
+	}
+	return p.c.hier.ITLB.InjectEntryFlip(addr, bit)
+}

@@ -123,6 +123,10 @@ func (ck *Checkpoint) Fork(memory *program.Memory, injector fault.Injector, dst 
 	if s, ok := cpu.injector.(fault.SiteInjector); ok {
 		cpu.sites = s
 	}
+	cpu.memSites = nil
+	if m, ok := cpu.injector.(fault.MemSiteInjector); ok {
+		cpu.memSites = m
+	}
 	return cpu, nil
 }
 
@@ -170,6 +174,13 @@ func (c *CPU) cloneInto(dst *CPU, memory *program.Memory) *CPU {
 	*dst = *c
 	dst.oracle = c.oracle.CloneInto(oracle, memory)
 	dst.hier = c.hier.CloneInto(hier)
+	// The clone copied the source's word-plane pointer; re-point cache
+	// data faults at the clone's own architectural memory.
+	if memory != nil {
+		dst.hier.SetWordPlane(memory)
+	} else {
+		dst.hier.SetWordPlane(nil)
+	}
 	dst.pool = c.pool.CloneInto(pool)
 	dst.pred = c.pred.Clone()
 	dst.btb = c.btb.Clone()

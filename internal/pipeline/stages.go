@@ -47,6 +47,12 @@ func (c *CPU) nextTrace() *emu.Trace {
 		// program state — both streams, so the comparator sees nothing.
 		c.injected++
 	}
+	if c.memSites != nil && c.memSites.MemStep(c.oracle.InstCount(), hierPlane{c}) {
+		// A memory-hierarchy fault fired: a flipped architectural word,
+		// a perturbed cache line or TLB entry — all outside the sphere
+		// of replication, so the comparator sees nothing here either.
+		c.injected++
+	}
 	tr, err := c.oracle.Step()
 	if err != nil {
 		// Off-the-end fetch or a memory fault in the workload itself:

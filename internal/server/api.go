@@ -139,6 +139,10 @@ type FaultsRequest struct {
 	// Results are byte-identical at any interval; only throughput and
 	// memory footprint change.
 	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
+	// L2ECC enables SECDED ECC on both machines' L2 cache: single-bit
+	// L2 data faults are corrected (outcome "corrected"), double-bit
+	// faults are detected-uncorrectable.
+	L2ECC bool `json:"l2_ecc,omitempty"`
 }
 
 // maxFaultInjections bounds campaign size per request; at the default

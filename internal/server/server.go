@@ -745,6 +745,9 @@ func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *a
 		// the machine that has no R-stream Queue.
 		var b strings.Builder
 		for _, cfg := range []config.Machine{config.Starting().WithReese(), config.Starting()} {
+			if req.L2ECC {
+				cfg.Memory.L2.ECC = true
+			}
 			spec := harness.CampaignSpec{
 				Workload:           req.Workload,
 				Machine:            cfg,

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"reese/internal/asm"
+	"reese/internal/program"
+)
+
+// prbsMagic is the first word the PRBS workload emits — "SBRP" little-
+// endian — so symptom-based fault localization (internal/harness) can
+// recognise PRBS self-check records in any program's output without
+// knowing which workload ran.
+const prbsMagic = 0x50524253
+
+// prbsWordsPerIter sizes the resident region: 256 words (1 KiB) per
+// outer iteration, so growing the iteration count toward a campaign's
+// instruction target grows the memory footprint with it (past L1, into
+// L2 and RAM).
+const prbsWordsPerIter = 256
+
+// buildPRBS is a memory-resident self-checking workload for
+// memory-hierarchy fault campaigns: fill a region with a PRBS
+// (xorshift32) pattern, then sweep it with three read-only verify
+// passes that regenerate the sequence and compare. Each pass emits a
+// 16-byte record — mismatch count, first and last mismatching word
+// offset, XOR of all mismatches — so a corrupted word, a lost
+// write-back, or a wrong-line write-back shows up in the output as a
+// precise symptom (how many words, how clustered) even when nothing
+// else in the program ever consumes the damaged location.
+//
+// The fill phase dirties every line of the region, which is what makes
+// dirty-bit faults consequential; the verify passes are pure loads, so
+// any mismatch they report is memory-plane damage, not a wild store.
+func buildPRBS(iters int) (*program.Program, error) {
+	words := prbsWordsPerIter * iters
+	var verify strings.Builder
+	for p := 0; p < 3; p++ {
+		fmt.Fprintf(&verify, `
+	; verify pass %[1]d: regenerate the PRBS stream and compare
+	li r2, 0x1234567
+	li r10, 0
+	li r11, 0             ; mismatch count
+	li r12, 0             ; first mismatching word offset
+	li r13, 0             ; last mismatching word offset
+	li r14, 0             ; xor of (got ^ want) over mismatches
+vloop%[1]d:
+	slli r3, r2, 13
+	xor r2, r2, r3
+	srli r3, r2, 17
+	xor r2, r2, r3
+	slli r3, r2, 5
+	xor r2, r2, r3
+	slli r3, r10, 2
+	add r3, r3, r21
+	lw r4, 0(r3)
+	beq r4, r2, vnext%[1]d
+	bne r11, r0, vseen%[1]d
+	move r12, r10
+vseen%[1]d:
+	addi r11, r11, 1
+	move r13, r10
+	xor r4, r4, r2
+	xor r14, r14, r4
+vnext%[1]d:
+	addi r10, r10, 1
+	bne r10, r22, vloop%[1]d
+%[2]s%[3]s%[4]s%[5]s`, p,
+			emitWord("r11"), emitWord("r12"), emitWord("r13"), emitWord("r14"))
+	}
+	src := fmt.Sprintf(`
+	; PRBS memory self-check: fill, then 3 verify sweeps.
+main:
+	li r23, %d            ; magic "SBRP"
+%s	la r21, region
+	li r22, %d            ; region words
+	; fill the region with the PRBS pattern (dirties every line)
+	li r2, 0x1234567
+	li r10, 0
+fill:
+	slli r3, r2, 13
+	xor r2, r2, r3
+	srli r3, r2, 17
+	xor r2, r2, r3
+	slli r3, r2, 5
+	xor r2, r2, r3
+	slli r3, r10, 2
+	add r3, r3, r21
+	sw r2, 0(r3)
+	addi r10, r10, 1
+	bne r10, r22, fill
+%s
+	halt
+.data
+.align 64
+region:
+	.space %d
+`, prbsMagic, emitWord("r23"), words, verify.String(), words*4)
+	return asm.Assemble("prbs", src)
+}
+
+// emitWord emits the 4 bytes of reg little-endian without halting
+// (emitChecksum's epilogue, minus the halt).
+func emitWord(reg string) string {
+	return fmt.Sprintf(`	out %[1]s
+	srli r15, %[1]s, 8
+	out r15
+	srli r15, %[1]s, 16
+	out r15
+	srli r15, %[1]s, 24
+	out r15
+`, reg)
+}

@@ -145,11 +145,19 @@ func All() []Spec {
 
 // Extras returns additional workloads beyond the paper's Table 2
 // roster: compress and m88ksim (the two SPEC95int programs the paper's
-// evaluation omits) and fpmix (a floating-point kernel exercising the
+// evaluation omits), fpmix (a floating-point kernel exercising the
 // FP datapaths Table 1 provisions but the integer-only evaluation
-// leaves idle).
+// leaves idle), and prbs (a memory-resident self-checking pattern for
+// memory-hierarchy fault campaigns).
 func Extras() []Spec {
 	return []Spec{
+		{
+			Name:         "prbs",
+			Input:        "synthetic: PRBS fill + 3 verify sweeps",
+			Signature:    "streaming stores, then read-only verify passes over a resident region",
+			DefaultIters: 20,
+			build:        buildPRBS,
+		},
 		{
 			Name:         "compress",
 			Input:        "synthetic: LZW dictionary compression",
