@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke faults-mem-smoke claims serve chaos fuzz cluster-smoke load clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke faults-mem-smoke triage-smoke claims serve chaos fuzz cluster-smoke load clean
 
 all: build test
 
@@ -62,6 +62,14 @@ faults-smoke:
 # symptom-based localization is >= 90% accurate (see DESIGN §16).
 faults-mem-smoke:
 	$(GO) run ./cmd/reese-faults -mem-smoke
+
+# SDC triage gate: a seeded campaign over out-of-sphere structures with
+# triage enabled. Fails unless every SDC/hang trial carries a Perfetto
+# trace with the injection marker, the replay reproduced the original
+# exactly, and every SDC's first divergent commit is at or after the
+# victim instruction (see DESIGN §17).
+triage-smoke:
+	$(GO) run ./cmd/reese-faults -triage-smoke
 
 # Run the HTTP simulation service (see README "Serving" and DESIGN §10).
 serve:

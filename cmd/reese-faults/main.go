@@ -17,11 +17,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"reese/internal/cluster"
@@ -53,6 +55,10 @@ func run() int {
 		gridAt       = flag.Uint64("grid-at", 5_000, "injection point (instruction #) for -grid")
 		workersStr   = flag.String("workers", "", "comma-separated reese-serve replica URLs; shards the campaign across them (requires -workload)")
 		shardSize    = flag.Int("shard-size", 0, "trials per shard with -workers (0 = auto)")
+		triage       = flag.Bool("triage", false, "re-run every SDC/hang trial from its checkpoint with the flight recorder and first-divergence attribution armed (requires -workload)")
+		triageDet    = flag.Bool("triage-detected", false, "with -triage, also triage detected outcomes")
+		triageDir    = flag.String("triage-dir", "", "with -triage, write each triaged trial's Perfetto trace here (trace_path lands in the JSONL record)")
+		triageSmoke  = flag.Bool("triage-smoke", false, "seeded triage campaign with assertions; exits non-zero unless every escape carries a trace with injection and first-divergence markers")
 	)
 	flag.Parse()
 	opt := harness.Options{Parallel: *parallel}
@@ -72,17 +78,27 @@ func run() int {
 	if *memSmoke {
 		return runMemSmoke(*seed, opt)
 	}
+	if *triageSmoke {
+		return runTriageSmoke(*seed, opt)
+	}
+	if *triage && *workloadName == "" {
+		fmt.Fprintln(os.Stderr, "reese-faults: -triage requires -workload (triage artifacts attach to one campaign's trial log)")
+		return 2
+	}
 	if *workersStr != "" {
 		return runDistributed(distributedArgs{
-			workers:     splitWorkers(*workersStr),
-			workload:    *workloadName,
-			injections:  *injections,
-			seed:        *seed,
-			targetInsts: *targetInsts,
-			ckInterval:  *ckInterval,
-			shardSize:   *shardSize,
-			structs:     structs,
-			jsonOut:     *jsonOut,
+			workers:        splitWorkers(*workersStr),
+			workload:       *workloadName,
+			injections:     *injections,
+			seed:           *seed,
+			targetInsts:    *targetInsts,
+			ckInterval:     *ckInterval,
+			shardSize:      *shardSize,
+			structs:        structs,
+			jsonOut:        *jsonOut,
+			triage:         *triage,
+			triageDetected: *triageDet,
+			triageDir:      *triageDir,
 		})
 	}
 
@@ -133,17 +149,53 @@ func run() int {
 				Seed:               *seed,
 				TargetInsts:        *targetInsts,
 				CheckpointInterval: *ckInterval,
+				Triage:             *triage,
+				TriageDetected:     *triageDet,
 			}
 			if len(structs) > 0 {
 				spec.Structures = usable(structs, cfg)
 			}
-			if sink != nil {
-				spec.TrialSink = func(t harness.Trial) error { return sink.Encode(&t) }
+			if sink != nil || *triage || *triageDet {
+				// Traces are persisted (and trace_path stamped) inside the
+				// sink, before the record is encoded, so the JSONL line
+				// already points at its artifact.
+				enc, dir, machine := sink, *triageDir, cfg.Name
+				spec.TrialSink = func(t harness.Trial) error {
+					if t.Triage != nil && dir != "" {
+						path, err := writeTrace(dir, machine, t.Index, t.Triage.Trace)
+						if err != nil {
+							return err
+						}
+						t.Triage.TracePath = path
+					}
+					if enc != nil {
+						if err := enc.Encode(&t); err != nil {
+							return err
+						}
+					}
+					if t.Triage != nil {
+						// Every consumer of the blob in this front end has
+						// run (trace file written, JSONL line emitted); drop
+						// it so hundreds of escapes' traces don't sit on the
+						// heap for the rest of the run. The attribution
+						// fields stay on the record for the summary table.
+						t.Triage.Trace = nil
+					}
+					return nil
+				}
 			}
 			r, err := harness.Campaign(spec, opt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "reese-faults:", err)
 				return 1
+			}
+			// A triage trace that wrapped its ring evicted early events;
+			// say so instead of letting a partial record pass as complete.
+			for ti := range r.Trials {
+				if tg := r.Trials[ti].Triage; tg != nil && tg.TraceDropped > 0 {
+					fmt.Fprintf(os.Stderr, "reese-faults: warning: trial %d triage trace wrapped (%d events evicted); the trace is a partial record\n",
+						r.Trials[ti].Index, tg.TraceDropped)
+				}
 			}
 			reports = append(reports, *r)
 		}
@@ -159,6 +211,10 @@ func run() int {
 		if reports[i].Detected+reports[i].Recovered > 0 {
 			fmt.Printf("detection latency: mean %.1f, p95 %d, max %d cycles\n",
 				reports[i].DetectionLatencyMean, reports[i].DetectionLatencyP95, reports[i].DetectionLatencyMax)
+		}
+		if reports[i].Triaged > 0 {
+			fmt.Printf("triage: %d escapes replayed with attribution, %d with a first divergent commit\n",
+				reports[i].Triaged, reports[i].Diverged)
 		}
 		fmt.Printf("throughput: %d injections in %.2fs wall (%.0f injections/s)\n\n",
 			reports[i].Injected, reports[i].WallSeconds, reports[i].InjectionsPerSec)
@@ -178,15 +234,18 @@ func splitWorkers(s string) []string {
 }
 
 type distributedArgs struct {
-	workers     []string
-	workload    string
-	injections  int
-	seed        uint64
-	targetInsts uint64
-	ckInterval  uint64
-	shardSize   int
-	structs     []fault.Struct
-	jsonOut     bool
+	workers        []string
+	workload       string
+	injections     int
+	seed           uint64
+	targetInsts    uint64
+	ckInterval     uint64
+	shardSize      int
+	structs        []fault.Struct
+	jsonOut        bool
+	triage         bool
+	triageDetected bool
+	triageDir      string
 }
 
 // runDistributed shards the campaign across reese-serve replicas via
@@ -223,10 +282,26 @@ func runDistributed(a distributedArgs) int {
 			Seed:               a.seed,
 			TargetInsts:        a.targetInsts,
 			CheckpointInterval: a.ckInterval,
+			Triage:             a.triage,
+			TriageDetected:     a.triageDetected,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reese-faults:", err)
 			return 1
+		}
+		for ti := range rep.Trials {
+			tg := rep.Trials[ti].Triage
+			if tg == nil {
+				continue
+			}
+			if a.triageDir != "" && len(tg.Trace) > 0 {
+				path, werr := writeTrace(a.triageDir, machine.Name, rep.Trials[ti].Index, tg.Trace)
+				if werr != nil {
+					fmt.Fprintln(os.Stderr, "reese-faults:", werr)
+					return 1
+				}
+				tg.TracePath = path
+			}
 		}
 		reports = append(reports, *rep)
 	}
@@ -239,6 +314,28 @@ func runDistributed(a distributedArgs) int {
 			reports[i].Injected, reports[i].WallSeconds, len(a.workers), reports[i].InjectionsPerSec)
 	}
 	return 0
+}
+
+// writeTrace persists one triaged trial's Perfetto trace under dir,
+// creating it if needed. The name carries the machine and the trial's
+// global plan index, so the REESE and baseline halves of a comparison
+// never collide.
+func writeTrace(dir, machine string, index int, trace []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ' ':
+			return '-'
+		}
+		return r
+	}, machine)
+	path := filepath.Join(dir, fmt.Sprintf("%s-trial-%04d.trace.json", name, index))
+	if err := os.WriteFile(path, trace, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // parseStructures turns "result,fetch-pc" into fault structures.
@@ -330,6 +427,84 @@ func runSmoke(seed uint64, opt harness.Options) int {
 		return 3
 	}
 	fmt.Println("smoke OK: all injections classified, result coverage 100%, no in-sphere SDC or hangs")
+	return 0
+}
+
+// runTriageSmoke is the triage CI gate: a seeded campaign over
+// structures known to produce out-of-sphere escapes (regfile, fetch-pc,
+// mem-word faults the comparator cannot see), with -triage semantics
+// hard-enabled. It asserts the triage contract end to end: every
+// SDC/hang trial carries a triage record whose replay reproduced the
+// original exactly, with a Perfetto trace containing the injection
+// marker, and — for SDCs — a first divergent commit no earlier than the
+// victim instruction.
+func runTriageSmoke(seed uint64, opt harness.Options) int {
+	rep, err := harness.Campaign(harness.CampaignSpec{
+		Workload: "li",
+		Machine:  config.Starting().WithReese(),
+		Structures: []fault.Struct{
+			fault.StructResult, fault.StructRegFile, fault.StructFetchPC, fault.StructMemWord,
+		},
+		Injections: 150,
+		Seed:       seed,
+		Triage:     true,
+	}, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reese-faults:", err)
+		return 1
+	}
+	fmt.Println(rep.Table())
+	failed := false
+	escapes := 0
+	for i := range rep.Trials {
+		t := &rep.Trials[i]
+		if t.Outcome != "sdc" && t.Outcome != "hang" {
+			continue
+		}
+		escapes++
+		tg := t.Triage
+		if tg == nil {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d (%s, %s) escaped without a triage record\n", t.Index, t.Structure, t.Outcome)
+			failed = true
+			continue
+		}
+		if !tg.ReplayOK {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d triage replay did not reproduce the original run\n", t.Index)
+			failed = true
+		}
+		if len(tg.Trace) == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d triage record has no trace artifact\n", t.Index)
+			failed = true
+		} else if !bytes.Contains(tg.Trace, []byte(`"FAULT`)) {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d trace has no injection marker\n", t.Index)
+			failed = true
+		}
+		if t.Outcome == "sdc" && tg.FirstDivergence == nil {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d is an SDC with no first-divergence attribution\n", t.Index)
+			failed = true
+		}
+		if d := tg.FirstDivergence; d != nil && d.Seq < t.Seq {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d first divergence at seq %d precedes the victim seq %d\n", t.Index, d.Seq, t.Seq)
+			failed = true
+		}
+		if t.Outcome == "hang" && tg.HangPeriod == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: trial %d is a hang with no detected loop period\n", t.Index)
+			failed = true
+		}
+	}
+	if escapes == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: campaign produced no escapes; the triage gate exercised nothing")
+		failed = true
+	}
+	if rep.Triaged == 0 || rep.Diverged == 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: report triage totals empty (triaged %d, diverged %d)\n", rep.Triaged, rep.Diverged)
+		failed = true
+	}
+	if failed {
+		return 3
+	}
+	fmt.Printf("triage-smoke OK: %d escapes triaged (%d diverged), every trace carries injection and divergence markers\n",
+		rep.Triaged, rep.Diverged)
 	return 0
 }
 

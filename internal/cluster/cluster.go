@@ -30,6 +30,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -52,6 +53,12 @@ type Campaign struct {
 	// ShardSize overrides the trials-per-shard split (0 = auto: about
 	// four shards per worker, so reassignment granularity stays useful).
 	ShardSize int `json:"shard_size,omitempty"`
+	// Triage re-runs escaped trials (SDC/Hang, plus Detected when
+	// TriageDetected is set) on the worker that ran them, with
+	// first-divergence attribution; the coordinator reattaches each
+	// shard's trace blobs to the merged trial log.
+	Triage         bool `json:"triage,omitempty"`
+	TriageDetected bool `json:"triage_detected,omitempty"`
 }
 
 // Hooks receives shard lifecycle counts; server.ShardMetrics satisfies
@@ -167,6 +174,8 @@ func shardSpecs(req Campaign, workers, defaultSize int) []server.ShardSpec {
 			CheckpointInterval: req.CheckpointInterval,
 			ShardOffset:        off,
 			ShardCount:         count,
+			Triage:             req.Triage,
+			TriageDetected:     req.TriageDetected,
 		})
 	}
 	return specs
@@ -227,6 +236,18 @@ func Run(ctx context.Context, cfg Config, req Campaign) (*harness.CampaignReport
 		}
 		rep := p.Report
 		rep.Trials = p.Trials
+		// Trace blobs travel out-of-band of the trial records (the Trace
+		// field is excluded from Trial JSON); reattach them so the merged
+		// trial log carries its triage artifacts whole.
+		for t := range rep.Trials {
+			tr := &rep.Trials[t]
+			if tr.Triage == nil {
+				continue
+			}
+			if blob, ok := p.Traces[strconv.Itoa(tr.Index)]; ok {
+				tr.Triage.Trace = blob
+			}
+		}
 		reports[i] = &rep
 	}
 	merged, err := harness.MergeReports(reports)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"reese/internal/config"
+	"reese/internal/fault"
 	"reese/internal/harness"
 	"reese/internal/server"
 )
@@ -312,5 +313,72 @@ func TestClusterHandlerStreamsJSONL(t *testing.T) {
 	}
 	if final.Table == "" {
 		t.Error("streamed result carries no rendered table")
+	}
+}
+
+// The triage contract across the cluster: a triaged distributed
+// campaign merges to the byte-identical trial log of the triaged
+// single-process run, and the coordinator reattaches every shard's
+// trace blobs so the merged escapes carry their artifacts whole.
+func TestClusterTriagePropagates(t *testing.T) {
+	machine := config.Starting().WithReese()
+	structs := []fault.Struct{
+		fault.StructResult, fault.StructRegFile, fault.StructFetchPC, fault.StructMemWord,
+	}
+	single, err := harness.Campaign(harness.CampaignSpec{
+		Workload:   "li",
+		Machine:    machine,
+		Structures: structs,
+		Injections: 40,
+		Seed:       7,
+		Triage:     true,
+	}, harness.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSONL bytes.Buffer
+	if err := single.WriteJSONL(&wantJSONL); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testClusterConfig(newWorkers(t, 2))
+	rep, err := Run(context.Background(), cfg, Campaign{
+		Workload:   "li",
+		Machine:    &machine,
+		Structures: []string{"result", "regfile", "fetch-pc", "mem-word"},
+		Injections: 40,
+		Seed:       7,
+		Triage:     true,
+		ShardSize:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotJSONL bytes.Buffer
+	if err := rep.WriteJSONL(&gotJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if gotJSONL.String() != wantJSONL.String() {
+		t.Error("triaged cluster JSONL differs from triaged single-process run")
+	}
+	if rep.Triaged != single.Triaged || rep.Diverged != single.Diverged {
+		t.Errorf("cluster triage totals (%d, %d) differ from single-process (%d, %d)",
+			rep.Triaged, rep.Diverged, single.Triaged, single.Diverged)
+	}
+	triaged := 0
+	for i := range rep.Trials {
+		tr := &rep.Trials[i]
+		if tr.Triage == nil {
+			continue
+		}
+		triaged++
+		if len(tr.Triage.Trace) == 0 {
+			t.Errorf("trial %d: merged triage record lost its trace blob", tr.Index)
+		} else if !bytes.Contains(tr.Triage.Trace, []byte(`"FAULT`)) {
+			t.Errorf("trial %d: reattached trace has no injection marker", tr.Index)
+		}
+	}
+	if triaged == 0 {
+		t.Fatal("cluster campaign triaged nothing; the test exercised nothing")
 	}
 }

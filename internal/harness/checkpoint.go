@@ -43,6 +43,7 @@ import (
 	"reese/internal/emu"
 	"reese/internal/fault"
 	"reese/internal/mem"
+	"reese/internal/obs"
 	"reese/internal/pipeline"
 	"reese/internal/program"
 	"reese/internal/workload"
@@ -162,6 +163,17 @@ type campaignBundle struct {
 	// into a recycled CPU reuses its slice allocations, and the memory
 	// image is restored by page diffing instead of a full 8 MiB copy.
 	workers sync.Pool
+
+	// locks recycles lockstep golden emulators for the triage pass
+	// (triage.go). lockSnaps (built on first use) holds detached golden
+	// emulator scalars at every checkpoint boundary, so a replay's
+	// lockstep golden starts at the fork — no per-escape fast-forward
+	// from instruction zero — with its memory page-diffed from the
+	// checkpoint image like any trial worker.
+	locks     sync.Pool
+	lockOnce  sync.Once
+	lockSnaps []*emu.Machine
+	lockErr   error
 }
 
 // bundleForSpec builds (or returns the memoized) campaign bundle for a
@@ -323,7 +335,9 @@ func (b *campaignBundle) boundaryIndex(committed uint64) (int, bool) {
 }
 
 // campaignWorker is one recycled trial executor: a fork-destination CPU
-// and a memory image restored by page diffing between trials.
+// and a memory image restored by page diffing between trials. The
+// bundle's locks pool recycles the same type for triage lockstep
+// goldens, filling lock instead of cpu.
 type campaignWorker struct {
 	cpu *pipeline.CPU
 	mem *program.Memory
@@ -332,6 +346,10 @@ type campaignWorker struct {
 	// previous trial dirtied are invalidated, so adoption copies only
 	// pages that actually differ from the wanted image.
 	prov []*byte
+	// lock is the recycled lockstep golden emulator (locks pool only).
+	lock *emu.Machine
+	// rec is the recycled triage flight-recorder ring (locks pool only).
+	rec *obs.Recorder
 }
 
 // adopt restores the worker's memory to the checkpoint image, copying
@@ -438,6 +456,15 @@ func (b *campaignBundle) getWorker() *campaignWorker {
 // eligible checkpoint, filling in the trial's outcome fields exactly as
 // a full from-scratch simulation would have.
 func (b *campaignBundle) runTrial(ctx context.Context, t *Trial, opt Options) error {
+	return b.runTrialInstr(ctx, t, opt, nil)
+}
+
+// runTrialInstr is runTrial with an optional instrumentation hook,
+// invoked on the forked machine just before it runs. The triage replay
+// (triage.go) arms the flight recorder and the lockstep commit watch
+// through it; both are pure observers, so an instrumented run is
+// byte-identical to a bare one.
+func (b *campaignBundle) runTrialInstr(ctx context.Context, t *Trial, opt Options, instrument func(*pipeline.CPU)) error {
 	st, _ := fault.ParseStruct(t.Structure)
 	inj := &fault.AtStruct{Struct: st, Seq: t.Seq, Bit: t.Bit, Reg: t.Reg, Addr: t.Addr, Seq2: t.Seq2}
 
@@ -455,6 +482,9 @@ func (b *campaignBundle) runTrial(ctx context.Context, t *Trial, opt Options) er
 	w.cpu = cpu
 	cpu.SetProgress(opt.Progress)
 	cpu.SetHangFastForward(true)
+	if instrument != nil {
+		instrument(cpu)
+	}
 
 	// At every golden boundary after the fault fires, try to splice:
 	// if the whole machine (micro-architecture, oracle scalars, memory)
@@ -507,20 +537,30 @@ func (b *campaignBundle) runTrial(ctx context.Context, t *Trial, opt Options) er
 
 	t.Fired = inj.Fired()
 	t.outcome = classify(res, commit, oracle, b.g.digest)
+	// Carried for the triage pass: the exact digests classification saw
+	// (spliced when the trial spliced) verify a replay byte for byte, the
+	// Brent probe's loop period explains hangs, and the injection cycle
+	// anchors prefix verification of early-stopped replays.
+	t.commitDig, t.oracleDig = commit, oracle
+	t.hangPeriod = res.HangPeriod
+	t.faultCycle = cpu.FaultCycle()
 
 	// Direct memory-plane corruption can escape every digest: a flipped
 	// RAM word nothing reloads, a reverted write-back. Trials that ran
 	// live to completion compare their final memory against the golden
 	// image; a spliced trial proved its memory golden at the boundary
 	// and inherits the golden suffix, so its final memory is golden by
-	// construction, and a hung trial's memory is mid-flight (the hang
-	// verdict already stands on its own).
+	// construction, a hung trial's memory is mid-flight (the hang
+	// verdict already stands on its own), and an early-stopped triage
+	// replay's memory is mid-flight too — its caller ignores the
+	// classification fields entirely.
 	diffWords, diffLo, diffHi := 0, uint32(0), uint32(0)
 	trialOut := b.g.out
-	if splicedAt < 0 && !res.Hanged {
+	if splicedAt < 0 && !res.Hanged && !cpu.StopRequested() {
 		diffWords, diffLo, diffHi = w.memDiff(fork.Mem, b.finalMem)
 		trialOut = cpu.Output()
 	}
+	t.diffWords, t.diffLo = diffWords, diffLo
 	switch {
 	case inj.EccCorrected():
 		// SECDED absorbed a single-bit flip: effective, never an escape.

@@ -63,6 +63,23 @@ type CampaignSpec struct {
 	// streaming JSONL writers see records during the campaign instead of
 	// after it. A sink error aborts the campaign.
 	TrialSink func(Trial) error `json:"-"`
+	// Triage re-runs every trial that classifies as SDC or Hang from its
+	// checkpoint with the flight recorder and the lockstep
+	// first-divergence watch armed, attaching a TriageRecord (Perfetto
+	// trace, first divergent commit, propagation summary) to the trial
+	// (see triage.go). Trials that don't escape are untouched, so a
+	// triaged campaign's JSONL minus the triage fields is byte-identical
+	// to an untriaged run.
+	Triage bool `json:"triage,omitempty"`
+	// TriageDetected additionally triages detected trials — useful for
+	// studying detection latency paths, off by default because detected
+	// faults are the common case.
+	TriageDetected bool `json:"triage_detected,omitempty"`
+	// TriageObserver, when non-nil, is called after each completed triage
+	// replay with the trial's outcome and the replay's wall-clock
+	// seconds. Called concurrently from trial workers; implementations
+	// must be safe for concurrent use.
+	TriageObserver func(outcome string, seconds float64) `json:"-"`
 }
 
 // ShardRange addresses a contiguous slice of a campaign's trial plan:
@@ -150,8 +167,22 @@ type Trial struct {
 	Latency   uint64 `json:"latency_cycles,omitempty"`
 	Cycles    uint64 `json:"cycles"`
 	Committed uint64 `json:"committed"`
+	// Triage is the escape-triage attachment (CampaignSpec.Triage): the
+	// replay verdict, first divergent commit, and trace metadata. Nil for
+	// untriaged trials, so untriaged JSONL is unchanged.
+	Triage *TriageRecord `json:"triage,omitempty"`
 
 	outcome fault.Outcome
+	// Replay-verification state for the triage pass (checkpoint.go fills
+	// these; never serialized): the digests classification saw, the hang
+	// loop period, the final-memory diff extent, and the cycle the fault
+	// fired.
+	commitDig  emu.Digest
+	oracleDig  emu.Digest
+	hangPeriod uint64
+	diffWords  int
+	diffLo     uint32
+	faultCycle uint64
 }
 
 // OutcomeCounts tallies trials per outcome; the six counts always sum
@@ -215,6 +246,14 @@ type StructureCoverage struct {
 	// match the structure's ground-truth level group.
 	Localized  uint64 `json:"localized,omitempty"`
 	LocCorrect uint64 `json:"loc_correct,omitempty"`
+	// Triaged counts this structure's trials the triage pass replayed;
+	// Diverged those with an attributed first divergent commit, and
+	// DivergeCycleSum the sum of their injection-to-divergence cycle
+	// deltas (an integer sum, so shard merges reproduce the mean
+	// exactly). All zero — and omitted — when triage is off.
+	Triaged         uint64 `json:"triaged,omitempty"`
+	Diverged        uint64 `json:"diverged,omitempty"`
+	DivergeCycleSum uint64 `json:"diverge_cycle_sum,omitempty"`
 }
 
 // LevelCoverage aggregates a campaign per physical plane — RAM, L1, L2,
@@ -293,6 +332,13 @@ type CampaignReport struct {
 	LocAccuracyLo float64         `json:"loc_accuracy_ci_lo,omitempty"`
 	LocAccuracyHi float64         `json:"loc_accuracy_ci_hi,omitempty"`
 
+	// Triaged/Diverged count trials the escape-triage pass replayed and
+	// those with an attributed first divergent commit (sums of the
+	// per-structure counts); both zero — and omitted — when triage is
+	// off, so untriaged report JSON is unchanged.
+	Triaged  uint64 `json:"triaged,omitempty"`
+	Diverged uint64 `json:"diverged,omitempty"`
+
 	// Shard echoes the spec's shard range when this report covers only a
 	// slice of the plan; LatencyHist is the shard's raw detection-latency
 	// distribution, carried so MergeReports can rebuild the merged
@@ -325,23 +371,39 @@ func (r *CampaignReport) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// Table renders the per-structure coverage breakdown.
+// Table renders the per-structure coverage breakdown. When the campaign
+// ran with triage, a "first div" column reports the mean
+// injection-to-first-divergence cycle delta per structure (an exact
+// integer-sum mean, so merged shard reports render identically);
+// untriaged reports render exactly as before.
 func (r *CampaignReport) Table() string {
+	cols := []string{"structure", "sphere", "inj", "eff", "det", "rec", "corr", "sdc", "mask", "hang", "coverage", "95% CI"}
+	if r.Triaged > 0 {
+		cols = append(cols, "first div")
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("Fault campaign: %s on %s (%d injections, seed %d)",
 			r.Workload, r.Config, r.Injected, r.Seed),
-		"structure", "sphere", "inj", "eff", "det", "rec", "corr", "sdc", "mask", "hang", "coverage", "95% CI")
+		cols...)
 	for _, s := range r.Structures {
 		sphere := "outside"
 		if s.InSphere {
 			sphere = "in"
 		}
-		t.AddRow(s.Structure, sphere,
+		row := []string{s.Structure, sphere,
 			fmt.Sprint(s.Injected), fmt.Sprint(s.Effective),
 			fmt.Sprint(s.Detected), fmt.Sprint(s.Recovered), fmt.Sprint(s.Corrected),
 			fmt.Sprint(s.SDC), fmt.Sprint(s.Masked), fmt.Sprint(s.Hang),
 			fmt.Sprintf("%.1f%%", s.Coverage*100),
-			fmt.Sprintf("[%.1f%%, %.1f%%]", s.CoverageLo*100, s.CoverageHi*100))
+			fmt.Sprintf("[%.1f%%, %.1f%%]", s.CoverageLo*100, s.CoverageHi*100)}
+		if r.Triaged > 0 {
+			cell := "-"
+			if s.Diverged > 0 {
+				cell = fmt.Sprintf("%d cyc", s.DivergeCycleSum/s.Diverged)
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
 	}
 	return t.String()
 }
@@ -706,6 +768,17 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 		if err := bundle.runTrial(opt.Ctx, &trials[i], opt); err != nil {
 			return err
 		}
+		// Triage escapes immediately, before the sink flushes the trial,
+		// so streamed JSONL records carry their triage attachment inline.
+		if spec.Triage && triageWanted(trials[i].outcome, spec.TriageDetected) {
+			tstart := time.Now()
+			if err := bundle.triageTrial(opt.Ctx, &trials[i], opt); err != nil {
+				return err
+			}
+			if spec.TriageObserver != nil {
+				spec.TriageObserver(trials[i].Outcome, time.Since(tstart).Seconds())
+			}
+		}
 		if spec.TrialSink == nil {
 			return nil
 		}
@@ -763,6 +836,13 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 				sc.LocCorrect++
 			}
 		}
+		if t.Triage != nil {
+			sc.Triaged++
+			if t.Triage.FirstDivergence != nil {
+				sc.Diverged++
+				sc.DivergeCycleSum += t.Triage.CyclesToDivergence
+			}
+		}
 	}
 	for _, st := range spec.Structures {
 		sc := perStruct[st.String()]
@@ -772,6 +852,8 @@ func Campaign(spec CampaignSpec, opt Options) (*CampaignReport, error) {
 			sc.Coverage = float64(caught) / float64(sc.Effective)
 		}
 		sc.CoverageLo, sc.CoverageHi = stats.Wilson95(caught, sc.Effective)
+		rep.Triaged += sc.Triaged
+		rep.Diverged += sc.Diverged
 		rep.Structures = append(rep.Structures, *sc)
 	}
 	rep.Effective = rep.Injected - rep.Masked
@@ -954,6 +1036,9 @@ func MergeReports(shards []*CampaignReport) (*CampaignReport, error) {
 			sc.Corrected += ss.Corrected
 			sc.Localized += ss.Localized
 			sc.LocCorrect += ss.LocCorrect
+			sc.Triaged += ss.Triaged
+			sc.Diverged += ss.Diverged
+			sc.DivergeCycleSum += ss.DivergeCycleSum
 		}
 		sc.Effective = sc.Injected - sc.Masked
 		caught := sc.Detected + sc.Recovered + sc.Corrected
@@ -961,6 +1046,8 @@ func MergeReports(shards []*CampaignReport) (*CampaignReport, error) {
 			sc.Coverage = float64(caught) / float64(sc.Effective)
 		}
 		sc.CoverageLo, sc.CoverageHi = stats.Wilson95(caught, sc.Effective)
+		rep.Triaged += sc.Triaged
+		rep.Diverged += sc.Diverged
 		rep.Structures = append(rep.Structures, sc)
 	}
 	for _, s := range shards {

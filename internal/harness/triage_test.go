@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"reese/internal/config"
+	"reese/internal/fault"
+)
+
+// triageTestSpec is a small campaign guaranteed to produce escapes:
+// out-of-sphere oracle-site structures (regfile, fetch-pc) on the REESE
+// machine yield SDCs and hangs the comparator cannot catch.
+func triageTestSpec() CampaignSpec {
+	return CampaignSpec{
+		Workload: "li",
+		Machine:  config.Starting().WithReese(),
+		Structures: []fault.Struct{
+			fault.StructResult, fault.StructRegFile, fault.StructFetchPC, fault.StructMemWord,
+		},
+		Injections: 60,
+		Seed:       7,
+		Triage:     true,
+	}
+}
+
+// TestTriageReplayDeterminism is the triage property test: the replay
+// must reproduce the original trial exactly (outcome, commit digest,
+// hang cycle count), every escape must carry a triage record with a
+// trace, and the whole campaign — triage attachments included — must be
+// byte-identical across parallelism and checkpoint-interval choices.
+func TestTriageReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration campaign sweep")
+	}
+	type variant struct {
+		name     string
+		parallel int
+		interval uint64
+	}
+	variants := []variant{
+		{"p1-default", 1, 0},
+		{"p8-default", 8, 0},
+		{"p1-ck64", 1, 64},
+		{"p8-ck64", 8, 64},
+	}
+	var refJSONL string
+	var refRep *CampaignReport
+	for _, v := range variants {
+		spec := triageTestSpec()
+		spec.CheckpointInterval = v.interval
+		rep, err := Campaign(spec, Options{Parallel: v.parallel})
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSONL(&buf); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if refJSONL == "" {
+			refJSONL, refRep = buf.String(), rep
+			continue
+		}
+		if buf.String() != refJSONL {
+			t.Errorf("%s: triaged JSONL differs from %s", v.name, variants[0].name)
+		}
+		if rep.Triaged != refRep.Triaged || rep.Diverged != refRep.Diverged {
+			t.Errorf("%s: triage counts (%d, %d) differ from (%d, %d)",
+				v.name, rep.Triaged, rep.Diverged, refRep.Triaged, refRep.Diverged)
+		}
+	}
+
+	escapes := 0
+	for i := range refRep.Trials {
+		tr := &refRep.Trials[i]
+		switch tr.Outcome {
+		case "sdc", "hang":
+			escapes++
+			if tr.Triage == nil {
+				t.Errorf("trial %d (%s, %s): escaped without a triage record", tr.Index, tr.Structure, tr.Outcome)
+				continue
+			}
+			// The replay reproduced the original run exactly: outcome,
+			// cycles, committed count, and final digests (ReplayOK is
+			// computed from precisely those comparisons).
+			if !tr.Triage.ReplayOK {
+				t.Errorf("trial %d (%s, %s): triage replay did not reproduce the original", tr.Index, tr.Structure, tr.Outcome)
+			}
+			if len(tr.Triage.Trace) == 0 {
+				t.Errorf("trial %d: triage record has no trace blob", tr.Index)
+			} else if !strings.Contains(string(tr.Triage.Trace), `"FAULT`) {
+				t.Errorf("trial %d: triage trace has no injection marker", tr.Index)
+			}
+			if tr.Outcome == "sdc" && tr.Triage.FirstDivergence == nil {
+				t.Errorf("trial %d (%s): SDC with no first-divergence attribution", tr.Index, tr.Structure)
+			}
+			if d := tr.Triage.FirstDivergence; d != nil && d.Seq < tr.Seq {
+				t.Errorf("trial %d: first divergence at seq %d precedes the victim seq %d", tr.Index, d.Seq, tr.Seq)
+			}
+			if tr.Outcome == "hang" && tr.Triage.HangPeriod == 0 {
+				t.Errorf("trial %d (%s): hang with no detected loop period", tr.Index, tr.Structure)
+			}
+		default:
+			if tr.Triage != nil {
+				t.Errorf("trial %d (%s): non-escape carries a triage record", tr.Index, tr.Outcome)
+			}
+		}
+	}
+	if escapes == 0 {
+		t.Fatal("campaign produced no escapes; the triage test exercised nothing")
+	}
+	if refRep.Triaged == 0 || refRep.Diverged == 0 {
+		t.Errorf("report triage totals empty: triaged %d, diverged %d", refRep.Triaged, refRep.Diverged)
+	}
+}
+
+// TestTriageLeavesCampaignUnchanged pins the acceptance contract: a
+// triaged campaign's JSONL, minus the triage attachments, is
+// byte-identical to the untriaged run of the same spec, and the report
+// differs only in the triage counters.
+func TestTriageLeavesCampaignUnchanged(t *testing.T) {
+	spec := triageTestSpec()
+	triaged, err := Campaign(spec, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Triage = false
+	plain, err := Campaign(spec, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triaged.Trials) != len(plain.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(triaged.Trials), len(plain.Trials))
+	}
+	for i := range triaged.Trials {
+		stripped := triaged.Trials[i]
+		stripped.Triage = nil
+		a, _ := json.Marshal(&stripped)
+		b, _ := json.Marshal(&plain.Trials[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("trial %d: record differs beyond the triage attachment:\n triaged: %s\n plain:   %s", i, a, b)
+		}
+	}
+	// The untriaged report must not grow triage fields (omitempty keeps
+	// its JSON byte-identical to pre-triage builds).
+	raw, _ := json.Marshal(plain)
+	if bytes.Contains(raw, []byte("triaged")) || bytes.Contains(raw, []byte("diverge")) {
+		t.Errorf("untriaged report JSON leaks triage fields: %s", raw)
+	}
+}

@@ -9,9 +9,9 @@ package obs
 // lane per pipeline structure and per functional unit.
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"reese/internal/isa"
 )
@@ -36,6 +36,7 @@ const (
 	EvFaultInjected
 	EvMismatch
 	EvRecovery
+	EvDivergence
 
 	// NumEventKinds sizes per-kind arrays.
 	NumEventKinds
@@ -55,6 +56,7 @@ var eventNames = [NumEventKinds]string{
 	EvFaultInjected: "FAULT",
 	EvMismatch:      "MISMATCH",
 	EvRecovery:      "RECOVERY",
+	EvDivergence:    "DIVERGENCE",
 }
 
 func (k EventKind) String() string {
@@ -85,6 +87,11 @@ type Recorder struct {
 	next    int
 	n       int
 	dropped uint64
+	// scratch is WriteChromeTrace's event-emission buffer, kept on the
+	// recorder so a pooled recorder dumping hundreds of rings reuses one
+	// allocation. The dump copies it into the caller's writer before
+	// returning, so it never aliases an exported blob.
+	scratch []byte
 }
 
 // NewRecorder allocates a recorder holding the last capacity events.
@@ -110,6 +117,14 @@ func (r *Recorder) Record(e Event) {
 	}
 }
 
+// Reset empties the ring for reuse without reallocating or zeroing the
+// backing array (stale entries are unreachable once n is 0). The triage
+// pass recycles one recorder per pooled replay worker instead of
+// allocating a fresh ring per escape.
+func (r *Recorder) Reset() {
+	r.next, r.n, r.dropped = 0, 0, 0
+}
+
 // Len reports how many events are held.
 func (r *Recorder) Len() int { return r.n }
 
@@ -122,6 +137,14 @@ func (r *Recorder) Dropped() uint64 { return r.dropped }
 // Events returns the held events oldest-first (a copy).
 func (r *Recorder) Events() []Event {
 	out := make([]Event, 0, r.n)
+	r.Scan(func(e Event) { out = append(out, e) })
+	return out
+}
+
+// Scan calls fn for each held event, oldest-first, without copying the
+// ring. The exporter and the triage pass iterate large rings hundreds of
+// times per campaign; a copy per pass is measurable.
+func (r *Recorder) Scan(fn func(Event)) {
 	start := r.next - r.n
 	if start < 0 {
 		start += len(r.buf)
@@ -131,9 +154,8 @@ func (r *Recorder) Events() []Event {
 		if j >= len(r.buf) {
 			j -= len(r.buf)
 		}
-		out = append(out, r.buf[j])
+		fn(r.buf[j])
 	}
-	return out
 }
 
 // ---------------------------------------------------------------------
@@ -169,23 +191,29 @@ func fuLaneName(fu uint8, unit int16) string {
 	return fmt.Sprintf("%s %d", kind, unit)
 }
 
-// chromeEvent is one entry of the trace-event JSON array. Field order
-// matches the Trace Event Format docs; ts/dur are in microseconds,
-// which we map 1:1 to cycles.
-type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   uint64         `json:"ts"`
-	Dur  *uint64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant scope
-	Args map[string]any `json:"args,omitempty"`
+// appendJSONString appends s as a quoted JSON string. Event names are
+// mnemonics and lane labels (plain ASCII), so the escape cases almost
+// never fire, but the writer stays correct for arbitrary input.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	b = appendEscaped(b, s)
+	return append(b, '"')
 }
 
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+// appendEscaped appends s with JSON string escaping, no quotes.
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
 }
 
 // seqState is the per-instruction pairing state the exporter threads
@@ -203,38 +231,105 @@ type seqState struct {
 // structure (fetch queue, window, RSQ), one per functional unit, plus
 // instant lanes for commits and notable events. Cycle stamps map to
 // microseconds so a 1-cycle stage shows as 1µs.
+//
+// The JSON is emitted by hand, compact, into a grown byte slice: the
+// exporter sits on the fault-triage hot path (hundreds of full-ring
+// dumps per campaign), where encoding/json's reflection, per-event
+// maps, and indenting dominated the whole triage pass. Disassembly and
+// PC strings repeat across every lifecycle event of an instruction, so
+// both are memoized per dump.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	events := r.Events()
-	out := make([]chromeEvent, 0, len(events)+8)
-	lanes := map[int]string{
-		laneEvents: "events",
-		laneFetchQ: "fetch-queue",
-		laneWindow: "window",
-		laneCommit: "commit",
-	}
-	states := make(map[uint64]*seqState)
-	st := func(seq uint64) *seqState {
-		s := states[seq]
-		if s == nil {
-			s = &seqState{}
-			states[seq] = s
+	// Lane names, indexed by tid; "" means the lane never appeared.
+	// A flat array keeps the per-writeback-event name registration to an
+	// index test (the Sprintf only runs once per distinct unit).
+	var lanes [fuLaneBase + len(fuKindNames)*fuLaneStride]string
+	lanes[laneEvents] = "events"
+	lanes[laneFetchQ] = "fetch-queue"
+	lanes[laneWindow] = "window"
+	lanes[laneCommit] = "commit"
+	// Sequence numbers in a held ring are dense: each event carries one
+	// of at most r.n distinct seqs drawn from a contiguous stretch of the
+	// program. Pair by direct indexing into one zeroed slab — a map here
+	// costs a hashed lookup per event, which dominated the dump on the
+	// triage hot path. A map fallback covers pathological spans (a marker
+	// with a far-off seq).
+	var minSeq, maxSeq uint64
+	empty := true
+	r.Scan(func(e Event) {
+		if empty {
+			minSeq, maxSeq, empty = e.Seq, e.Seq, false
+			return
 		}
-		return s
+		if e.Seq < minSeq {
+			minSeq = e.Seq
+		}
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+	})
+	var st func(seq uint64) *seqState
+	if span := maxSeq - minSeq + 1; !empty && span <= uint64(2*len(r.buf)+16) {
+		slab := make([]seqState, span)
+		st = func(seq uint64) *seqState { return &slab[seq-minSeq] }
+	} else {
+		states := make(map[uint64]*seqState, 1024)
+		var slab []seqState
+		st = func(seq uint64) *seqState {
+			if s, ok := states[seq]; ok {
+				return s
+			}
+			if len(slab) == cap(slab) {
+				slab = make([]seqState, 0, 512)
+			}
+			slab = append(slab, seqState{})
+			s := &slab[len(slab)-1]
+			states[seq] = s
+			return s
+		}
 	}
-	slice := func(name string, lane int, from, to uint64, args map[string]any) {
-		dur := to - from
-		out = append(out, chromeEvent{
-			Name: name, Ph: "X", Ts: from, Dur: &dur, Pid: 1, Tid: lane, Args: args,
-		})
+
+	names := make(map[isa.Instruction]string, 256)
+	pcs := make(map[uint32]string, 256)
+
+	// Every event entry is emitted comma-first; the lane-metadata block
+	// written ahead of them is never empty, so the array stays valid.
+	if cap(r.scratch) < 96*r.n {
+		r.scratch = make([]byte, 0, 96*r.n)
 	}
-	instant := func(name string, lane int, at uint64, args map[string]any) {
-		out = append(out, chromeEvent{
-			Name: name, Ph: "i", Ts: at, Pid: 1, Tid: lane, S: "t", Args: args,
-		})
+	evbuf := r.scratch[:0]
+	slice := func(name, suffix string, lane int, from, to uint64, seq uint64, pc string) {
+		evbuf = append(evbuf, `,{"name":`...)
+		evbuf = appendName(evbuf, "", name, suffix)
+		evbuf = append(evbuf, `,"ph":"X","ts":`...)
+		evbuf = strconv.AppendUint(evbuf, from, 10)
+		evbuf = append(evbuf, `,"dur":`...)
+		evbuf = strconv.AppendUint(evbuf, to-from, 10)
+		evbuf = append(evbuf, `,"pid":1,"tid":`...)
+		evbuf = strconv.AppendInt(evbuf, int64(lane), 10)
+		evbuf = appendArgs(evbuf, seq, pc)
 	}
-	for _, e := range events {
-		name := e.Inst.String()
-		args := map[string]any{"seq": e.Seq, "pc": fmt.Sprintf("%#08x", e.PC)}
+	instant := func(prefix, name string, lane int, at uint64, seq uint64, pc string) {
+		evbuf = append(evbuf, `,{"name":`...)
+		evbuf = appendName(evbuf, prefix, name, "")
+		evbuf = append(evbuf, `,"ph":"i","ts":`...)
+		evbuf = strconv.AppendUint(evbuf, at, 10)
+		evbuf = append(evbuf, `,"pid":1,"tid":`...)
+		evbuf = strconv.AppendInt(evbuf, int64(lane), 10)
+		evbuf = append(evbuf, `,"s":"t"`...)
+		evbuf = appendArgs(evbuf, seq, pc)
+	}
+
+	r.Scan(func(e Event) {
+		name, ok := names[e.Inst]
+		if !ok {
+			name = e.Inst.String()
+			names[e.Inst] = name
+		}
+		pc, ok := pcs[e.PC]
+		if !ok {
+			pc = fmt.Sprintf("%#08x", e.PC)
+			pcs[e.PC] = pc
+		}
 		switch e.Kind {
 		case EvFetch:
 			s := st(e.Seq)
@@ -242,13 +337,13 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		case EvDispatch:
 			s := st(e.Seq)
 			if s.haveFetch {
-				slice(name, laneFetchQ, s.fetch, e.Cycle, args)
+				slice(name, "", laneFetchQ, s.fetch, e.Cycle, e.Seq, pc)
 			}
 			s.dispatch, s.haveDispatch = e.Cycle, true
 		case EvIssue:
 			s := st(e.Seq)
 			if s.haveDispatch {
-				slice(name, laneWindow, s.dispatch, e.Cycle, args)
+				slice(name, "", laneWindow, s.dispatch, e.Cycle, e.Seq, pc)
 			}
 			s.issue, s.haveIssue = e.Cycle, true
 			s.fu, s.unit = e.FU, e.Unit
@@ -256,8 +351,10 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			s := st(e.Seq)
 			if s.haveIssue && s.fu > 0 {
 				lane := fuLane(s.fu, s.unit)
-				lanes[lane] = fuLaneName(s.fu, s.unit)
-				slice(name, lane, s.issue, e.Cycle, args)
+				if lanes[lane] == "" {
+					lanes[lane] = fuLaneName(s.fu, s.unit)
+				}
+				slice(name, "", lane, s.issue, e.Cycle, e.Seq, pc)
 			}
 		case EvEnterRSQ:
 			s := st(e.Seq)
@@ -266,7 +363,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			s := st(e.Seq)
 			if s.haveRSQEnter {
 				lanes[laneRSQ] = "rsq"
-				slice(name+" (rsq wait)", laneRSQ, s.rsqEnter, e.Cycle, args)
+				slice(name, " (rsq wait)", laneRSQ, s.rsqEnter, e.Cycle, e.Seq, pc)
 			}
 		case EvIssueR:
 			s := st(e.Seq)
@@ -276,33 +373,79 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			s := st(e.Seq)
 			if s.haveRIssue && s.fu > 0 {
 				lane := fuLane(s.fu, s.unit)
-				lanes[lane] = fuLaneName(s.fu, s.unit)
-				slice(name+" (R)", lane, s.rIssue, e.Cycle, args)
+				if lanes[lane] == "" {
+					lanes[lane] = fuLaneName(s.fu, s.unit)
+				}
+				slice(name, " (R)", lane, s.rIssue, e.Cycle, e.Seq, pc)
 			}
 		case EvCommit:
-			instant(name, laneCommit, e.Cycle, args)
+			instant("", name, laneCommit, e.Cycle, e.Seq, pc)
 		default:
-			instant(e.Kind.String()+" "+name, laneEvents, e.Cycle, args)
+			instant(e.Kind.String()+" ", name, laneEvents, e.Cycle, e.Seq, pc)
 		}
-	}
+	})
+	r.scratch = evbuf // keep any growth for the next dump
 
 	// Lane-name metadata, smallest tid first for deterministic output.
-	meta := make([]chromeEvent, 0, len(lanes))
-	for tid := 0; tid < fuLaneBase+len(fuKindNames)*fuLaneStride; tid++ {
-		name, ok := lanes[tid]
-		if !ok {
+	head := make([]byte, 0, 1024)
+	head = append(head, `{"traceEvents":[`...)
+	first := true
+	for tid := range lanes {
+		name := lanes[tid]
+		if name == "" {
 			continue
 		}
-		meta = append(meta, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
-			Args: map[string]any{"name": name},
-		})
+		if !first {
+			head = append(head, ',')
+		}
+		first = false
+		head = append(head, `{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":`...)
+		head = strconv.AppendInt(head, int64(tid), 10)
+		head = append(head, `,"args":{"name":`...)
+		head = appendJSONString(head, name)
+		head = append(head, `}}`...)
 	}
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.Write(evbuf); err != nil {
+		return err
+	}
+	// otherData surfaces the recorder's own health alongside the events:
+	// a trace that wrapped is a partial record, and the only honest place
+	// to say so is inside the artifact itself.
+	tail := make([]byte, 0, 160)
+	tail = append(tail, `],"displayTimeUnit":"ms","otherData":{"recorder_capacity":`...)
+	tail = strconv.AppendInt(tail, int64(r.Cap()), 10)
+	tail = append(tail, `,"recorder_dropped":`...)
+	tail = strconv.AppendUint(tail, r.Dropped(), 10)
+	tail = append(tail, `,"recorder_events":`...)
+	tail = strconv.AppendInt(tail, int64(r.Len()), 10)
+	tail = append(tail, `,"wrapped":`...)
+	tail = strconv.AppendBool(tail, r.Dropped() > 0)
+	tail = append(tail, "}}\n"...)
+	_, err := w.Write(tail)
+	return err
+}
 
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(chromeTrace{
-		TraceEvents:     append(meta, out...),
-		DisplayTimeUnit: "ms",
-	})
+// appendName quotes prefix+name+suffix as one JSON string.
+func appendName(b []byte, prefix, name, suffix string) []byte {
+	b = append(b, '"')
+	if prefix != "" {
+		b = appendEscaped(b, prefix)
+	}
+	b = appendEscaped(b, name)
+	if suffix != "" {
+		b = appendEscaped(b, suffix)
+	}
+	return append(b, '"')
+}
+
+// appendArgs closes an event entry with its args object.
+func appendArgs(b []byte, seq uint64, pc string) []byte {
+	b = append(b, `,"args":{"pc":"`...)
+	b = append(b, pc...)
+	b = append(b, `","seq":`...)
+	b = strconv.AppendUint(b, seq, 10)
+	return append(b, `}}`...)
 }

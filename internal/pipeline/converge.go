@@ -303,6 +303,7 @@ func (c *CPU) tryHangFastForward(g *CPU) bool {
 	if c.rsq != nil {
 		c.rsq.ExtrapolateStats(g.rsq.Stats(), k)
 	}
+	c.hangPeriod = p
 	c.cycle = target
 	return true
 }

@@ -187,6 +187,25 @@ type CPU struct {
 	hangFF     bool
 	ffScratch  *CPU
 	ffProbeAge uint64
+	// hangPeriod is the loop period (cycles) the hang fast-forward
+	// proved, 0 when the watchdog fired without a periodicity proof.
+	hangPeriod uint64
+
+	// faultCycle is the cycle the injector first fired (0 = not yet) —
+	// the anchor for the triage recorder window and divergence deltas.
+	faultCycle uint64
+	// stopReq makes the running cycle loop return at the end of the
+	// current cycle, as a normal (non-error) result (RequestStop).
+	stopReq bool
+	// recFreeze, when non-zero, freezes the flight recorder recFreeze
+	// cycles after faultCycle: the ring then holds a window around the
+	// injection instead of the tail of the run. Marker events
+	// (fault/mismatch/recovery/divergence) bypass the freeze.
+	recFreeze uint64
+	// commitWatch, when non-nil, observes every architectural retire in
+	// program order with the values actually committed — the triage
+	// pass's lockstep tap (SetCommitWatch).
+	commitWatch func(seq, cycle uint64, tr emu.Trace, resultP, addrP, storeValueP uint32)
 
 	// Shadow architectural state rebuilt from latched commit values
 	// (what the timing machine actually retired, as opposed to the
@@ -371,6 +390,10 @@ type Result struct {
 	// the machine went DefaultHangLimit (or SetHangLimit) cycles
 	// without retiring an instruction.
 	Hanged bool
+	// HangPeriod is the loop period (cycles) the Brent-style hang
+	// fast-forward proved before jumping to the watchdog; 0 when the
+	// run did not hang or hung without a periodicity proof.
+	HangPeriod uint64 `json:",omitempty"`
 	// FastForwarded is the number of instructions skipped functionally
 	// before timing began.
 	FastForwarded uint64
@@ -487,6 +510,7 @@ const ctxCheckInterval = 16384
 // watchdogs a liveness heartbeat.
 func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 	c.instLimit = maxInsts
+	c.stopReq = false
 	// Bail before simulating anything on an already-dead context, so a
 	// run scheduled after cancellation never reports spurious success.
 	if err := ctx.Err(); err != nil {
@@ -499,7 +523,7 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 		capCycles = 200*maxInsts + 1_000_000
 	}
 	nextCtxCheck := c.cycle + ctxCheckInterval
-	for !c.done && !c.permError {
+	for !c.done && !c.permError && !c.stopReq {
 		if c.instLimit > 0 && c.committed >= c.instLimit {
 			break
 		}
@@ -561,6 +585,39 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 // SetHangLimit overrides the no-commit watchdog threshold (0 disables
 // it). Call before Run.
 func (c *CPU) SetHangLimit(cycles uint64) { c.hangLimit = cycles }
+
+// SetCommitWatch installs an observer invoked at every architectural
+// retire, in program order, with the global commit index (seq), the
+// retire cycle, the committed trace, and the latched result / store
+// address / store value the shadow state is rebuilt from. The observer
+// must not mutate the CPU; it is the triage pass's lockstep tap. Call
+// before Run; nil disables.
+func (c *CPU) SetCommitWatch(fn func(seq, cycle uint64, tr emu.Trace, resultP, addrP, storeValueP uint32)) {
+	c.commitWatch = fn
+}
+
+// SetRecorderWindow freezes the flight recorder postCycles cycles after
+// the injector first fires: the ring then holds the window around the
+// injection (ring capacity bounds the pre-context, postCycles the
+// post-context) instead of the tail of the run. Marker events —
+// fault, mismatch, recovery, divergence — bypass the freeze. 0 (the
+// default) records the whole run, wrapping as usual.
+func (c *CPU) SetRecorderWindow(postCycles uint64) { c.recFreeze = postCycles }
+
+// FaultCycle returns the cycle at which the injector first fired
+// (0 = it never fired).
+func (c *CPU) FaultCycle() uint64 { return c.faultCycle }
+
+// RequestStop makes the in-flight Run/RunContext return at the end of
+// the current cycle with whatever state the machine has, as a normal
+// (non-error) result. Observer callbacks use it to end an instrumented
+// replay the moment they have what they need — a triage replay whose
+// attribution is settled skips the rest of the trial. The request is
+// cleared when the next run starts.
+func (c *CPU) RequestStop() { c.stopReq = true }
+
+// StopRequested reports whether RequestStop ended the last run early.
+func (c *CPU) StopRequested() bool { return c.stopReq }
 
 // SetProgress installs a shared committed-instruction counter: the
 // cycle loop adds its commit deltas to p at every context-check
@@ -642,6 +699,7 @@ func (c *CPU) result() Result {
 		Halted:        c.done,
 		PermError:     c.permError,
 		Hanged:        c.hanged,
+		HangPeriod:    c.hangPeriod,
 		FastForwarded: c.fastForwarded,
 
 		Branches:    c.branches,

@@ -208,6 +208,8 @@ func (c *CPU) cloneInto(dst *CPU, memory *program.Memory) *CPU {
 	dst.hangFF = false
 	dst.ffScratch = nil
 	dst.ffProbeAge = 0
+	dst.commitWatch = nil
+	dst.recFreeze = 0
 	return dst
 }
 

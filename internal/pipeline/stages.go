@@ -46,12 +46,26 @@ func (c *CPU) nextTrace() *emu.Trace {
 		// oracle directly; from here the machine executes the corrupted
 		// program state — both streams, so the comparator sees nothing.
 		c.injected++
+		if c.faultCycle == 0 {
+			c.faultCycle = c.cycle
+		}
+		if c.recorder != nil {
+			inj := emu.Trace{PC: c.oracle.PC()}
+			c.record(EvFaultInjected, c.oracle.InstCount(), &inj, 0, 0)
+		}
 	}
 	if c.memSites != nil && c.memSites.MemStep(c.oracle.InstCount(), hierPlane{c}) {
 		// A memory-hierarchy fault fired: a flipped architectural word,
 		// a perturbed cache line or TLB entry — all outside the sphere
 		// of replication, so the comparator sees nothing here either.
 		c.injected++
+		if c.faultCycle == 0 {
+			c.faultCycle = c.cycle
+		}
+		if c.recorder != nil {
+			inj := emu.Trace{PC: c.oracle.PC()}
+			c.record(EvFaultInjected, c.oracle.InstCount(), &inj, 0, 0)
+		}
 	}
 	tr, err := c.oracle.Step()
 	if err != nil {
@@ -715,6 +729,9 @@ func (c *CPU) writeback() {
 			e.ResultP, e.NextPCP, e.AddrP, e.StoreValueP = fault.Apply(inj, e.Trace)
 			e.FaultBit = inj.Bit % 32
 			e.FaultCycle = c.cycle
+			if c.faultCycle == 0 {
+				c.faultCycle = c.cycle
+			}
 			c.injected++
 			if c.traceW != nil {
 				c.traceEvent(EvFaultInjected, &e.Trace, fmt.Sprintf("bit %d", e.FaultBit))
@@ -963,6 +980,9 @@ func (c *CPU) commitReese() int {
 				ent.CompIgnore = cor.CompIgnoreMask
 				ent.FaultBit = cor.Bit % 32
 				ent.FaultCycle = c.cycle
+				if c.faultCycle == 0 {
+					c.faultCycle = c.cycle
+				}
 				c.injected++
 				if c.traceW != nil {
 					c.traceEvent(EvFaultInjected, &e.Trace, fmt.Sprintf("rsq bit %d", ent.FaultBit))
@@ -1087,6 +1107,11 @@ func (c *CPU) onMismatchDup(orig, dup *ruu.Entry) {
 // corrupted by an undetected fault); they feed the shadow register file
 // and store hash behind CommitDigest.
 func (c *CPU) retire(tr emu.Trace, isMem, hadFault bool, resultP, addrP, storeValueP uint32) {
+	if c.commitWatch != nil {
+		// The commit index before increment is the instruction's global
+		// program-order position — the lockstep alignment key.
+		c.commitWatch(c.committed, c.cycle, tr, resultP, addrP, storeValueP)
+	}
 	c.committed++
 	if r, fp, ok := tr.DestReg(); ok {
 		if fp {

@@ -39,6 +39,7 @@ const (
 	EvFaultInjected = obs.EvFaultInjected
 	EvMismatch      = obs.EvMismatch
 	EvRecovery      = obs.EvRecovery
+	EvDivergence    = obs.EvDivergence
 )
 
 // SetTrace directs pipeline event lines to w (nil disables tracing).
@@ -65,6 +66,24 @@ func (c *CPU) SetRecorder(r *obs.Recorder) { c.recorder = r }
 // Recorder returns the armed flight recorder (nil when off).
 func (c *CPU) Recorder() *obs.Recorder { return c.recorder }
 
+// MarkDivergence records a DIVERGENCE instant into the flight recorder
+// (no-op when the recorder is off). The triage pass calls it from its
+// commit watch when the lockstep golden comparison finds the first
+// divergent commit; it bypasses the triage freeze window by
+// construction (markers always record).
+func (c *CPU) MarkDivergence(cycle, seq uint64, tr emu.Trace) {
+	if c.recorder == nil {
+		return
+	}
+	c.recorder.Record(obs.Event{
+		Cycle: cycle,
+		Seq:   seq,
+		PC:    tr.PC,
+		Inst:  tr.Inst,
+		Kind:  obs.EvDivergence,
+	})
+}
+
 // record appends one flight-recorder event stamped with the current
 // cycle. Callers on the hot path guard with `c.recorder != nil` first,
 // like the traceW gate, so the disabled cost is one pointer test.
@@ -78,6 +97,18 @@ func (c *CPU) record(kind obs.EventKind, seq uint64, tr *emu.Trace, fuKind uint8
 func (c *CPU) recordAt(cycle uint64, kind obs.EventKind, seq uint64, tr *emu.Trace, fuKind uint8, unit int16) {
 	if c.recorder == nil {
 		return
+	}
+	// Triage window (SetRecorderWindow): once the injector has fired and
+	// the post-injection window has passed, lifecycle recording freezes —
+	// the ring keeps the context around the injection instead of the tail
+	// of the run. Marker kinds always land so late detections and the
+	// divergence instant stay visible.
+	if c.recFreeze != 0 && c.faultCycle != 0 && cycle > c.faultCycle+c.recFreeze {
+		switch kind {
+		case obs.EvFaultInjected, obs.EvMismatch, obs.EvRecovery, obs.EvDivergence:
+		default:
+			return
+		}
 	}
 	c.recorder.Record(obs.Event{
 		Cycle: cycle,

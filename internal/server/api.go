@@ -143,6 +143,13 @@ type FaultsRequest struct {
 	// L2 data faults are corrected (outcome "corrected"), double-bit
 	// faults are detected-uncorrectable.
 	L2ECC bool `json:"l2_ecc,omitempty"`
+	// Triage re-runs every SDC/Hang trial from its checkpoint with the
+	// flight recorder and first-divergence attribution armed; the
+	// escaped trials and their Perfetto traces ride in the payload (see
+	// FaultsPayload.Escapes/Traces and GET /v1/jobs/{id}/trace/{key}).
+	Triage bool `json:"triage,omitempty"`
+	// TriageDetected widens the triage pass to Detected outcomes.
+	TriageDetected bool `json:"triage_detected,omitempty"`
 }
 
 // maxFaultInjections bounds campaign size per request; at the default
@@ -182,6 +189,16 @@ func (r FaultsRequest) normalize(lim Limits) (FaultsRequest, error) {
 		// more memory than it saves simulation.
 		return r, fmt.Errorf("checkpoint_interval %d too small (min 64, or 0 for the default)", r.CheckpointInterval)
 	}
+	if r.Triage && r.Workload == "" {
+		// The all-workloads sweep is a summary view; triage artifacts only
+		// make sense against one campaign's trial log.
+		return r, fmt.Errorf("triage requires a single workload")
+	}
+	if !r.Triage {
+		// Canonicalize: triage_detected is meaningless without triage, and
+		// must not fragment the cache.
+		r.TriageDetected = false
+	}
 	return r, nil
 }
 
@@ -208,6 +225,11 @@ type ShardSpec struct {
 	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
 	ShardOffset        int    `json:"shard_offset"`
 	ShardCount         int    `json:"shard_count"`
+	// Triage/TriageDetected mirror FaultsRequest: escaped trials in this
+	// shard carry triage records, and their trace blobs travel in
+	// ShardPayload.Traces keyed by global trial index.
+	Triage         bool `json:"triage,omitempty"`
+	TriageDetected bool `json:"triage_detected,omitempty"`
 }
 
 // maxPlanInjections bounds the full distributed plan a shard may
@@ -253,6 +275,9 @@ func (r ShardSpec) normalize(lim Limits) (ShardSpec, error) {
 	if r.CheckpointInterval != 0 && r.CheckpointInterval < 64 {
 		return r, fmt.Errorf("checkpoint_interval %d too small (min 64, or 0 for the default)", r.CheckpointInterval)
 	}
+	if !r.Triage {
+		r.TriageDetected = false
+	}
 	return r, nil
 }
 
@@ -265,6 +290,8 @@ func (r ShardSpec) campaignSpec() harness.CampaignSpec {
 		Seed:               r.Seed,
 		TargetInsts:        r.TargetInsts,
 		CheckpointInterval: r.CheckpointInterval,
+		Triage:             r.Triage,
+		TriageDetected:     r.TriageDetected,
 		Shard:              &harness.ShardRange{Offset: r.ShardOffset, Count: r.ShardCount, Plan: r.Injections},
 	}
 	for _, name := range r.Structures {
@@ -306,6 +333,11 @@ type BatchResponse struct {
 type ShardPayload struct {
 	Report harness.CampaignReport `json:"report"`
 	Trials []harness.Trial        `json:"trials,omitempty"`
+	// Traces holds the Perfetto trace blob of every triaged trial in
+	// this shard, keyed by the trial's global plan index. They travel
+	// separately from the trial records because the trace blob is
+	// excluded from Trial JSON (it would bloat every JSONL consumer).
+	Traces map[string]json.RawMessage `json:"traces,omitempty"`
 }
 
 // JobView is the wire form of a job, returned by submits and polls.
@@ -366,10 +398,15 @@ type FigurePayload struct {
 
 // FaultsPayload is the /v1/faults result: one CampaignReport per
 // (workload, machine) pair with per-structure coverage and confidence
-// intervals, plus the rendered table.
+// intervals, plus the rendered table. When the request set Triage, the
+// escaped trials (with their TriageRecords) and the Perfetto trace
+// blobs ride along; traces are keyed "reportIdx/trialIdx" and are also
+// served individually at GET /v1/jobs/{id}/trace/{key}.
 type FaultsPayload struct {
-	Reports []harness.CampaignReport `json:"reports"`
-	Table   string                   `json:"table"`
+	Reports []harness.CampaignReport   `json:"reports"`
+	Table   string                     `json:"table"`
+	Escapes []harness.Trial            `json:"escapes,omitempty"`
+	Traces  map[string]json.RawMessage `json:"traces,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response. 503s also

@@ -164,7 +164,12 @@ type Server struct {
 
 	httpRequests *counterFamily
 	httpLatency  *histogramFamily
-	started      time.Time
+	// faultsTriaged/triageDuration instrument the SDC triage pass:
+	// escaped trials re-run with attribution, by outcome, and the wall
+	// time each replay cost.
+	faultsTriaged  *counterFamily
+	triageDuration *histogramFamily
+	started        time.Time
 	// shardMetrics is registered on first ShardMetrics() call (only
 	// coordinators carry shard instruments).
 	shardMetrics *ShardMetrics
@@ -190,6 +195,10 @@ func New(cfg Config) (*Server, error) {
 			"HTTP requests, by route and status code.", "path", "code"),
 		httpLatency: m.HistogramFamily("reese_serve_http_request_duration_seconds",
 			"HTTP request latency, by route.", DefaultLatencyBounds, "path"),
+		faultsTriaged: m.CounterFamily("reese_faults_triaged_total",
+			"Escaped trials re-run by the SDC triage pass, by outcome.", "outcome"),
+		triageDuration: m.HistogramFamily("reese_faults_triage_duration_seconds",
+			"Wall time of one triage replay.", DefaultLatencyBounds),
 	}
 	s.gridParallel = runtime.GOMAXPROCS(0) / cfg.Workers
 	if s.gridParallel < 1 {
@@ -255,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/faults/batch", s.instrument("/v1/faults/batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace/{key...}", s.instrument("/v1/jobs/{id}/trace", s.handleJobTrace))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
@@ -524,8 +534,9 @@ func (s *Server) prepareJob(kind string, body []byte) (key string, canonical jso
 			return "", nil, nil, err
 		}
 		parallel := s.gridParallel
+		triaged := s.triageObserver()
 		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
-			return runFaults(ctx, req, parallel, progress)
+			return runFaults(ctx, req, parallel, progress, triaged)
 		}
 	case "shard":
 		var req ShardSpec
@@ -543,13 +554,25 @@ func (s *Server) prepareJob(kind string, body []byte) (key string, canonical jso
 			return "", nil, nil, err
 		}
 		parallel := s.gridParallel
+		triaged := s.triageObserver()
 		run = func(ctx context.Context, progress *atomic.Uint64) (jobOutput, error) {
-			return runShard(ctx, req, parallel, progress)
+			return runShard(ctx, req, parallel, progress, triaged)
 		}
 	default:
 		return "", nil, nil, fmt.Errorf("unknown job kind %q", kind)
 	}
 	return key, canonical, run, nil
+}
+
+// triageObserver builds the harness.CampaignSpec.TriageObserver hook
+// that records the server's triage metrics. The returned closure is
+// called from campaign worker goroutines; the metric primitives are
+// atomic, so it is safe as-is.
+func (s *Server) triageObserver() func(outcome string, seconds float64) {
+	return func(outcome string, seconds float64) {
+		s.faultsTriaged.With(outcome).Inc()
+		s.triageDuration.With().Observe(seconds)
+	}
 }
 
 // withCachePut wraps a run closure so a successful result lands in the
@@ -731,7 +754,7 @@ func runFigure(ctx context.Context, req FigureRequest, parallel int, progress *a
 }
 
 // runFaults executes one FaultsRequest.
-func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *atomic.Uint64) (jobOutput, error) {
+func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *atomic.Uint64, triaged func(string, float64)) (jobOutput, error) {
 	opt := harness.Options{Parallel: parallel, Ctx: ctx, Progress: progress}
 	var payload FaultsPayload
 	if req.Workload == "" {
@@ -755,6 +778,9 @@ func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *a
 				Seed:               req.Seed,
 				TargetInsts:        req.TargetInsts,
 				CheckpointInterval: req.CheckpointInterval,
+				Triage:             req.Triage,
+				TriageDetected:     req.TriageDetected,
+				TriageObserver:     triaged,
 			}
 			rsq := cfg.Reese.Enabled && cfg.Reese.Mode != config.ModeDupDispatch
 			for _, name := range req.Structures {
@@ -772,6 +798,23 @@ func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *a
 			rep, err := harness.Campaign(spec, opt)
 			if err != nil {
 				return jobOutput{}, err
+			}
+			// Escaped trials keep their triage records in the payload, and
+			// the trace blobs ride in the traces map (keyed
+			// "reportIdx/trialIdx") for the per-trace endpoint.
+			reportIdx := len(payload.Reports)
+			for i := range rep.Trials {
+				t := rep.Trials[i]
+				if t.Triage == nil {
+					continue
+				}
+				payload.Escapes = append(payload.Escapes, t)
+				if len(t.Triage.Trace) > 0 {
+					if payload.Traces == nil {
+						payload.Traces = make(map[string]json.RawMessage)
+					}
+					payload.Traces[fmt.Sprintf("%d/%d", reportIdx, t.Index)] = json.RawMessage(t.Triage.Trace)
+				}
 			}
 			payload.Reports = append(payload.Reports, *rep)
 			b.WriteString(rep.Table())
@@ -794,13 +837,28 @@ func runFaults(ctx context.Context, req FaultsRequest, parallel int, progress *a
 // the full campaign plan. The payload carries the per-trial records
 // alongside the report (the report's own JSON form excludes them) so
 // the coordinator can reconstitute the full trial log after the merge.
-func runShard(ctx context.Context, req ShardSpec, parallel int, progress *atomic.Uint64) (jobOutput, error) {
+func runShard(ctx context.Context, req ShardSpec, parallel int, progress *atomic.Uint64, triaged func(string, float64)) (jobOutput, error) {
 	opt := harness.Options{Parallel: parallel, Ctx: ctx, Progress: progress}
-	rep, err := harness.Campaign(req.campaignSpec(), opt)
+	spec := req.campaignSpec()
+	spec.TriageObserver = triaged
+	rep, err := harness.Campaign(spec, opt)
 	if err != nil {
 		return jobOutput{}, err
 	}
-	raw, err := json.Marshal(ShardPayload{Report: *rep, Trials: rep.Trials})
+	p := ShardPayload{Report: *rep, Trials: rep.Trials}
+	for i := range rep.Trials {
+		t := &rep.Trials[i]
+		if t.Triage == nil || len(t.Triage.Trace) == 0 {
+			continue
+		}
+		if p.Traces == nil {
+			p.Traces = make(map[string]json.RawMessage)
+		}
+		// Keyed by the trial's global plan index, which is what the
+		// cluster coordinator knows the trial by after the merge.
+		p.Traces[strconv.Itoa(t.Index)] = json.RawMessage(t.Triage.Trace)
+	}
+	raw, err := json.Marshal(p)
 	if err != nil {
 		return jobOutput{}, err
 	}
@@ -928,6 +986,41 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	// A poller disconnecting must NOT cancel someone else's job.
 	s.waitAndReply(w, r, j, wait, false)
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace/{key...}: one triaged
+// trial's Perfetto trace blob, extracted from the finished job's result
+// payload. Keys are "reportIdx/trialIdx" for faults jobs and the global
+// trial index for shard jobs — exactly the keys of the payload's traces
+// map, which is why the route wildcard spans path segments.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	v := j.snapshot()
+	if v.State != StateDone || len(v.Result) == 0 {
+		s.writeError(w, http.StatusConflict, fmt.Errorf("job %s has no result (state %s)", v.ID, v.State))
+		return
+	}
+	var res struct {
+		Traces map[string]json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("decode job result: %w", err))
+		return
+	}
+	key := r.PathValue("key")
+	blob, ok := res.Traces[key]
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no trace %q (the trial was not triaged, or the key is wrong)", v.ID, key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
 }
 
 // handleJobCancel serves DELETE /v1/jobs/{id}.
