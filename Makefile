@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke faults-mem-smoke triage-smoke claims serve chaos fuzz cluster-smoke load clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke trace figures faults faults-smoke faults-mem-smoke triage-smoke claims serve chaos fuzz cluster-smoke cluster-chaos-smoke load clean
 
 all: build test
 
@@ -89,6 +89,16 @@ chaos:
 # count — byte-identical to the single-process run (see DESIGN §15).
 cluster-smoke:
 	$(GO) test ./internal/cluster/ -run 'TestClusterKillWorkerSmoke' -count=1 -v
+
+# Crash-safety gate: a 2-worker gcc campaign runs under the seeded
+# chaos transport (drops, 503 bursts, truncated/bit-flipped bodies,
+# a timed worker partition), the coordinator is killed mid-campaign,
+# and a second coordinator resumes from the WAL. Gate: merged report
+# and per-trial JSONL byte-identical to the fault-free single-process
+# run, completed shards served from the WAL, zero lost or duplicated
+# shards (see DESIGN §18).
+cluster-chaos-smoke:
+	$(GO) test ./internal/cluster/ -run 'TestClusterChaosResume' -count=1 -v
 
 # Serving-layer load curves: drive an in-process 2-worker topology at
 # stepped RPS and report p50/p99 latency and the saturation curve. Set

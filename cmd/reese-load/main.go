@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reese/internal/chaos"
 	"reese/internal/cluster"
 	"reese/internal/server"
 )
@@ -70,6 +71,10 @@ func run() int {
 		injections = flag.Int("n", 20, "injections per -kind faults/cluster request")
 		out        = flag.String("out", "", "append results to this benchjson tracking file (empty: stdout only)")
 		label      = flag.String("label", "", "label stored with each tracked entry")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "seed the chaos transport on the load clients (0 disables); with -chaos-* probabilities it injects seeded network faults")
+		chaosDrop  = flag.Float64("chaos-drop", 0.05, "per-request drop probability under -chaos-seed")
+		chaos5xx   = flag.Float64("chaos-5xx", 0.05, "per-request synthesized-503 probability under -chaos-seed")
+		chaosFlip  = flag.Float64("chaos-corrupt", 0.02, "per-response bit-flip probability under -chaos-seed")
 	)
 	flag.Parse()
 
@@ -105,6 +110,21 @@ func run() int {
 		return 1
 	}
 
+	client := &http.Client{Timeout: 120 * time.Second}
+	var chaosTr *chaos.Transport
+	if *chaosSeed != 0 {
+		// Chaos mode: the load clients see seeded drops, 503 bursts, and
+		// corrupted bodies, proving the service degrades instead of lying.
+		chaosTr = chaos.NewTransport(chaos.TransportConfig{
+			Seed:        *chaosSeed,
+			DropProb:    *chaosDrop,
+			Err5xxProb:  *chaos5xx,
+			CorruptProb: *chaosFlip,
+		})
+		client.Transport = chaosTr
+		fmt.Printf("chaos transport on: seed %d, drop %.2f, 5xx %.2f, corrupt %.2f\n",
+			*chaosSeed, *chaosDrop, *chaos5xx, *chaosFlip)
+	}
 	gen := &generator{
 		urls:        urls,
 		coordinator: coordinatorURL,
@@ -113,7 +133,7 @@ func run() int {
 		insts:       *insts,
 		injections:  *injections,
 		clients:     *clients,
-		client:      &http.Client{Timeout: 120 * time.Second},
+		client:      client,
 	}
 	var results []stepResult
 	for _, rps := range steps {
@@ -122,6 +142,10 @@ func run() int {
 		fmt.Printf("rps=%g: sent %d, ok %d, shed %d, errors %d, client-limited %d | achieved %.1f rps, p50 %.1fms p99 %.1fms max %.1fms\n",
 			res.TargetRPS, res.Sent, res.OK, res.Shed, res.Errors, res.ClientFull,
 			res.AchievedRPS, res.P50MS, res.P99MS, res.MaxMS)
+	}
+	if chaosTr != nil {
+		fmt.Printf("chaos injected %d faults: %d drops, %d 503s, %d corrupted bodies\n",
+			chaosTr.Injected(), chaosTr.Drops(), chaosTr.Err5xx(), chaosTr.Corrupted())
 	}
 
 	if *out != "" {

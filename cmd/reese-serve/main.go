@@ -64,6 +64,8 @@ func run() int {
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof (/debug/pprof/) on this address (empty disables)")
 		clusterStr = flag.String("cluster-workers", "", "comma-separated worker replica URLs; enables the coordinator endpoint POST /v1/cluster/faults")
 		shardSize  = flag.Int("cluster-shard-size", 0, "trials per shard in coordinator mode (0 = auto)")
+		clusterWAL = flag.String("cluster-wal", "", "coordinator write-ahead log directory; campaigns journaled here survive a coordinator crash (empty disables)")
+		resume     = flag.Bool("resume", false, "on startup, finish any campaigns left in -cluster-wal by a previous coordinator")
 	)
 	flag.Parse()
 
@@ -108,13 +110,33 @@ func run() int {
 				workers = append(workers, strings.TrimRight(w, "/"))
 			}
 		}
-		srv.Mount("POST /v1/cluster/faults", cluster.Handler(cluster.Config{
+		clusterCfg := cluster.Config{
 			Workers:   workers,
 			ShardSize: *shardSize,
 			Metrics:   srv.ShardMetrics(),
 			Logger:    log,
-		}))
-		log.Info("cluster coordinator enabled", "workers", workers, "shard_size", *shardSize)
+			WALDir:    *clusterWAL,
+		}
+		srv.Mount("POST /v1/cluster/faults", cluster.Handler(clusterCfg))
+		log.Info("cluster coordinator enabled", "workers", workers, "shard_size", *shardSize, "wal", *clusterWAL)
+
+		// -resume finishes campaigns a previous coordinator left in the
+		// WAL: their clients are gone, so the merged reports land next to
+		// the journals as <token>.report.json.
+		if *resume && *clusterWAL != "" {
+			go func() {
+				for _, rc := range cluster.ResumeCampaigns(context.Background(), clusterCfg) {
+					if rc.Err != nil {
+						log.Warn("cluster: resume failed", "token", rc.Token, "err", rc.Err)
+						continue
+					}
+					log.Info("cluster: campaign resumed to completion", "token", rc.Token, "report", rc.ReportPath)
+				}
+			}()
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "reese-serve: -resume requires -cluster-workers and -cluster-wal")
+		return 1
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,272 @@
+package chaos
+
+// Transport is a seeded network-fault injector implemented as an
+// http.RoundTripper: it sits between the cluster coordinator and its
+// workers (or any client and any server) and misbehaves the way real
+// networks do — dropped connections, added latency, 5xx bursts,
+// truncated response bodies, single-bit payload corruption, and timed
+// partitions of individual hosts. The teaMPI/SWE line of work treats
+// these as the baseline operating condition, not an edge case; the
+// cluster layer is tested under this transport to the same standard.
+//
+// Faults are rolled per request from a seeded PRNG, so a failing run
+// reproduces exactly from its seed. Request bodies are never touched:
+// a request either reaches the server whole or not at all (a dropped
+// or partitioned request errors before the connection is attempted),
+// mirroring TCP's all-or-nothing delivery into the server. Response
+// corruption happens after the server has done its work — the
+// dangerous case, because the side effect (a submitted job) survives
+// while the acknowledgement is damaged. Every injection is counted so
+// tests can assert the chaos actually landed.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TransportConfig sets the per-request fault probabilities. All
+// probabilities are independent rolls in [0,1); zero disables that
+// fault. The zero value is a transparent transport.
+type TransportConfig struct {
+	// Seed drives every roll; equal seeds reproduce equal fault
+	// schedules against an equal request sequence.
+	Seed int64
+	// DropProb errors the request before it is sent (connection refused
+	// / reset from the client's point of view; the server never sees it).
+	DropProb float64
+	// LatencyProb delays the request by up to MaxLatency (default 50ms),
+	// honoring the request context while sleeping.
+	LatencyProb float64
+	MaxLatency  time.Duration
+	// Err5xxProb short-circuits the request with a synthesized 503
+	// carrying a Retry-After header — alternating between the
+	// delta-seconds and HTTP-date forms, since servers are allowed to
+	// send either and clients must parse both.
+	Err5xxProb float64
+	// TruncateProb cuts the response body short at a random point — a
+	// mid-transfer connection loss after the server committed the work.
+	TruncateProb float64
+	// CorruptProb flips one random bit of the response body — the
+	// payload arrives plausible but wrong, the case only end-to-end
+	// integrity checking catches.
+	CorruptProb float64
+	// Base performs the real round trips (default
+	// http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+// Transport implements http.RoundTripper with injected faults. Safe
+// for concurrent use.
+type Transport struct {
+	cfg TransportConfig
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	err5xxDate bool // alternate Retry-After forms across synthesized 503s
+	partitions map[string]partitionWindow
+
+	drops       atomic.Int64
+	delays      atomic.Int64
+	err5xx      atomic.Int64
+	truncated   atomic.Int64
+	corrupted   atomic.Int64
+	partitioned atomic.Int64
+}
+
+// partitionWindow marks a host unreachable between from and until.
+type partitionWindow struct {
+	from, until time.Time
+}
+
+// NewTransport builds a seeded chaos transport.
+func NewTransport(cfg TransportConfig) *Transport {
+	if cfg.Base == nil {
+		cfg.Base = http.DefaultTransport
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 50 * time.Millisecond
+	}
+	return &Transport{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		partitions: make(map[string]partitionWindow),
+	}
+}
+
+// Partition makes every request to host (the URL's Host, e.g.
+// "127.0.0.1:43211") fail as a transport error during [from, until) —
+// a network split with a scheduled heal. Re-partitioning a host
+// replaces its window.
+func (t *Transport) Partition(host string, from, until time.Time) {
+	t.mu.Lock()
+	t.partitions[host] = partitionWindow{from: from, until: until}
+	t.mu.Unlock()
+}
+
+// PartitionFor partitions host for the duration d starting now.
+func (t *Transport) PartitionFor(host string, d time.Duration) {
+	now := time.Now()
+	t.Partition(host, now, now.Add(d))
+}
+
+// Heal lifts any partition on host immediately.
+func (t *Transport) Heal(host string) {
+	t.mu.Lock()
+	delete(t.partitions, host)
+	t.mu.Unlock()
+}
+
+// Drops reports how many requests were dropped before sending.
+func (t *Transport) Drops() int64 { return t.drops.Load() }
+
+// Delays reports how many requests had latency injected.
+func (t *Transport) Delays() int64 { return t.delays.Load() }
+
+// Err5xx reports how many synthesized 503 responses were returned.
+func (t *Transport) Err5xx() int64 { return t.err5xx.Load() }
+
+// Truncated reports how many response bodies were cut short.
+func (t *Transport) Truncated() int64 { return t.truncated.Load() }
+
+// Corrupted reports how many response bodies had a bit flipped.
+func (t *Transport) Corrupted() int64 { return t.corrupted.Load() }
+
+// Partitioned reports how many requests died against a partition.
+func (t *Transport) Partitioned() int64 { return t.partitioned.Load() }
+
+// Injected reports the total number of faults injected so far.
+func (t *Transport) Injected() int64 {
+	return t.Drops() + t.Err5xx() + t.Truncated() + t.Corrupted() + t.Partitioned()
+}
+
+// roll draws the per-request fault decisions in one critical section,
+// so concurrent requests each consume a deterministic slice of the
+// stream (which decisions land on which request still depends on
+// request ordering — determinism holds for serial request sequences).
+type rollResult struct {
+	drop, delay, err5xx, truncate, corrupt bool
+	delayFrac, truncFrac                   float64
+	corruptBit                             int64
+	dateForm                               bool
+	retryAfterS                            int
+}
+
+func (t *Transport) roll() rollResult {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := rollResult{
+		drop:     t.rng.Float64() < t.cfg.DropProb,
+		delay:    t.rng.Float64() < t.cfg.LatencyProb,
+		err5xx:   t.rng.Float64() < t.cfg.Err5xxProb,
+		truncate: t.rng.Float64() < t.cfg.TruncateProb,
+		corrupt:  t.rng.Float64() < t.cfg.CorruptProb,
+		// Draw the shape parameters unconditionally so the stream of
+		// rolls per request has fixed length regardless of outcomes.
+		delayFrac:   t.rng.Float64(),
+		truncFrac:   t.rng.Float64(),
+		corruptBit:  t.rng.Int63(),
+		retryAfterS: 1 + t.rng.Intn(3),
+	}
+	if r.err5xx {
+		r.dateForm = t.err5xxDate
+		t.err5xxDate = !t.err5xxDate
+	}
+	return r
+}
+
+// partitionedNow reports whether host is inside a partition window.
+func (t *Transport) partitionedNow(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.partitions[host]
+	if !ok {
+		return false
+	}
+	now := time.Now()
+	return !now.Before(w.from) && now.Before(w.until)
+}
+
+// RoundTrip applies the fault schedule to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.partitionedNow(req.URL.Host) {
+		t.partitioned.Add(1)
+		return nil, fmt.Errorf("chaos: host %s partitioned", req.URL.Host)
+	}
+	r := t.roll()
+	if r.drop {
+		t.drops.Add(1)
+		return nil, fmt.Errorf("chaos: dropped %s %s", req.Method, req.URL.Path)
+	}
+	if r.delay {
+		t.delays.Add(1)
+		d := time.Duration(r.delayFrac * float64(t.cfg.MaxLatency))
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if r.err5xx {
+		t.err5xx.Add(1)
+		return t.synthesize503(req, r), nil
+	}
+	resp, err := t.cfg.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if !r.truncate && !r.corrupt {
+		return resp, nil
+	}
+	// Damaging the body requires owning it: read it fully (bounded),
+	// mutate, and hand back a replacement reader.
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if r.truncate && len(body) > 0 {
+		t.truncated.Add(1)
+		body = body[:int(r.truncFrac*float64(len(body)))]
+	}
+	if r.corrupt && len(body) > 0 {
+		t.corrupted.Add(1)
+		bit := r.corruptBit % int64(len(body)*8)
+		body[bit/8] ^= 1 << (bit % 8)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// synthesize503 fabricates a 503 without touching the server,
+// alternating the Retry-After form between delta-seconds and HTTP-date
+// so the client's parser sees both in any burst.
+func (t *Transport) synthesize503(req *http.Request, r rollResult) *http.Response {
+	h := make(http.Header)
+	if r.dateForm {
+		h.Set("Retry-After", time.Now().Add(time.Duration(r.retryAfterS)*time.Second).UTC().Format(http.TimeFormat))
+	} else {
+		h.Set("Retry-After", strconv.Itoa(r.retryAfterS))
+	}
+	h.Set("Content-Type", "application/json")
+	body := []byte(`{"error":"chaos: injected 503 burst"}`)
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// newEchoServer answers every request with a fixed body.
+func newEchoServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, c *http.Client, url string) (int, string, http.Header, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, string(b), resp.Header, err
+	}
+	return resp.StatusCode, string(b), resp.Header, nil
+}
+
+// A zero-config transport must be transparent.
+func TestTransportTransparentWhenDisabled(t *testing.T) {
+	ts := newEchoServer(t, "hello")
+	tr := NewTransport(TransportConfig{Seed: 1})
+	c := &http.Client{Transport: tr}
+	for i := 0; i < 20; i++ {
+		code, body, _, err := get(t, c, ts.URL)
+		if err != nil || code != http.StatusOK || body != "hello" {
+			t.Fatalf("request %d: code %d body %q err %v", i, code, body, err)
+		}
+	}
+	if n := tr.Injected(); n != 0 {
+		t.Fatalf("transparent transport injected %d faults", n)
+	}
+}
+
+// Equal seeds must produce equal fault schedules over a serial request
+// sequence — the reproducibility contract.
+func TestTransportDeterministicPerSeed(t *testing.T) {
+	ts := newEchoServer(t, "payload-payload-payload")
+	schedule := func(seed int64) []string {
+		tr := NewTransport(TransportConfig{
+			Seed: seed, DropProb: 0.2, Err5xxProb: 0.2, TruncateProb: 0.2, CorruptProb: 0.2,
+		})
+		c := &http.Client{Transport: tr}
+		var out []string
+		for i := 0; i < 40; i++ {
+			code, body, _, err := get(t, c, ts.URL)
+			switch {
+			case err != nil:
+				out = append(out, "drop")
+			case code == http.StatusServiceUnavailable:
+				out = append(out, "503")
+			default:
+				out = append(out, "ok:"+body)
+			}
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across same-seed runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	diff := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 40-request schedules")
+	}
+}
+
+// Synthesized 503s must carry Retry-After in both wire forms across a
+// burst: delta-seconds and HTTP-date.
+func TestTransport503BurstAlternatesRetryAfterForms(t *testing.T) {
+	ts := newEchoServer(t, "x")
+	tr := NewTransport(TransportConfig{Seed: 7, Err5xxProb: 1})
+	c := &http.Client{Transport: tr}
+	var secForm, dateForm int
+	for i := 0; i < 10; i++ {
+		code, _, h, err := get(t, c, ts.URL)
+		if err != nil || code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: code %d err %v, want synthesized 503", i, code, err)
+		}
+		ra := h.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("request %d: 503 without Retry-After", i)
+		}
+		if _, perr := strconv.Atoi(ra); perr == nil {
+			secForm++
+		} else if _, perr := http.ParseTime(ra); perr == nil {
+			dateForm++
+		} else {
+			t.Fatalf("request %d: unparseable Retry-After %q", i, ra)
+		}
+	}
+	if secForm == 0 || dateForm == 0 {
+		t.Fatalf("burst used only one Retry-After form (%d seconds, %d dates)", secForm, dateForm)
+	}
+	if tr.Err5xx() != 10 {
+		t.Errorf("counter says %d injected 503s, want 10", tr.Err5xx())
+	}
+}
+
+// Corruption must change the body; truncation must shorten it — and
+// both must be counted.
+func TestTransportCorruptsAndTruncates(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef"
+	ts := newEchoServer(t, body)
+
+	tr := NewTransport(TransportConfig{Seed: 3, CorruptProb: 1})
+	c := &http.Client{Transport: tr}
+	_, got, _, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == body {
+		t.Error("corrupt roll left the body intact")
+	}
+	if len(got) != len(body) {
+		t.Errorf("corruption changed the length: %d -> %d", len(body), len(got))
+	}
+	if tr.Corrupted() != 1 {
+		t.Errorf("corrupted counter %d, want 1", tr.Corrupted())
+	}
+
+	tr = NewTransport(TransportConfig{Seed: 3, TruncateProb: 1})
+	c = &http.Client{Transport: tr}
+	_, got, _, err = get(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(body) {
+		t.Errorf("truncate roll kept %d of %d bytes", len(got), len(body))
+	}
+	if tr.Truncated() != 1 {
+		t.Errorf("truncated counter %d, want 1", tr.Truncated())
+	}
+}
+
+// A partition must fail every request to the host inside its window,
+// heal on schedule, and never touch other hosts.
+func TestTransportPartitionWindow(t *testing.T) {
+	tsA := newEchoServer(t, "a")
+	tsB := newEchoServer(t, "b")
+	tr := NewTransport(TransportConfig{Seed: 1})
+	c := &http.Client{Transport: tr}
+
+	hostA := tsA.Listener.Addr().String()
+	tr.PartitionFor(hostA, 200*time.Millisecond)
+	if _, _, _, err := get(t, c, tsA.URL); err == nil {
+		t.Fatal("partitioned host answered")
+	}
+	if _, body, _, err := get(t, c, tsB.URL); err != nil || body != "b" {
+		t.Fatalf("partition of A leaked onto B: body %q err %v", body, err)
+	}
+	if tr.Partitioned() == 0 {
+		t.Error("partition denial not counted")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, body, _, err := get(t, c, tsA.URL); err == nil && body == "a" {
+			break // healed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	tr.PartitionFor(hostA, time.Minute)
+	tr.Heal(hostA)
+	if _, _, _, err := get(t, c, tsA.URL); err != nil {
+		t.Fatalf("healed host still partitioned: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"reese/internal/chaos"
+	"reese/internal/config"
+	"reese/internal/harness"
+	"reese/internal/server"
+)
+
+// The crash-safety property, end to end — this is the
+// `make cluster-chaos-smoke` gate. A 2-worker gcc campaign runs under
+// a seeded chaos transport (drops, latency, 503 bursts, truncated and
+// bit-flipped response bodies) plus a timed partition of one worker.
+// Mid-campaign the coordinator is killed (context canceled after at
+// least two shards completed). A second coordinator with the same
+// resume token and the same chaos then runs the campaign to the end.
+//
+// The property: the resumed run replays the completed shards from the
+// WAL (campaigns-resumed and shards-restored counters say so, via the
+// real Prometheus registry) and the merged report, per-trial JSONL,
+// and rendered table are byte-identical to the fault-free
+// single-process run.
+func TestClusterChaosResume(t *testing.T) {
+	machine := config.Starting().WithReese()
+	const injections = 40
+	single, err := harness.Campaign(harness.CampaignSpec{
+		Workload: "gcc", Machine: machine, Injections: injections, Seed: 13,
+	}, harness.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(stripWall(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSONL bytes.Buffer
+	if err := single.WriteJSONL(&wantJSONL); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := newWorkers(t, 2)
+	walDir := t.TempDir()
+
+	// The real server-side metrics registry, so the test asserts the
+	// wire-visible counter names, not just the Hooks interface.
+	metrics := server.NewMetrics()
+	shardMetrics := server.NewShardMetrics(metrics)
+	counter := func(name string) float64 {
+		var b strings.Builder
+		metrics.Render(&b)
+		var total float64
+		for _, line := range strings.Split(b.String(), "\n") {
+			if !strings.HasPrefix(line, name) {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					total += v
+				}
+			}
+		}
+		return total
+	}
+
+	newChaosClient := func(seed int64) (*chaos.Transport, *http.Client) {
+		tr := chaos.NewTransport(chaos.TransportConfig{
+			Seed:         seed,
+			DropProb:     0.05,
+			LatencyProb:  0.10,
+			MaxLatency:   20 * time.Millisecond,
+			Err5xxProb:   0.05,
+			TruncateProb: 0.03,
+			CorruptProb:  0.03,
+		})
+		return tr, &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	baseConfig := func(client *http.Client) Config {
+		cfg := testClusterConfig(workers)
+		cfg.Client = client
+		cfg.WALDir = walDir
+		cfg.Metrics = shardMetrics
+		cfg.MaxAttempts = 10_000 // chaos churn must exhaust nothing
+		cfg.RetryPause = 10 * time.Millisecond
+		cfg.ProbationBase = 10 * time.Millisecond
+		cfg.ProbationMax = 50 * time.Millisecond
+		cfg.AllLostTimeout = time.Minute
+		return cfg
+	}
+	campaign := Campaign{
+		Workload: "gcc", Machine: &machine, Injections: injections,
+		Seed: 13, ShardSize: 5, ResumeToken: "chaos-resume-smoke",
+	}
+
+	// Run 1: chaos + a timed partition of worker B, killed (context
+	// canceled — the in-process equivalent of kill -9 on the
+	// coordinator; the WAL's fsync discipline is what makes the two the
+	// same) once at least two shards have durably completed.
+	tr1, client1 := newChaosClient(1)
+	tr1.PartitionFor(strings.TrimPrefix(workers[1], "http://"), 300*time.Millisecond)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	var mu sync.Mutex
+	completed1 := 0
+	cfg1 := baseConfig(client1)
+	cfg1.OnEvent = func(ev Event) {
+		if ev.Type != "completed" {
+			return
+		}
+		mu.Lock()
+		completed1++
+		if completed1 == 2 {
+			cancel1()
+		}
+		mu.Unlock()
+	}
+	_, err = Run(ctx1, cfg1, campaign)
+	mu.Lock()
+	got1 := completed1
+	mu.Unlock()
+	if err == nil {
+		t.Fatal("killed run returned no error; the cancel landed after the campaign finished and nothing tests resume")
+	}
+	if got1 < 2 {
+		t.Fatalf("killed run completed %d shards before dying, want >= 2", got1)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(walDir, "*.wal")); len(matches) != 1 {
+		t.Fatalf("killed run left %d WAL files, want 1", len(matches))
+	}
+
+	// Run 2: fresh coordinator, same token, chaos still on (different
+	// seed — a restart does not replay the same network weather).
+	_, client2 := newChaosClient(2)
+	restoredEvents, assignedFresh := map[int]bool{}, map[int]bool{}
+	cfg2 := baseConfig(client2)
+	cfg2.OnEvent = func(ev Event) {
+		mu.Lock()
+		switch ev.Type {
+		case "restored":
+			restoredEvents[ev.Shard] = true
+		case "assigned", "reassigned":
+			assignedFresh[ev.Shard] = true
+		}
+		mu.Unlock()
+	}
+	resumedBefore := counter("reese_serve_campaigns_resumed_total")
+	restoredBefore := counter("reese_serve_shards_restored_total")
+	rep, err := Run(context.Background(), cfg2, campaign)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	// The resume must be visible in the wire metrics...
+	if got := counter("reese_serve_campaigns_resumed_total") - resumedBefore; got != 1 {
+		t.Errorf("reese_serve_campaigns_resumed_total rose by %v, want 1", got)
+	}
+	restored := counter("reese_serve_shards_restored_total") - restoredBefore
+	if int(restored) < got1 {
+		t.Errorf("reese_serve_shards_restored_total rose by %v, want >= %d (the durably completed shards)", restored, got1)
+	}
+	// ...and in the shard ledger: restored shards come from the WAL,
+	// only the rest re-execute, and the two sets tile the plan.
+	mu.Lock()
+	for shard := range restoredEvents {
+		if assignedFresh[shard] {
+			t.Errorf("shard %d was restored from the WAL and still re-executed", shard)
+		}
+	}
+	totalShards := (injections + 4) / 5
+	if len(restoredEvents) == 0 {
+		t.Error("no restored events: the resumed run re-executed everything")
+	}
+	if len(restoredEvents)+len(assignedFresh) < totalShards {
+		t.Errorf("restored (%d) + fresh (%d) cover fewer than %d shards", len(restoredEvents), len(assignedFresh), totalShards)
+	}
+	mu.Unlock()
+
+	// The property itself: byte-identical to the fault-free run.
+	gotJSON, err := json.Marshal(stripWall(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("resumed chaos report differs from fault-free single-process run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	var gotJSONL bytes.Buffer
+	if err := rep.WriteJSONL(&gotJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if gotJSONL.String() != wantJSONL.String() {
+		t.Error("resumed chaos JSONL differs from fault-free single-process run")
+	}
+	if rep.Table() != single.Table() {
+		t.Error("resumed chaos table differs from fault-free single-process run")
+	}
+
+	// Success must clean the journal: nothing left to resume.
+	if matches, _ := filepath.Glob(filepath.Join(walDir, "*.wal")); len(matches) != 0 {
+		t.Errorf("finished campaign left WAL files behind: %v", matches)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,6 +60,12 @@ type Campaign struct {
 	// shard's trace blobs to the merged trial log.
 	Triage         bool `json:"triage,omitempty"`
 	TriageDetected bool `json:"triage_detected,omitempty"`
+	// ResumeToken names this campaign in the coordinator WAL. When the
+	// coordinator runs with a WALDir, resubmitting the same token resumes
+	// the journaled campaign: completed shards replay from disk, only the
+	// missing windows re-run. Empty means the token derives from the spec
+	// itself, so identical resubmissions resume automatically.
+	ResumeToken string `json:"resume_token,omitempty"`
 }
 
 // Hooks receives shard lifecycle counts; server.ShardMetrics satisfies
@@ -68,12 +75,26 @@ type Hooks interface {
 	ShardCompleted(seconds float64)
 	ShardRetried()
 	ShardReassigned()
+	// ShardCorrupted counts payloads that failed their end-to-end sha256
+	// integrity check and were re-fetched instead of merged.
+	ShardCorrupted()
+	// WorkerReadmitted counts quarantined workers that answered a
+	// probation probe and rejoined the campaign.
+	WorkerReadmitted()
+	// CampaignResumed counts campaigns whose completed shards were
+	// replayed from the coordinator WAL after a restart.
+	CampaignResumed()
+	// ShardRestored counts individual shards served from the WAL instead
+	// of re-executed.
+	ShardRestored()
 }
 
 // Event is one live-progress notification, streamed to clients as SSE
 // or chunked JSONL by Handler.
 type Event struct {
-	// Type is assigned | completed | retried | reassigned | error.
+	// Type is assigned | completed | retried | reassigned | corrupted |
+	// quarantined | readmitted | restored | error. Worker-level events
+	// (quarantined, readmitted) carry Shard == -1.
 	Type   string `json:"type"`
 	Shard  int    `json:"shard"`
 	Worker string `json:"worker,omitempty"`
@@ -114,6 +135,25 @@ type Config struct {
 	OnEvent func(Event)
 	// Logger receives coordinator logs (default slog.Default()).
 	Logger *slog.Logger
+	// WALDir, when non-empty, makes campaigns crash-safe: the spec, the
+	// resolved shard windows, and every completed shard payload are
+	// journaled there (fsync per record), and a restarted coordinator
+	// resumes from the journal instead of starting over. Empty disables
+	// the WAL.
+	WALDir string
+	// RetryPause is the pause after a failed batch round against a
+	// worker, so a flapping worker does not spin the queue (default
+	// 200ms).
+	RetryPause time.Duration
+	// ProbationBase/ProbationMax bound the exponential backoff between
+	// /readyz probes of a quarantined worker (defaults 500ms and 15s).
+	ProbationBase time.Duration
+	ProbationMax  time.Duration
+	// AllLostTimeout fails the campaign when every worker has been in
+	// quarantine continuously for this long with shards still pending —
+	// the failsafe against waiting forever on a fleet that is never
+	// coming back (default 2m).
+	AllLostTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +174,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.RetryPause <= 0 {
+		c.RetryPause = 200 * time.Millisecond
+	}
+	if c.ProbationBase <= 0 {
+		c.ProbationBase = 500 * time.Millisecond
+	}
+	if c.ProbationMax <= 0 {
+		c.ProbationMax = 15 * time.Second
+	}
+	if c.AllLostTimeout <= 0 {
+		c.AllLostTimeout = 2 * time.Minute
 	}
 	return c
 }
@@ -194,9 +246,61 @@ func Run(ctx context.Context, cfg Config, req Campaign) (*harness.CampaignReport
 		return nil, fmt.Errorf("cluster: injections %d out of range", req.Injections)
 	}
 	specs := shardSpecs(req, len(cfg.Workers), cfg.ShardSize)
+
+	// With a WALDir the campaign is journaled: a fresh run writes its
+	// spec and shard windows before assigning anything; a resumed run
+	// (same token) takes the windows and completed payloads from disk.
+	var wal *campaignWAL
+	restored := map[int]*server.ShardPayload{}
+	if cfg.WALDir != "" {
+		token := campaignToken(req)
+		var st *walState
+		var err error
+		wal, st, err = openCampaignWAL(cfg.WALDir, token, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+		defer wal.close()
+		if st == nil {
+			if err := wal.begin(req, specs); err != nil {
+				return nil, fmt.Errorf("cluster: journal campaign: %w", err)
+			}
+		} else {
+			spec, err := json.Marshal(canonicalCampaign(req))
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(spec, st.spec) {
+				return nil, fmt.Errorf("cluster: resume token %s names a different campaign (spec mismatch); choose a fresh token", token)
+			}
+			// The journaled windows override the freshly computed split, so
+			// the resumed run tiles the plan exactly as the original did even
+			// if the worker count or shard-size defaults changed meanwhile.
+			specs = specsFromWindows(req, st.windows)
+			for idx, digest := range st.completed {
+				p, perr := wal.loadPayload(digest)
+				if perr != nil {
+					cfg.Logger.Warn("cluster: wal payload unusable; shard will re-run", "shard", idx, "err", perr)
+					continue
+				}
+				if p.Report.Shard == nil || p.Report.Shard.Offset != specs[idx].ShardOffset || p.Report.Shard.Count != specs[idx].ShardCount {
+					cfg.Logger.Warn("cluster: wal payload window mismatch; shard will re-run", "shard", idx)
+					continue
+				}
+				restored[idx] = p
+			}
+			if cfg.Metrics != nil {
+				cfg.Metrics.CampaignResumed()
+			}
+			cfg.Logger.Info("cluster: resuming campaign from wal",
+				"token", token, "restored", len(restored), "total", len(specs))
+		}
+	}
+
 	co := &coordinator{
 		cfg:        cfg,
 		specs:      specs,
+		wal:        wal,
 		queue:      make(chan int, len(specs)),
 		donec:      make(chan struct{}),
 		results:    make([]*server.ShardPayload, len(specs)),
@@ -206,7 +310,28 @@ func Run(ctx context.Context, cfg Config, req Campaign) (*harness.CampaignReport
 		start:      time.Now(),
 	}
 	for i := range specs {
+		if p, ok := restored[i]; ok {
+			co.results[i] = p
+			co.completed++
+			co.doneTrials += specs[i].ShardCount
+			continue
+		}
 		co.queue <- i
+	}
+	for i := range specs {
+		if restored[i] == nil {
+			continue
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.ShardRestored()
+		}
+		co.emit(Event{Type: "restored", Shard: i})
+	}
+	if co.completed == len(specs) {
+		// Every shard was already durable; nothing to assign.
+		co.mu.Lock()
+		co.closeDoneLocked()
+		co.mu.Unlock()
 	}
 	var wg sync.WaitGroup
 	for _, url := range cfg.Workers {
@@ -259,7 +384,31 @@ func Run(ctx context.Context, cfg Config, req Campaign) (*harness.CampaignReport
 	if elapsed > 0 {
 		merged.InjectionsPerSec = float64(merged.Injected) / elapsed
 	}
+	// The report exists; the journal has done its job.
+	wal.finish()
 	return merged, nil
+}
+
+// specsFromWindows rebuilds shard specs from journaled [offset, count]
+// windows, preserving the original plan split across a resume.
+func specsFromWindows(req Campaign, windows [][2]int) []server.ShardSpec {
+	specs := make([]server.ShardSpec, len(windows))
+	for i, w := range windows {
+		specs[i] = server.ShardSpec{
+			Workload:           req.Workload,
+			Machine:            req.Machine,
+			Structures:         req.Structures,
+			Injections:         req.Injections,
+			Seed:               req.Seed,
+			TargetInsts:        req.TargetInsts,
+			CheckpointInterval: req.CheckpointInterval,
+			ShardOffset:        w[0],
+			ShardCount:         w[1],
+			Triage:             req.Triage,
+			TriageDetected:     req.TriageDetected,
+		}
+	}
+	return specs
 }
 
 // coordinator is the shared state of one Run: the shard queue, the
@@ -267,19 +416,21 @@ func Run(ctx context.Context, cfg Config, req Campaign) (*harness.CampaignReport
 type coordinator struct {
 	cfg   Config
 	specs []server.ShardSpec
+	wal   *campaignWAL // nil when Config.WALDir is empty
 	queue chan int
 	donec chan struct{}
 	start time.Time
 
-	mu         sync.Mutex
-	results    []*server.ShardPayload
-	attempts   []int
-	lastWorker []string
-	completed  int
-	doneTrials int
-	failure    error
-	live       int // workers still in their loop
-	closed     bool
+	mu          sync.Mutex
+	results     []*server.ShardPayload
+	attempts    []int
+	lastWorker  []string
+	completed   int
+	doneTrials  int
+	failure     error
+	live        int       // workers not currently quarantined
+	noLiveSince time.Time // when live last hit zero; zero value = some worker live
+	closed      bool
 }
 
 // fail records the first fatal error and releases everyone.
@@ -338,15 +489,20 @@ func (c *coordinator) claim(ctx context.Context) []int {
 	return idxs
 }
 
-// requeue puts shards back on the queue after a failed assignment,
-// counting attempts; exhausting a shard's budget fails the campaign
-// (the alternative — dropping it — would yield a silently partial
-// report, which the merge would reject anyway).
-func (c *coordinator) requeue(idxs []int, worker string, cause error) {
+// requeue puts shards back on the queue after a failed assignment.
+// countAttempt distinguishes worker failures (which spend the shard's
+// MaxAttempts budget; exhausting it fails the campaign — the
+// alternative, dropping the shard, would yield a silently partial
+// report, which the merge would reject anyway) from backpressure
+// (worker busy/draining), which must never exhaust a healthy campaign
+// however long it lasts.
+func (c *coordinator) requeue(idxs []int, worker string, cause error, countAttempt bool) {
 	for _, idx := range idxs {
 		c.mu.Lock()
 		done := c.results[idx] != nil
-		c.attempts[idx]++
+		if countAttempt {
+			c.attempts[idx]++
+		}
 		exhausted := c.attempts[idx] >= c.cfg.MaxAttempts
 		c.mu.Unlock()
 		if done {
@@ -371,6 +527,9 @@ func (c *coordinator) recordAssign(idx int, worker string) {
 	prev := c.lastWorker[idx]
 	c.lastWorker[idx] = worker
 	c.mu.Unlock()
+	if err := c.wal.appendAssign(idx, worker); err != nil {
+		c.cfg.Logger.Warn("cluster: wal assign append failed", "shard", idx, "err", err)
+	}
 	if c.cfg.Metrics != nil {
 		c.cfg.Metrics.ShardAssigned()
 		if prev != "" && prev != worker {
@@ -390,6 +549,19 @@ func (c *coordinator) recordAssign(idx int, worker string) {
 // reassignment double-count-proof.
 func (c *coordinator) complete(idx int, p *server.ShardPayload, worker string, since time.Time) {
 	c.mu.Lock()
+	dup := c.results[idx] != nil
+	c.mu.Unlock()
+	if dup {
+		return
+	}
+	// Durable before acknowledged: the payload reaches the WAL before the
+	// shard counts as complete, so a coordinator crash at any point
+	// re-runs the shard rather than losing it. A sick disk degrades
+	// durability, never the campaign.
+	if err := c.wal.appendComplete(idx, p); err != nil {
+		c.cfg.Logger.Warn("cluster: wal complete append failed; crash-safety degraded", "shard", idx, "err", err)
+	}
+	c.mu.Lock()
 	if c.results[idx] != nil {
 		c.mu.Unlock()
 		return
@@ -408,26 +580,14 @@ func (c *coordinator) complete(idx int, p *server.ShardPayload, worker string, s
 	c.emit(Event{Type: "completed", Shard: idx, Worker: worker})
 }
 
-// workerExited accounts for a worker leaving its loop on repeated
-// failures; the last one out with shards still pending fails the run.
-func (c *coordinator) workerExited() {
-	c.mu.Lock()
-	c.live--
-	dead := c.live == 0 && c.completed < len(c.specs) && c.failure == nil
-	c.mu.Unlock()
-	if dead {
-		c.fail(errors.New("cluster: all workers lost with shards still pending"))
-	}
-}
-
 // maxConsecutiveFailures is how many batch rounds in a row may fail
-// against one worker before the coordinator writes it off.
+// against one worker before the coordinator quarantines it.
 const maxConsecutiveFailures = 3
 
 // workerLoop drives one worker replica: claim shards, submit them as a
 // batch, poll each to completion. Transport-level failures count
-// against the worker; too many in a row and its loop exits, leaving
-// its shards to the survivors.
+// against the worker; too many in a row sends it to probation, where
+// /readyz probes on exponential backoff decide whether it comes back.
 func (c *coordinator) workerLoop(ctx context.Context, url string) {
 	failures := 0
 	for {
@@ -439,13 +599,15 @@ func (c *coordinator) workerLoop(ctx context.Context, url string) {
 			failures++
 			c.cfg.Logger.Warn("cluster: worker batch failed", "worker", url, "err", err, "failures", failures)
 			if failures >= maxConsecutiveFailures {
-				c.cfg.Logger.Warn("cluster: abandoning worker", "worker", url)
-				c.workerExited()
-				return
+				if !c.probation(ctx, url) {
+					return
+				}
+				failures = 0
+				continue
 			}
 			// Brief pause so a flapping worker does not spin the queue.
 			select {
-			case <-time.After(200 * time.Millisecond):
+			case <-time.After(c.cfg.RetryPause):
 			case <-c.donec:
 				return
 			case <-ctx.Done():
@@ -454,6 +616,69 @@ func (c *coordinator) workerLoop(ctx context.Context, url string) {
 			continue
 		}
 		failures = 0
+	}
+}
+
+// probation quarantines a worker after repeated batch failures.
+// Instead of writing it off forever — the pre-probation behavior, which
+// turned every transient partition into a permanent capacity loss — the
+// coordinator probes the worker's /readyz on exponential backoff
+// (ProbationBase doubling up to ProbationMax) and readmits it the
+// moment it answers ready. Returns true to resume the worker's loop,
+// false when the campaign ended first. The failsafe: once every worker
+// has been quarantined continuously for AllLostTimeout with shards
+// still pending, the campaign fails rather than waiting forever on a
+// fleet that is never coming back.
+func (c *coordinator) probation(ctx context.Context, url string) bool {
+	c.mu.Lock()
+	c.live--
+	if c.live == 0 && c.noLiveSince.IsZero() {
+		c.noLiveSince = time.Now()
+	}
+	c.mu.Unlock()
+	c.cfg.Logger.Warn("cluster: quarantining worker", "worker", url)
+	c.emit(Event{Type: "quarantined", Shard: -1, Worker: url})
+
+	backoff := c.cfg.ProbationBase
+	for {
+		select {
+		case <-time.After(backoff):
+		case <-c.donec:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+		ok, retryAfter, err := c.ready(ctx, url)
+		if err == nil && ok {
+			c.mu.Lock()
+			c.live++
+			c.noLiveSince = time.Time{}
+			c.mu.Unlock()
+			if c.cfg.Metrics != nil {
+				c.cfg.Metrics.WorkerReadmitted()
+			}
+			c.cfg.Logger.Info("cluster: worker readmitted", "worker", url)
+			c.emit(Event{Type: "readmitted", Shard: -1, Worker: url})
+			return true
+		}
+		c.mu.Lock()
+		var allLostFor time.Duration
+		if c.live == 0 && !c.noLiveSince.IsZero() {
+			allLostFor = time.Since(c.noLiveSince)
+		}
+		pending := c.completed < len(c.specs)
+		c.mu.Unlock()
+		if pending && allLostFor > c.cfg.AllLostTimeout {
+			c.fail(fmt.Errorf("cluster: all workers quarantined for %s with shards still pending", allLostFor.Round(time.Second)))
+			return false
+		}
+		backoff *= 2
+		if retryAfter > backoff {
+			backoff = retryAfter
+		}
+		if backoff > c.cfg.ProbationMax {
+			backoff = c.cfg.ProbationMax
+		}
 	}
 }
 
@@ -478,10 +703,12 @@ func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) erro
 	}
 
 	if ready, retryAfter, err := c.ready(ctx, url); err != nil {
-		c.requeue(pending, url, err)
+		c.requeue(pending, url, err, true)
 		return err
 	} else if !ready {
-		c.requeue(pending, url, errors.New("worker not ready"))
+		// Backpressure, not failure: the worker answered, it is merely
+		// draining or replaying. Does not spend the shards' attempt budget.
+		c.requeue(pending, url, errors.New("worker not ready"), false)
 		c.sleep(ctx, retryAfter)
 		return nil
 	}
@@ -492,7 +719,15 @@ func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) erro
 	}
 	resp, err := c.postBatch(ctx, url, batch)
 	if err != nil {
-		c.requeue(pending, url, err)
+		var busy *busyError
+		if errors.As(err, &busy) {
+			// 503 between the readyz gate and the submit (load spike, chaos
+			// injection): alive but shedding. Same treatment as not-ready.
+			c.requeue(pending, url, err, false)
+			c.sleep(ctx, busy.after)
+			return nil
+		}
+		c.requeue(pending, url, err, true)
 		return err
 	}
 	assigned := time.Now()
@@ -505,7 +740,7 @@ func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) erro
 	for i, item := range resp.Items {
 		idx := pending[i]
 		if item.Error != "" {
-			c.requeue([]int{idx}, url, errors.New(item.Error))
+			c.requeue([]int{idx}, url, errors.New(item.Error), true)
 			if d := time.Duration(item.RetryAfterMS) * time.Millisecond; d > backoff {
 				backoff = d
 			}
@@ -516,7 +751,7 @@ func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) erro
 			// Cache hit: the worker already ran this shard in a previous
 			// assignment; the batch answered with the finished job inline.
 			if err := c.adoptResult(idx, item.Job, url, assigned); err != nil {
-				c.requeue([]int{idx}, url, err)
+				c.requeue([]int{idx}, url, err, true)
 			}
 			continue
 		}
@@ -531,7 +766,7 @@ func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) erro
 			for _, rest := range jobs[i:] {
 				remaining = append(remaining, rest.idx)
 			}
-			c.requeue(remaining, url, err)
+			c.requeue(remaining, url, err, true)
 			return err
 		}
 	}
@@ -544,11 +779,26 @@ func (c *coordinator) runBatch(ctx context.Context, url string, idxs []int) erro
 // error; a shard stuck past ShardTimeout is abandoned for reassignment.
 func (c *coordinator) pollToCompletion(ctx context.Context, url string, idx int, id string, assigned time.Time) error {
 	for {
+		select {
+		case <-c.donec:
+			return fmt.Errorf("shard %d: campaign ended while polling", idx)
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
 		if time.Since(assigned) > c.cfg.ShardTimeout {
 			return fmt.Errorf("shard %d timed out after %s on %s", idx, c.cfg.ShardTimeout, url)
 		}
 		v, err := c.getJob(ctx, url, id)
 		if err != nil {
+			var busy *busyError
+			if errors.As(err, &busy) {
+				// A transient 503 on the poll path (proxy hiccup, chaos
+				// injection): the job is still running on the worker; keep
+				// the heartbeat going, bounded by ShardTimeout above.
+				c.sleep(ctx, busy.after)
+				continue
+			}
 			return err
 		}
 		switch v.State {
@@ -571,8 +821,27 @@ func (c *coordinator) adoptResult(idx int, v *server.JobView, url string, assign
 	if err := json.Unmarshal(v.Result, &p); err != nil {
 		return fmt.Errorf("shard %d: decode payload: %w", idx, err)
 	}
-	if p.Report.Shard == nil || p.Report.Shard.Offset != c.specs[idx].ShardOffset {
+	if p.Report.Shard == nil || p.Report.Shard.Offset != c.specs[idx].ShardOffset || p.Report.Shard.Count != c.specs[idx].ShardCount {
 		return fmt.Errorf("shard %d: payload window %+v does not match assignment", idx, p.Report.Shard)
+	}
+	// End-to-end integrity: the worker stamped the sha256 of the
+	// canonical payload before it left the process; recompute it here and
+	// refuse anything that was damaged in transit. A mismatch is a
+	// retryable transport error — the shard re-fetches (the worker's
+	// result cache answers instantly) — never a silent merge of corrupt
+	// tallies. Payloads from pre-digest workers (empty field) pass.
+	if p.Digest != "" {
+		got, err := p.CanonicalDigest()
+		if err != nil {
+			return fmt.Errorf("shard %d: digest payload: %w", idx, err)
+		}
+		if got != p.Digest {
+			if c.cfg.Metrics != nil {
+				c.cfg.Metrics.ShardCorrupted()
+			}
+			c.emit(Event{Type: "corrupted", Shard: idx, Worker: url})
+			return fmt.Errorf("shard %d: payload integrity failure: body hashes to %.12s, worker stamped %.12s (damaged in transit)", idx, got, p.Digest)
+		}
 	}
 	c.complete(idx, &p, url, assigned)
 	return nil
@@ -610,10 +879,8 @@ func (c *coordinator) ready(ctx context.Context, url string) (ok bool, retryAfte
 		return true, 0, nil
 	}
 	after := time.Second
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if d, perr := time.ParseDuration(s + "s"); perr == nil {
-			after = d
-		}
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+		after = d
 	}
 	return false, after, nil
 }
@@ -636,6 +903,9 @@ func (c *coordinator) postBatch(ctx context.Context, url string, batch server.Ba
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, newBusyError(resp)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("batch submit: %s: %s", resp.Status, truncate(raw))
@@ -666,6 +936,8 @@ func (c *coordinator) getJob(ctx context.Context, url, id string) (*server.JobVi
 	}
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusAccepted, http.StatusInternalServerError:
+	case http.StatusServiceUnavailable:
+		return nil, newBusyError(resp)
 	default:
 		return nil, fmt.Errorf("poll job %s: %s: %s", id, resp.Status, truncate(raw))
 	}
@@ -682,4 +954,50 @@ func truncate(b []byte) string {
 		return string(b[:max]) + "…"
 	}
 	return string(b)
+}
+
+// busyError marks a worker that answered 503: alive and reachable,
+// refusing work right now. Callers treat it as backpressure — sleep for
+// the advertised Retry-After and try again — rather than as a strike
+// against the worker or the shard's attempt budget.
+type busyError struct {
+	status string
+	after  time.Duration
+}
+
+func newBusyError(resp *http.Response) *busyError {
+	after := time.Second
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+		after = d
+	}
+	return &busyError{status: resp.Status, after: after}
+}
+
+func (e *busyError) Error() string {
+	return fmt.Sprintf("worker busy: %s (retry after %s)", e.status, e.after)
+}
+
+// parseRetryAfter parses an HTTP Retry-After header in both forms RFC
+// 9110 allows: delta-seconds ("30") and HTTP-date ("Fri, 08 Aug 2026
+// 07:28:00 GMT"). Dates in the past clamp to zero. Returns false for
+// absent or unparseable values.
+func parseRetryAfter(s string) (time.Duration, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }

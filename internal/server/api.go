@@ -7,6 +7,8 @@ package server
 // structs, or the cache fragments.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -338,6 +340,31 @@ type ShardPayload struct {
 	// separately from the trial records because the trace blob is
 	// excluded from Trial JSON (it would bloat every JSONL consumer).
 	Traces map[string]json.RawMessage `json:"traces,omitempty"`
+	// Digest is the hex sha256 of the payload's canonical JSON with
+	// this field empty, computed by the worker that ran the shard. The
+	// coordinator recomputes it after decoding; a mismatch means the
+	// body was damaged in flight (bit flip, truncation that still
+	// parses) and the shard is retried rather than merged — corrupt
+	// tallies must never reach the report. See CanonicalDigest.
+	Digest string `json:"digest,omitempty"`
+}
+
+// CanonicalDigest returns the hex sha256 of the payload's canonical
+// JSON form with the Digest field cleared. Sound as an end-to-end
+// integrity check because encoding/json marshals the same struct
+// values to the same bytes (map keys sorted, floats shortest-round-
+// trip), so decode→re-marshal is byte-stable across worker and
+// coordinator.
+func (p *ShardPayload) CanonicalDigest() (string, error) {
+	saved := p.Digest
+	p.Digest = ""
+	raw, err := json.Marshal(p)
+	p.Digest = saved
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // JobView is the wire form of a job, returned by submits and polls.

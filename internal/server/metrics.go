@@ -196,6 +196,10 @@ type ShardMetrics struct {
 	completed  *Counter
 	retried    *Counter
 	reassigned *Counter
+	corrupted  *Counter
+	readmitted *Counter
+	resumed    *Counter
+	restored   *Counter
 	duration   *Histogram
 }
 
@@ -210,6 +214,14 @@ func NewShardMetrics(m *Metrics) *ShardMetrics {
 			"Shard submissions retried after a 503 or transport error."),
 		reassigned: m.Counter("reese_serve_shards_reassigned_total",
 			"Shards reassigned to a different worker after worker loss."),
+		corrupted: m.Counter("reese_serve_shards_corrupted_total",
+			"Shard payloads rejected by the sha256 integrity check and retried."),
+		readmitted: m.Counter("reese_serve_workers_readmitted_total",
+			"Quarantined workers readmitted after a successful readiness probe."),
+		resumed: m.Counter("reese_serve_campaigns_resumed_total",
+			"Cluster campaigns resumed from the coordinator write-ahead log."),
+		restored: m.Counter("reese_serve_shards_restored_total",
+			"Shards served from WAL payload files instead of being re-executed."),
 		duration: m.HistogramFamily("reese_serve_shard_duration_seconds",
 			"Shard wall time from assignment to completion.", DefaultLatencyBounds).With(),
 	}
@@ -229,6 +241,18 @@ func (s *ShardMetrics) ShardRetried() { s.retried.Inc() }
 
 // ShardReassigned counts one shard moved to a different worker.
 func (s *ShardMetrics) ShardReassigned() { s.reassigned.Inc() }
+
+// ShardCorrupted counts one payload rejected by the integrity check.
+func (s *ShardMetrics) ShardCorrupted() { s.corrupted.Inc() }
+
+// WorkerReadmitted counts one worker returning from quarantine.
+func (s *ShardMetrics) WorkerReadmitted() { s.readmitted.Inc() }
+
+// CampaignResumed counts one campaign picked up from the WAL.
+func (s *ShardMetrics) CampaignResumed() { s.resumed.Inc() }
+
+// ShardRestored counts one shard answered from the WAL, not re-run.
+func (s *ShardMetrics) ShardRestored() { s.restored.Inc() }
 
 // memSampler caches runtime.ReadMemStats between scrapes:
 // ReadMemStats stops the world, so a scrape storm must not turn the

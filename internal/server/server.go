@@ -858,6 +858,13 @@ func runShard(ctx context.Context, req ShardSpec, parallel int, progress *atomic
 		// cluster coordinator knows the trial by after the merge.
 		p.Traces[strconv.Itoa(t.Index)] = json.RawMessage(t.Triage.Trace)
 	}
+	// Stamp the end-to-end integrity digest so the coordinator can tell
+	// a damaged-in-flight payload from a healthy one.
+	digest, err := p.CanonicalDigest()
+	if err != nil {
+		return jobOutput{}, err
+	}
+	p.Digest = digest
 	raw, err := json.Marshal(p)
 	if err != nil {
 		return jobOutput{}, err
